@@ -1,0 +1,68 @@
+// Command gdsdump inspects a GDSII stream file: library header, structure
+// inventory, and element statistics.
+//
+// Usage:
+//
+//	gdsdump [-v] file.gds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gdsiiguard/internal/gdsii"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list elements per structure")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gdsdump [-v] file.gds")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "gdsdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lib, err := gdsii.Read(f)
+	if err != nil {
+		return err
+	}
+	st := lib.Stats()
+	fmt.Printf("library   %s\n", lib.Name)
+	fmt.Printf("units     user=%g meter=%g\n", lib.UserUnit, lib.MeterUnit)
+	fmt.Printf("structs   %d\n", st.Structs)
+	fmt.Printf("elements  %d boundaries, %d paths, %d srefs, %d texts\n",
+		st.Boundaries, st.Paths, st.SRefs, st.Texts)
+	fmt.Printf("layers    %v\n", st.LayersUsed)
+	if !verbose {
+		return nil
+	}
+	for _, s := range lib.Structs {
+		var nb, np, nr, nt int
+		for _, e := range s.Elements {
+			switch e.(type) {
+			case gdsii.Boundary:
+				nb++
+			case gdsii.Path:
+				np++
+			case gdsii.SRef:
+				nr++
+			case gdsii.Text:
+				nt++
+			}
+		}
+		fmt.Printf("  %-24s %5d boundaries %5d paths %5d srefs %5d texts\n",
+			s.Name, nb, np, nr, nt)
+	}
+	return nil
+}

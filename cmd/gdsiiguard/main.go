@@ -1,0 +1,161 @@
+// Command gdsiiguard hardens a physical layout against fabrication-time
+// Trojan insertion: it runs the GDSII-Guard ECO flow (optionally the full
+// NSGA-II exploration) on a built-in benchmark design or on a DEF file, and
+// writes the hardened layout as DEF and/or GDSII.
+//
+// Usage:
+//
+//	gdsiiguard -design AES_1 [-explore] [-out hardened.def] [-gds out.gds]
+//	gdsiiguard -def layout.def -clock-ps 2000 -assets key_reg_0,key_reg_1 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gdsiiguard/internal/benchdesigns"
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/experiments"
+	"gdsiiguard/internal/gdsii"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/nsga2"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/sdc"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "", "built-in benchmark design name (see -list)")
+		defIn   = flag.String("def", "", "input DEF file (alternative to -design)")
+		clockPS = flag.Float64("clock-ps", 0, "clock period in ps (required with -def)")
+		assets  = flag.String("assets", "", "comma-separated security-critical instance names (with -def)")
+		explore = flag.Bool("explore", false, "run the NSGA-II exploration and pick the knee solution")
+		op      = flag.String("op", "CS", "operator for a single run: CS or LDA")
+		outDEF  = flag.String("out", "", "write the hardened layout as DEF")
+		outGDS  = flag.String("gds", "", "write the hardened layout as GDSII")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		list    = flag.Bool("list", false, "list built-in designs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range benchdesigns.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := run(*design, *defIn, *clockPS, *assets, *explore, *op, *outDEF, *outGDS, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "gdsiiguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design, defIn string, clockPS float64, assets string, explore bool, op, outDEF, outGDS string, seed int64) error {
+	var (
+		l    *layout.Layout
+		cons *sdc.Constraints
+		act  float64 = 0.15
+	)
+	switch {
+	case design != "":
+		d, err := benchdesigns.Build(design)
+		if err != nil {
+			return err
+		}
+		l, cons, act = d.Layout, d.Cons, d.Spec.Activity
+	case defIn != "":
+		f, err := os.Open(defIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		l, err = layout.ReadDEF(f, opencell45.MustLoad())
+		if err != nil {
+			return err
+		}
+		if clockPS <= 0 {
+			return fmt.Errorf("-clock-ps is required with -def")
+		}
+		cons = &sdc.Constraints{Clocks: []sdc.Clock{{Name: "clk", Port: "clk", PeriodPS: clockPS}}}
+		if assets != "" {
+			if _, err := l.Netlist.MarkCritical(strings.Split(assets, ",")); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("one of -design or -def is required (try -list)")
+	}
+
+	base, err := core.EvalBaseline(l, core.FlowConfig{Constraints: cons, Activity: act, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: ERsites=%d ERtracks=%.0f TNS=%.1fps power=%.3fmW DRC=%d\n",
+		base.Metrics.ERSites, base.Metrics.ERTracks, base.Metrics.TNS,
+		base.Metrics.PowerMW, base.Metrics.DRC)
+
+	var result *core.Result
+	if explore {
+		log, err := nsga2.Optimize(base, nsga2.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("explored %d configurations, %d on the Pareto front\n",
+			len(log.Evaluations), len(log.Front))
+		sel := experiments.SelectKnee(log.Front)
+		if sel == nil {
+			return fmt.Errorf("no feasible Pareto solution found")
+		}
+		fmt.Printf("selected knee: %s\n", sel.Params.Key())
+		result, err = core.Run(base, sel.Params)
+		if err != nil {
+			return err
+		}
+	} else {
+		p := core.DefaultParams(l.Lib().NumLayers())
+		if strings.EqualFold(op, "LDA") {
+			p.Op = core.LDA
+			p.LDAGridN = 8
+			p.LDAIters = 2
+		}
+		var err error
+		result, err = core.Run(base, p)
+		if err != nil {
+			return err
+		}
+	}
+
+	m := result.Metrics
+	fmt.Printf("hardened: security=%.4f ERsites=%d ERtracks=%.0f TNS=%.1fps power=%.3fmW DRC=%d (runtime %s)\n",
+		m.Security, m.ERSites, m.ERTracks, m.TNS, m.PowerMW, m.DRC, m.Runtime.Round(1e7))
+
+	if outDEF != "" {
+		f, err := os.Create(outDEF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := layout.WriteDEF(f, result.Layout); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outDEF)
+	}
+	if outGDS != "" {
+		lib, err := gdsii.FromLayout(result.Layout, result.Routes.GDSWires(result.Layout))
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(outGDS)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := gdsii.Write(f, lib); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outGDS)
+	}
+	return nil
+}

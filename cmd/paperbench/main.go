@@ -1,0 +1,187 @@
+// Command paperbench regenerates the paper's evaluation tables and figures
+// on the built-in benchmark suite.
+//
+// Usage:
+//
+//	paperbench -experiment fig4|fig5|table1|table2|runtime|ablations|all \
+//	           [-quick] [-seed N] [-designs AES_1,MISTY] [-pop N] [-gens N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gdsiiguard/internal/benchdesigns"
+	"gdsiiguard/internal/experiments"
+	"gdsiiguard/internal/opencell45"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig4, fig5, table1, table2, runtime, ablations, or all")
+		quick      = flag.Bool("quick", false, "smaller GA budgets for a fast smoke run")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		designs    = flag.String("designs", "", "comma-separated design subset (default: full suite)")
+		pop        = flag.Int("pop", 0, "GA population size override")
+		gens       = flag.Int("gens", 0, "GA generation count override")
+		par        = flag.Int("parallelism", 0, "worker bound (default NumCPU)")
+		jsonOut    = flag.String("json", "", "also write suite results as JSON to this file (fig4/table2/suite/all)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Quick:       *quick,
+		Seed:        *seed,
+		GAPop:       *pop,
+		GAGens:      *gens,
+		Parallelism: *par,
+	}
+	if *designs != "" {
+		opt.Designs = strings.Split(*designs, ",")
+	}
+	jsonPath = *jsonOut
+
+	if err := run(*experiment, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+// jsonPath, when set, receives the suite results as JSON.
+var jsonPath string
+
+func writeJSON(suite *experiments.Suite) error {
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return suite.WriteJSON(f)
+}
+
+func run(experiment string, opt experiments.Options) error {
+	switch experiment {
+	case "table1":
+		fmt.Print(experiments.Table1Report(opencell45.NumLayers))
+		return nil
+	case "fig4", "table2", "suite":
+		suite, err := experiments.Run(opt)
+		if err != nil {
+			return err
+		}
+		if experiment == "fig4" {
+			fmt.Print(suite.Fig4Report())
+		} else {
+			fmt.Print(suite.Table2Report())
+		}
+		return writeJSON(suite)
+	case "fig5":
+		names := opt.Designs
+		if len(names) == 0 || (len(names) == len(benchdesigns.Names())) {
+			names = experiments.Fig5Designs
+		}
+		for _, name := range names {
+			pd, err := experiments.RunPareto(name, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig5Report(pd))
+		}
+		return nil
+	case "runtime":
+		rc, err := experiments.RunRuntimeComparison("AES_2", opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RuntimeReport(rc))
+		return nil
+	case "ablations":
+		return runAblations(opt)
+	case "all":
+		fmt.Print(experiments.Table1Report(opencell45.NumLayers))
+		fmt.Println()
+		suite, err := experiments.Run(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(suite.Fig4Report())
+		fmt.Println()
+		fmt.Print(suite.Table2Report())
+		fmt.Println()
+		fmt.Print(suite.SummaryReport())
+		fmt.Println()
+		if err := writeJSON(suite); err != nil {
+			return err
+		}
+		for _, name := range experiments.Fig5Designs {
+			for _, d := range suite.Results {
+				if d.Name != name || d.GALog == nil {
+					continue
+				}
+				pd := &experiments.ParetoData{Design: name}
+				for _, in := range d.GALog.Evaluations {
+					o := in.Objectives()
+					pd.Points = append(pd.Points, [2]float64{o[0], o[1]})
+				}
+				for _, in := range d.GALog.Front {
+					o := in.Objectives()
+					pd.Front = append(pd.Front, [2]float64{o[0], o[1]})
+				}
+				fmt.Println(experiments.Fig5Report(pd))
+			}
+		}
+		rc, err := experiments.RunRuntimeComparison("AES_2", opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RuntimeReport(rc))
+		fmt.Println()
+		return runAblations(opt)
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func runAblations(opt experiments.Options) error {
+	var opRows []*experiments.OperatorAblation
+	for _, name := range []string{"Camellia", "MISTY", "CAST", "SEED"} {
+		r, err := experiments.RunOperatorAblation(name, opt.Seed)
+		if err != nil {
+			return err
+		}
+		opRows = append(opRows, r)
+	}
+	fmt.Println(experiments.OperatorAblationReport(opRows))
+
+	var rwsRows []*experiments.RWSAblation
+	for _, name := range []string{"AES_1", "Camellia", "SPARX"} {
+		r, err := experiments.RunRWSAblation(name, opt.Seed)
+		if err != nil {
+			return err
+		}
+		rwsRows = append(rwsRows, r)
+	}
+	fmt.Println(experiments.RWSAblationReport(rwsRows))
+
+	sa, err := experiments.RunSearchAblation("AES_1", opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.SearchAblationReport(sa))
+
+	var diceRows []*experiments.DiceAblation
+	for _, name := range []string{"Camellia", "SEED"} {
+		r, err := experiments.RunDiceAblation(name, opt.Seed)
+		if err != nil {
+			return err
+		}
+		diceRows = append(diceRows, r)
+	}
+	fmt.Println(experiments.DiceAblationReport(diceRows))
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command secmetrics evaluates the ISPD-2022-style layout security metrics
+// (exploitable regions, free sites, free routing tracks) of a benchmark
+// design or a DEF file.
+//
+// Usage:
+//
+//	secmetrics -design AES_1 [-thresh 20] [-v]
+//	secmetrics -def layout.def -clock-ps 2000 [-assets a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gdsiiguard/internal/benchdesigns"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/sdc"
+	"gdsiiguard/internal/security"
+	"gdsiiguard/internal/sta"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "", "built-in benchmark design name")
+		defIn   = flag.String("def", "", "input DEF file")
+		clockPS = flag.Float64("clock-ps", 0, "clock period in ps (with -def)")
+		assets  = flag.String("assets", "", "comma-separated critical instances (with -def)")
+		thresh  = flag.Int("thresh", 20, "Thresh_ER: minimal exploitable-region weight")
+		verbose = flag.Bool("v", false, "list every exploitable region")
+		seed    = flag.Int64("seed", 1, "router seed")
+	)
+	flag.Parse()
+	if err := run(*design, *defIn, *clockPS, *assets, *thresh, *verbose, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "secmetrics:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design, defIn string, clockPS float64, assets string, thresh int, verbose bool, seed int64) error {
+	var (
+		l    *layout.Layout
+		cons *sdc.Constraints
+	)
+	switch {
+	case design != "":
+		d, err := benchdesigns.Build(design)
+		if err != nil {
+			return err
+		}
+		l, cons = d.Layout, d.Cons
+	case defIn != "":
+		f, err := os.Open(defIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		l, err = layout.ReadDEF(f, opencell45.MustLoad())
+		if err != nil {
+			return err
+		}
+		if assets != "" {
+			if _, err := l.Netlist.MarkCritical(strings.Split(assets, ",")); err != nil {
+				return err
+			}
+		}
+		if clockPS > 0 {
+			cons = &sdc.Constraints{Clocks: []sdc.Clock{{Name: "clk", Port: "clk", PeriodPS: clockPS}}}
+		}
+	default:
+		return fmt.Errorf("one of -design or -def is required")
+	}
+
+	routes, err := route.Route(l, route.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	var timing *sta.Result
+	if cons != nil {
+		timing, err = sta.Analyze(l, sta.Options{Constraints: cons, Routes: routes})
+		if err != nil {
+			return err
+		}
+	}
+	p := security.DefaultParams()
+	p.ThreshER = thresh
+	a, err := security.Assess(l, routes, timing, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design           %s\n", l.Netlist.Name)
+	fmt.Printf("core             %d rows x %d sites, utilization %.1f%%\n",
+		l.NumRows, l.SitesPerRow, 100*l.Utilization())
+	fmt.Printf("assets           %d security-critical instances\n", a.Assets)
+	fmt.Printf("free sites       %d\n", a.FreeSites)
+	fmt.Printf("exploitable      %d sites within exploitable distance\n", a.ExploitableSites)
+	fmt.Printf("ER sites         %d in %d regions (Thresh_ER=%d)\n", a.ERSites, len(a.Regions), thresh)
+	fmt.Printf("ER tracks        %.0f unused routing tracks over exploitable regions\n", a.ERTracks)
+	if timing != nil {
+		fmt.Printf("timing           TNS=%.1fps WNS=%.1fps\n", timing.TNS, timing.WNS)
+	}
+	if verbose {
+		regions := append([]security.Region(nil), a.Regions...)
+		sort.Slice(regions, func(i, j int) bool { return regions[i].Sites > regions[j].Sites })
+		for i, r := range regions {
+			fmt.Printf("  region %3d: %5d sites, %d runs\n", i, r.Sites, len(r.Runs))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module gdsiiguard
+
+go 1.22

@@ -1,0 +1,131 @@
+package gdsiiguard
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksListed(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 12 {
+		t.Fatalf("benchmarks = %d, want 12", len(names))
+	}
+	want := map[string]bool{"AES_1": true, "openMSP430_2": true, "TDEA": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing designs: %v", want)
+	}
+}
+
+func TestLoadBenchmarkAndHarden(t *testing.T) {
+	d, err := LoadBenchmark("PRESENT")
+	if err != nil {
+		t.Fatalf("LoadBenchmark: %v", err)
+	}
+	if d.Name() != "PRESENT" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	base := d.Baseline()
+	if base.Security != 1.0 {
+		t.Errorf("baseline security = %g", base.Security)
+	}
+	if base.ERSites == 0 {
+		t.Fatal("baseline has no exploitable sites")
+	}
+	if d.Assets() == 0 {
+		t.Fatal("no assets")
+	}
+	h, err := d.Harden(nil)
+	if err != nil {
+		t.Fatalf("Harden: %v", err)
+	}
+	if h.Metrics.Security >= 1.0 {
+		t.Errorf("hardened security = %g, want < 1", h.Metrics.Security)
+	}
+}
+
+func TestHardenRejectsBadParams(t *testing.T) {
+	d, err := LoadBenchmark("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Harden(&FlowParams{ScaleM: []float64{1.0}}); err == nil {
+		t.Error("short ScaleM accepted")
+	}
+	if _, err := d.Harden(&FlowParams{Op: "BOGUS"}); err == nil {
+		t.Error("bogus op accepted")
+	}
+}
+
+func TestLoadUnknownBenchmark(t *testing.T) {
+	if _, err := LoadBenchmark("DES_IMAGINARY"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	d, err := LoadBenchmark("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.Harden(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defBuf, gdsBuf bytes.Buffer
+	if err := h.WriteDEF(&defBuf); err != nil {
+		t.Fatalf("WriteDEF: %v", err)
+	}
+	if !strings.Contains(defBuf.String(), "DESIGN PRESENT ;") {
+		t.Error("DEF lacks design header")
+	}
+	if err := h.WriteGDSII(&gdsBuf); err != nil {
+		t.Fatalf("WriteGDSII: %v", err)
+	}
+	if gdsBuf.Len() < 100 {
+		t.Errorf("GDSII implausibly small: %d bytes", gdsBuf.Len())
+	}
+	// Re-import the DEF through the public API.
+	d2, err := LoadDEF(&defBuf, 2000, nil)
+	if err != nil {
+		t.Fatalf("LoadDEF: %v", err)
+	}
+	if d2.Name() != "PRESENT" {
+		t.Errorf("re-imported name = %q", d2.Name())
+	}
+}
+
+func TestExploreSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration is slow")
+	}
+	d, err := LoadBenchmark("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := d.Explore(ExploreOptions{PopSize: 6, Generations: 2, Seed: 3})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if ex.Evaluations == 0 || len(ex.Front) == 0 {
+		t.Fatalf("exploration empty: %d evals, %d front", ex.Evaluations, len(ex.Front))
+	}
+	if ex.Knee < 0 || ex.Knee >= len(ex.Front) {
+		t.Errorf("knee index %d out of front range %d", ex.Knee, len(ex.Front))
+	}
+	for i := 1; i < len(ex.Front); i++ {
+		if ex.Front[i].Metrics.Security < ex.Front[i-1].Metrics.Security {
+			t.Error("front not sorted by security")
+		}
+	}
+}
+
+func ExampleBenchmarks() {
+	names := Benchmarks()
+	fmt.Println(len(names), names[0])
+	// Output: 12 AES_1
+}

@@ -1,0 +1,177 @@
+// Package attack simulates the paper's threat model from the adversary's
+// side: a fabrication-time attacker who receives the GDSII, reverse
+// engineers placement and connectivity, and tries to implant an A2-style
+// hardware Trojan — a small trigger+payload cell group — into leftover
+// placement sites, wired to a victim net near a security-critical cell
+// without breaking the design's timing.
+//
+// The simulator is the end-to-end validation of the defense: on baseline
+// layouts the insertion generally succeeds; on GDSII-Guard-hardened layouts
+// it should find no usable region.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/security"
+	"gdsiiguard/internal/sta"
+)
+
+// TrojanSpec describes the implant the attacker wants to place.
+type TrojanSpec struct {
+	// Cells are the library masters of the Trojan, in placement order.
+	// The default (A2-style minimal digital proxy) is a trigger NAND, a
+	// state-holding flip-flop, and a payload NAND.
+	Cells []string
+	// MaxWireUM bounds the tap wirelength the attacker will route, in µm.
+	MaxWireUM float64
+}
+
+// DefaultTrojan returns the minimal trigger+state+payload implant.
+func DefaultTrojan() TrojanSpec {
+	return TrojanSpec{
+		Cells:     []string{"NAND2_X1", "DFF_X1", "NAND2_X1"},
+		MaxWireUM: 100,
+	}
+}
+
+// Result reports one insertion attempt.
+type Result struct {
+	// Inserted reports whether a viable site and victim were found.
+	Inserted bool
+	// Reason explains a failed attempt.
+	Reason string
+	// Row, Site locate the implant (when inserted).
+	Row, Site int
+	// Victim is the tapped security-critical instance.
+	Victim string
+	// TapDistUM is the Manhattan routing distance to the victim in µm.
+	TapDistUM float64
+	// SlackAfterPS is the victim path slack after the implant's delay is
+	// charged; ≥ 0 means the Trojan stays timing-stealthy.
+	SlackAfterPS float64
+	// RegionSites is the size of the exploitable region used.
+	RegionSites int
+}
+
+// Attempt tries to insert the Trojan into the layout. timing and routes
+// feed the same security assessment the defender uses (Definition 2.2):
+// the attacker needs a contiguous exploitable region of at least the
+// implant's width within exploitable distance of an asset, and the tap's
+// added delay must not break the victim's timing.
+func Attempt(l *layout.Layout, routes *route.Result, timing *sta.Result, spec TrojanSpec, p security.Params) (*Result, error) {
+	if len(spec.Cells) == 0 {
+		spec = DefaultTrojan()
+	}
+	lib := l.Lib()
+	width := 0
+	for _, name := range spec.Cells {
+		c := lib.Cell(name)
+		if c == nil {
+			return nil, fmt.Errorf("attack: unknown trojan cell %q", name)
+		}
+		width += c.WidthSites
+	}
+
+	assess, err := security.Assess(l, routes, timing, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(assess.Regions) == 0 {
+		return &Result{Reason: "no exploitable regions"}, nil
+	}
+
+	// Victim candidates: security-critical instances with positive slack
+	// (a tap on a failing path would be caught at test).
+	type victim struct {
+		in    *netlist.Instance
+		slack float64
+	}
+	var victims []victim
+	for _, in := range l.Netlist.CriticalInsts() {
+		slack := math.Inf(1)
+		if timing != nil {
+			slack = timing.InstSlack(in)
+		}
+		if slack > 0 {
+			victims = append(victims, victim{in, slack})
+		}
+	}
+	if len(victims) == 0 {
+		return &Result{Reason: "no positive-slack victim paths"}, nil
+	}
+
+	// Regions big enough for the implant, largest first (more wiggle room).
+	regions := append([]security.Region(nil), assess.Regions...)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Sites > regions[j].Sites })
+
+	nand := lib.Cell("NAND2_X1")
+	tapDelay := func(distUM float64) float64 {
+		// Trojan tap: victim net gains a stub of derated wire plus the
+		// trigger input; the trigger gate adds its own delay.
+		layer := lib.Layer(3)
+		factor := p.TrojanWireFactor
+		if factor <= 0 {
+			factor = 3
+		}
+		c := distUM * layer.CPerUM * factor
+		r := distUM * layer.RPerUM
+		d := 0.5 * r * c
+		if nand != nil && len(nand.Arcs) > 0 {
+			d += nand.Arcs[0].Intrinsic + nand.Arcs[0].DriveRes*c
+			if in := nand.InputPins(); len(in) > 0 {
+				d += nand.Arcs[0].DriveRes * in[0].Cap
+			}
+		}
+		return d
+	}
+
+	for _, reg := range regions {
+		if reg.Sites < width {
+			continue
+		}
+		for _, run := range reg.Runs {
+			if run.Len < width {
+				continue
+			}
+			spot := l.SiteDBU(run.Row, run.Start+run.Len/2)
+			// Nearest viable victim for this spot.
+			bestIdx, bestDist := -1, math.Inf(1)
+			for i, v := range victims {
+				rect := l.CellRect(v.in)
+				if rect.Empty() {
+					continue
+				}
+				dUM := lib.DBUToMicrons(rect.DistTo(spot))
+				if dUM > spec.MaxWireUM {
+					continue
+				}
+				if v.slack-tapDelay(dUM) < 0 {
+					continue // tap would break timing and be detected
+				}
+				if dUM < bestDist {
+					bestIdx, bestDist = i, dUM
+				}
+			}
+			if bestIdx < 0 {
+				continue
+			}
+			v := victims[bestIdx]
+			return &Result{
+				Inserted:     true,
+				Row:          run.Row,
+				Site:         run.Start,
+				Victim:       v.in.Name,
+				TapDistUM:    bestDist,
+				SlackAfterPS: v.slack - tapDelay(bestDist),
+				RegionSites:  reg.Sites,
+			}, nil
+		}
+	}
+	return &Result{Reason: "no region admits the implant within timing"}, nil
+}

@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"testing"
+
+	"gdsiiguard/internal/benchdesigns"
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/security"
+)
+
+func TestInsertionSucceedsOnBaseline(t *testing.T) {
+	d, err := benchdesigns.Build("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.EvalBaseline(d.Layout, core.FlowConfig{
+		Constraints: d.Cons, Activity: d.Spec.Activity, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attempt(base.Layout, base.Routes, base.Timing, DefaultTrojan(), security.DefaultParams())
+	if err != nil {
+		t.Fatalf("Attempt: %v", err)
+	}
+	if !res.Inserted {
+		t.Fatalf("baseline PRESENT resisted insertion: %s", res.Reason)
+	}
+	if res.Victim == "" || res.RegionSites < 20 {
+		t.Errorf("implausible insertion: %+v", res)
+	}
+	if res.SlackAfterPS < 0 {
+		t.Errorf("inserted Trojan breaks timing: slack %g", res.SlackAfterPS)
+	}
+}
+
+func TestHardeningBlocksInsertion(t *testing.T) {
+	d, err := benchdesigns.Build("SEED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.EvalBaseline(d.Layout, core.FlowConfig{
+		Constraints: d.Cons, Activity: d.Spec.Activity, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Attempt(base.Layout, base.Routes, base.Timing, DefaultTrojan(), security.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, err := core.Run(base, core.DefaultParams(d.Layout.Lib().NumLayers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Attempt(hardened.Layout, hardened.Routes, hardened.Timing, DefaultTrojan(), security.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Inserted && after.Inserted {
+		t.Errorf("hardening did not block the attack (region %d sites at row %d)",
+			after.RegionSites, after.Row)
+	}
+	if !before.Inserted {
+		t.Log("baseline already resisted; hardening check vacuous for this design")
+	}
+}
+
+func TestAttemptValidation(t *testing.T) {
+	d, err := benchdesigns.Build("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := TrojanSpec{Cells: []string{"UNOBTAINIUM_X1"}}
+	if _, err := Attempt(d.Layout, nil, nil, bad, security.DefaultParams()); err == nil {
+		t.Error("unknown trojan cell accepted")
+	}
+}
+
+func TestNoVictimsMeansNoInsertion(t *testing.T) {
+	d, err := benchdesigns.Build("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range d.Layout.Netlist.Insts {
+		in.SecurityCritical = false
+	}
+	res, err := Attempt(d.Layout, nil, nil, DefaultTrojan(), security.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted {
+		t.Error("insertion without any asset to attack")
+	}
+}

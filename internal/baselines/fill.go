@@ -1,0 +1,200 @@
+// Package baselines implements the three state-of-the-art design-time
+// defenses the paper compares against:
+//
+//   - ICAS (Trippel et al., S&P'20): undirected CAD-parameter tuning — the
+//     design is globally re-placed at higher core density to squeeze free
+//     space, with no awareness of where the security assets are.
+//   - BISA (Xiao et al., HOST'13): every free region is filled with
+//     functional, tamper-evident logic (chains of gates pipelined through
+//     flip-flops, observable at a test port), leaving almost no insertion
+//     space but paying heavy power/timing/DRC costs.
+//   - Ba et al. (ECCTD'15/ISVLSI'16): BISA's filling applied only locally,
+//     near the security-critical cells, trading defensive coverage for
+//     lower overheads.
+//
+// All three produce a core.Result evaluated by the exact same pipeline as
+// the GDSII-Guard flow, so the comparison in the experiments is apples to
+// apples.
+package baselines
+
+import (
+	"fmt"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+)
+
+// fillStats reports one functional-fill pass.
+type fillStats struct {
+	Cells      int // functional cells inserted
+	SitesUsed  int
+	ChainPorts int
+}
+
+// fillRunsWithLogic fills the given free runs with functional
+// tamper-evident logic: chains of inverters broken by a flip-flop every
+// chainLen gates (so no combinational path grows unboundedly), fed from a
+// dedicated test-in port and observed at per-chain test-out ports. Gaps too
+// narrow for any functional cell are left open (they are sub-threshold for
+// Trojan insertion anyway).
+func fillRunsWithLogic(l *layout.Layout, runs []layout.SiteRun, prefix string, chainLen int) (fillStats, error) {
+	nl := l.Netlist
+	lib := l.Lib()
+	inv := lib.Cell("INV_X1")
+	dff := lib.Cell("DFF_X1")
+	if inv == nil || dff == nil {
+		return fillStats{}, fmt.Errorf("baselines: library lacks INV_X1/DFF_X1")
+	}
+	clkNet := findClockNet(nl)
+
+	// Test infrastructure ports (idempotent per prefix).
+	inPortName := prefix + "_test_si"
+	var inNet *netlist.Net
+	if nl.Port(inPortName) == nil {
+		p, err := nl.AddPort(inPortName, netlist.In)
+		if err != nil {
+			return fillStats{}, err
+		}
+		n, err := nl.AddNet(inPortName)
+		if err != nil {
+			return fillStats{}, err
+		}
+		if err := nl.ConnectPort(p, n); err != nil {
+			return fillStats{}, err
+		}
+		inNet = n
+	} else {
+		inNet = nl.Net(inPortName)
+	}
+
+	var st fillStats
+	gate := 0
+	chain := 0
+	prev := inNet
+	depth := 0
+
+	endChain := func() error {
+		if prev == inNet {
+			return nil
+		}
+		name := fmt.Sprintf("%s_so%d", prefix, chain)
+		p, err := nl.AddPort(name, netlist.Out)
+		if err != nil {
+			return err
+		}
+		if err := nl.ConnectPort(p, prev); err != nil {
+			return err
+		}
+		if pos, ok := l.PortPos[inPortName]; ok {
+			l.PortPos[name] = pos
+		} else {
+			l.SpreadPorts()
+		}
+		st.ChainPorts++
+		chain++
+		prev = inNet
+		depth = 0
+		return nil
+	}
+
+	for _, run := range runs {
+		site := run.Start
+		remaining := run.Len
+		for remaining > 0 {
+			var master = inv
+			useDFF := clkNet != nil && depth >= chainLen && remaining >= dff.WidthSites
+			if useDFF {
+				master = dff
+			}
+			if remaining < master.WidthSites {
+				// Try the inverter as a fallback before giving up on the
+				// tail of this run.
+				if master == dff && remaining >= inv.WidthSites {
+					master = inv
+				} else {
+					break
+				}
+			}
+			if !l.Free(run.Row, site) {
+				site++
+				remaining--
+				continue
+			}
+			name := fmt.Sprintf("%s_f%d", prefix, gate)
+			in, err := nl.AddInstance(name, master.Name)
+			if err != nil {
+				return st, err
+			}
+			// Runs are disjoint and consumed left-to-right, so the slot is
+			// free by construction.
+			if err := l.Place(in, run.Row, site); err != nil {
+				return st, fmt.Errorf("baselines: fill placement: %w", err)
+			}
+			next, err := nl.AddNet(name + "_z")
+			if err != nil {
+				return st, err
+			}
+			if master == dff {
+				if err := nl.Connect(in, "D", prev); err != nil {
+					return st, err
+				}
+				if err := nl.Connect(in, "CK", clkNet); err != nil {
+					return st, err
+				}
+				if err := nl.Connect(in, "Q", next); err != nil {
+					return st, err
+				}
+				depth = 0
+			} else {
+				if err := nl.Connect(in, "A", prev); err != nil {
+					return st, err
+				}
+				if err := nl.Connect(in, "ZN", next); err != nil {
+					return st, err
+				}
+				depth++
+			}
+			prev = next
+			st.Cells++
+			st.SitesUsed += master.WidthSites
+			site += master.WidthSites
+			remaining -= master.WidthSites
+			gate++
+			// Cap combinational depth even without DFFs available.
+			if clkNet == nil && depth >= chainLen {
+				if err := endChain(); err != nil {
+					return st, err
+				}
+			}
+		}
+	}
+	if err := endChain(); err != nil {
+		return st, err
+	}
+	// A trailing chain that ended exactly on a DFF still needs observing.
+	if prev != inNet {
+		if err := endChain(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// findClockNet returns the first clock net, or nil.
+func findClockNet(nl *netlist.Netlist) *netlist.Net {
+	for _, n := range nl.Nets {
+		if n.IsClock {
+			return n
+		}
+	}
+	return nil
+}
+
+// allFreeRuns returns every maximal free run of the layout.
+func allFreeRuns(l *layout.Layout) []layout.SiteRun {
+	var out []layout.SiteRun
+	for r := 0; r < l.NumRows; r++ {
+		out = append(out, l.FreeRuns(r)...)
+	}
+	return out
+}

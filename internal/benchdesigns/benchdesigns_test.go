@@ -1,0 +1,145 @@
+package benchdesigns
+
+import (
+	"testing"
+
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/sta"
+)
+
+func TestSuiteShape(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("suite has %d designs, want 12", len(names))
+	}
+	// Table II designs, exact set.
+	want := []string{"AES_1", "AES_2", "AES_3", "Camellia", "CAST", "MISTY",
+		"openMSP430_1", "openMSP430_2", "PRESENT", "SEED", "SPARX", "TDEA"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("design %d = %q, want %q", i, names[i], n)
+		}
+	}
+	if _, err := SpecOf("AES_2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SpecOf("DES"); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestTightnessPattern(t *testing.T) {
+	// The paper's Table II: exactly these designs carry baseline TNS < 0.
+	tight := map[string]bool{
+		"AES_1": true, "AES_2": true, "AES_3": true,
+		"CAST": true, "openMSP430_2": true, "SEED": true,
+	}
+	for _, s := range Specs {
+		if s.Tight() != tight[s.Name] {
+			t.Errorf("%s: Tight()=%v, want %v", s.Name, s.Tight(), tight[s.Name])
+		}
+	}
+}
+
+func TestBuildSmallDesign(t *testing.T) {
+	d, err := Build("PRESENT")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := d.Layout.Validate(); err != nil {
+		t.Fatalf("layout invalid: %v", err)
+	}
+	if err := d.Layout.Netlist.Validate(); err != nil {
+		t.Fatalf("netlist invalid: %v", err)
+	}
+	st := d.Layout.Netlist.Stats()
+	if st.Critical == 0 || len(d.Assets) != st.Critical {
+		t.Errorf("assets: list %d vs marked %d", len(d.Assets), st.Critical)
+	}
+	// PRESENT: 80 key bits plus key-control gates.
+	if st.Critical < 80 {
+		t.Errorf("critical = %d, want ≥ 80", st.Critical)
+	}
+	if d.Cons.PrimaryClock() == nil || d.Cons.PrimaryClock().PeriodPS <= 0 {
+		t.Error("no calibrated clock")
+	}
+	// Loose design: timing closes at the calibrated clock.
+	r, err := sta.Analyze(d.Layout, sta.Options{Constraints: d.Cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TNS < 0 {
+		t.Errorf("PRESENT (loose) has TNS=%g at its calibrated clock", r.TNS)
+	}
+}
+
+func TestBuildTightDesignHasNegativeSlack(t *testing.T) {
+	d, err := Build("openMSP430_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.EvalBaseline(d.Layout, core.FlowConfig{
+		Constraints: d.Cons, Activity: d.Spec.Activity, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Metrics.TNS >= 0 {
+		t.Errorf("openMSP430_2 (tight) TNS=%g, want < 0", base.Metrics.TNS)
+	}
+	if base.Metrics.ERSites == 0 {
+		t.Error("tight design has zero baseline exploitable sites")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	d1, err := Build("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build("PRESENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Cons.PrimaryClock().PeriodPS != d2.Cons.PrimaryClock().PeriodPS {
+		t.Error("clock calibration nondeterministic")
+	}
+	for _, in := range d1.Layout.Netlist.Insts {
+		in2 := d2.Layout.Netlist.Instance(in.Name)
+		if in2 == nil {
+			t.Fatalf("instance %s missing in rebuild", in.Name)
+		}
+		if d1.Layout.PlacementOf(in) != d2.Layout.PlacementOf(in2) {
+			t.Fatalf("placement of %s differs", in.Name)
+		}
+	}
+}
+
+func TestNoDanglingFunctionalCells(t *testing.T) {
+	d, err := Build("MISTY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range d.Layout.Netlist.Nets {
+		if n.IsClock {
+			continue
+		}
+		if n.HasDriver() && len(n.Sinks) == 0 {
+			t.Errorf("net %s dangles", n.Name)
+		}
+	}
+}
+
+func TestUtilizationNearSpec(t *testing.T) {
+	for _, name := range []string{"PRESENT", "CAST"} {
+		d, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := SpecOf(name)
+		got := d.Layout.Utilization()
+		if got < spec.Util-0.1 || got > spec.Util+0.1 {
+			t.Errorf("%s utilization %.2f, spec %.2f", name, got, spec.Util)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"sort"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+)
+
+// CellShiftResult reports one Cell Shift run.
+type CellShiftResult struct {
+	// Shifts is the total number of single-site cell moves performed.
+	Shifts int
+	// CellsMoved is the number of distinct cells moved.
+	CellsMoved int
+	// DiceMoves is the number of cells relocated by the dicing stage that
+	// splits the residual edge regions the row passes cannot reach.
+	DiceMoves int
+}
+
+// CellShift runs the greedy row-wise Cell Shift operator (Algorithm 1):
+// a forward pass visiting rows bottom-up and shifting cells left to erase
+// exploitable components of the empty-site graph G=(V,E), followed by the
+// mirrored pass shifting right, which removes the regions accumulated on
+// the right side of the core.
+//
+// The component weight w(compo(v)) is re-evaluated after every single-site
+// shift, exactly as in the paper's inner loop: shrinking a vertex can
+// disconnect it from runs in the rows below, splitting its component — that
+// split is precisely what fragments the free space into sub-Thresh_ER
+// pockets. Fixed cells (the locked security-critical assets) never move.
+// maxCellShiftPasses bounds the alternating pass count; each pass drains
+// the blind-spot edge column left by the previous one, and the loop stops
+// as soon as a pass pair yields no further reduction.
+const maxCellShiftPasses = 8
+
+func CellShift(l *layout.Layout, threshER int) CellShiftResult {
+	return CellShiftWithOptions(l, threshER, true)
+}
+
+// CellShiftWithOptions runs the operator with the dicing stage optionally
+// disabled — the pure Algorithm 1 row passes — for ablation studies.
+func CellShiftWithOptions(l *layout.Layout, threshER int, dice bool) CellShiftResult {
+	var res CellShiftResult
+	moved := map[*netlist.Instance]bool{}
+	// Rounds of (alternating row passes + dicing): dicing reshapes the
+	// free-space landscape, which unlocks further row-pass fragmentation.
+	const maxRounds = 3
+	for round := 0; round < maxRounds; round++ {
+		before := exploitableMass(l, threshER)
+		if before == 0 {
+			break
+		}
+		best := before
+		fails := 0
+		for pass := 0; pass < maxCellShiftPasses && fails < 2; pass++ {
+			snap := l.Clone()
+			shiftsBefore := res.Shifts
+			cellShiftPass(l, threshER, pass%2 == 1, &res, moved)
+			m := exploitableMass(l, threshER)
+			if m >= best {
+				// The pass piled mass against its blind spots (core edge
+				// or fixed cells): roll it back, try the other direction.
+				if err := l.AdoptPlacements(snap); err == nil {
+					res.Shifts = shiftsBefore
+				}
+				fails++
+				continue
+			}
+			fails = 0
+			best = m
+		}
+		// Dicing stage: split what accumulated against the blind spots.
+		if dice {
+			budget := l.FreeSites()/threshER*2 + 64
+			res.DiceMoves += diceResidual(l, threshER, budget)
+		}
+		if exploitableMass(l, threshER) >= before {
+			break // the round made no net progress
+		}
+	}
+	res.CellsMoved = len(moved) + res.DiceMoves
+	return res
+}
+
+// exploitableMass sums the weights of empty-site components at or above the
+// threshold over the whole layout (timing-agnostic: the operator's own
+// progress measure).
+func exploitableMass(l *layout.Layout, threshER int) int {
+	rows := make([][]freeRun, l.NumRows)
+	for r := 0; r < l.NumRows; r++ {
+		for _, run := range l.FreeRuns(r) {
+			rows[r] = append(rows[r], freeRun{run.Start, run.Len})
+		}
+	}
+	ix := buildBelowIndex(rows)
+	mass := 0
+	for _, w := range ix.weight {
+		if w >= threshER {
+			mass += w
+		}
+	}
+	return mass
+}
+
+// freeRun mirrors the paper's vertex v: a maximal run of contiguous empty
+// sites in one row, in mirrored coordinates when the pass is reversed.
+type freeRun struct {
+	start, length int
+}
+
+// belowIndex collapses the empty-site graph of rows[0:i] (everything below
+// the row being processed) into, per row-(i−1) run, a component root and
+// per-root total weight. Those components are static while row i's cells
+// shift, so queries against them are cheap.
+type belowIndex struct {
+	topRuns []freeRun // runs of row i−1, ascending start
+	rootOf  []int     // component root id per topRuns entry
+	weight  map[int]int
+	// shareWeight holds each root's weight on the first topRun having that
+	// root (0 on the rest); rootLink chains topRuns sharing a root.
+	shareWeight []int
+	rootLink    []int
+	scratch     []int // reusable union-find arena for componentWeight
+}
+
+// buildBelowIndex runs union-find over all processed rows with merge-scan
+// adjacency, then projects roots and weights onto the highest processed row.
+func buildBelowIndex(rows [][]freeRun) *belowIndex {
+	ix := &belowIndex{weight: map[int]int{}}
+	if len(rows) == 0 {
+		return ix
+	}
+	offsets := make([]int, len(rows))
+	total := 0
+	for r, rr := range rows {
+		offsets[r] = total
+		total += len(rr)
+	}
+	parent := make([]int, total)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for r := 1; r < len(rows); r++ {
+		lo, hi := rows[r-1], rows[r]
+		i, j := 0, 0
+		for i < len(lo) && j < len(hi) {
+			a, b := lo[i], hi[j]
+			if a.start < b.start+b.length && b.start < a.start+a.length {
+				ra, rb := find(offsets[r-1]+i), find(offsets[r]+j)
+				if ra != rb {
+					parent[ra] = rb
+				}
+			}
+			if a.start+a.length < b.start+b.length {
+				i++
+			} else {
+				j++
+			}
+		}
+	}
+	for r, rr := range rows {
+		for k, run := range rr {
+			ix.weight[find(offsets[r]+k)] += run.length
+		}
+	}
+	top := len(rows) - 1
+	ix.topRuns = rows[top]
+	ix.rootOf = make([]int, len(ix.topRuns))
+	ix.shareWeight = make([]int, len(ix.topRuns))
+	ix.rootLink = make([]int, len(ix.topRuns))
+	firstOf := map[int]int{}
+	for k := range ix.topRuns {
+		root := find(offsets[top] + k)
+		ix.rootOf[k] = root
+		if prev, ok := firstOf[root]; ok {
+			ix.rootLink[k] = prev
+		} else {
+			ix.rootLink[k] = -1
+			ix.shareWeight[k] = ix.weight[root]
+			firstOf[root] = k
+		}
+		if ix.rootLink[k] >= 0 {
+			// keep chaining to the most recent same-root topRun
+			firstOf[root] = k
+		}
+	}
+	return ix
+}
+
+// componentWeight returns w(compo(v)) for the current row's run at index
+// vIdx, over the graph G_{0,i}: the current row's runs bridged through the
+// collapsed below components. Cost is O(runs_i + runs_{i−1}), allocation
+// free (the union-find arena is reused across calls).
+func (ix *belowIndex) componentWeight(cur []freeRun, vIdx int) int {
+	n := len(cur)
+	m := len(ix.topRuns)
+	total := n + m
+	if cap(ix.scratch) < total {
+		ix.scratch = make([]int, total*2)
+	}
+	parent := ix.scratch[:total]
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// topRuns sharing a below-root are connected through the rows below.
+	for k := 0; k < m; k++ {
+		if ix.rootLink[k] >= 0 {
+			union(n+k, n+ix.rootLink[k])
+		}
+	}
+	// Merge-scan current-row runs against row i−1 runs.
+	i, j := 0, 0
+	for i < m && j < n {
+		a, b := ix.topRuns[i], cur[j]
+		if a.start < b.start+b.length && b.start < a.start+a.length {
+			union(n+i, j)
+		}
+		if a.start+a.length < b.start+b.length {
+			i++
+		} else {
+			j++
+		}
+	}
+	target := find(vIdx)
+	w := 0
+	for k := 0; k < n; k++ {
+		if find(k) == target {
+			w += cur[k].length
+		}
+	}
+	for k := 0; k < m; k++ {
+		if ix.shareWeight[k] > 0 && find(n+k) == target {
+			w += ix.shareWeight[k]
+		}
+	}
+	return w
+}
+
+// cellShiftPass performs one directional pass. In mirrored space
+// (reverse=true) "shift left" means "shift right" physically, so a single
+// implementation covers both passes of the algorithm.
+func cellShiftPass(l *layout.Layout, threshER int, reverse bool, res *CellShiftResult, moved map[*netlist.Instance]bool) {
+	w := l.SitesPerRow
+	phys := func(s int) int {
+		if reverse {
+			return w - 1 - s
+		}
+		return s
+	}
+	runsOfRow := func(row int) []freeRun {
+		raw := l.FreeRuns(row)
+		out := make([]freeRun, 0, len(raw))
+		for _, r := range raw {
+			if reverse {
+				out = append(out, freeRun{w - (r.Start + r.Len), r.Len})
+			} else {
+				out = append(out, freeRun{r.Start, r.Len})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+		return out
+	}
+	// Security-critical cells are preprocessed against removal or
+	// replacement, not against row-wise shifting: a few-site horizontal
+	// move keeps the asset intact (the paper's CS operates on "designs
+	// with loose timing constraints" where such moves are benign). Cells
+	// fixed for other reasons stay fixed.
+	shift := func(cell *netlist.Instance) error {
+		unlocked := false
+		if cell.Fixed && cell.SecurityCritical {
+			cell.Fixed = false
+			unlocked = true
+		}
+		var err error
+		if reverse {
+			err = l.ShiftRight(cell)
+		} else {
+			err = l.ShiftLeft(cell)
+		}
+		if unlocked {
+			cell.Fixed = true
+		}
+		return err
+	}
+
+	prevRuns := make([][]freeRun, 0, l.NumRows)
+	for row := 0; row < l.NumRows; row++ {
+		below := buildBelowIndex(prevRuns)
+		cur := runsOfRow(row)
+		j := 0
+		for j < len(cur) {
+			if below.componentWeight(cur, j) < threshER {
+				j++
+				continue
+			}
+			// The cell adjacent to the right (mirrored) of v; phys() maps
+			// to its nearest physical site in either direction. A vertex
+			// touching the far core edge has no cell to pull: it is the
+			// pass's blind spot, handled by the opposite pass and the
+			// dicing stage.
+			cellSite := cur[j].start + cur[j].length
+			if cellSite >= w {
+				j++
+				continue
+			}
+			cell := l.At(row, phys(cellSite))
+			if cell == nil || (cell.Fixed && !cell.SecurityCritical) {
+				j++
+				continue
+			}
+			// Inner loop of Algorithm 1: shift one site at a time,
+			// re-checking the component weight after each move.
+			vLen0 := cur[j].length
+			performed := 0
+			for performed < vLen0 && below.componentWeight(cur, j) >= threshER {
+				if err := shift(cell); err != nil {
+					break
+				}
+				performed++
+				moved[cell] = true
+				cur = shrinkAndSpill(cur, j, cell.Master.WidthSites)
+				if performed == vLen0 {
+					break // v vanished; slot j holds the successor run
+				}
+			}
+			res.Shifts += performed
+			// Advance unless v vanished: the spilled run slid into slot j
+			// and must be visited as the next vertex (Algorithm 1 line 14).
+			if performed < vLen0 {
+				j++
+			}
+		}
+		prevRuns = append(prevRuns, runsOfRow(row))
+	}
+}
+
+// shrinkAndSpillFromEdge updates the run list after the cell LEFT of the
+// edge-touching run j moved one site into it: run j loses its first site;
+// the freed site appears just before the cell, extending the preceding run
+// or creating one.
+// shrinkAndSpill updates the mirrored run list after the cell right of run
+// j moved one site toward it: run j loses its last site; the freed site
+// appears just past the cell, extending the following run or creating one.
+func shrinkAndSpill(cur []freeRun, j, cellWidth int) []freeRun {
+	spillAt := cur[j].start + cur[j].length + cellWidth - 1
+	cur[j].length--
+	if j+1 < len(cur) && cur[j+1].start == spillAt+1 {
+		cur[j+1].start--
+		cur[j+1].length++
+	} else {
+		cur = append(cur, freeRun{})
+		copy(cur[j+2:], cur[j+1:])
+		cur[j+1] = freeRun{start: spillAt, length: 1}
+	}
+	if cur[j].length == 0 {
+		cur = append(cur[:j], cur[j+1:]...)
+	}
+	return cur
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/place"
+	"gdsiiguard/internal/sdc"
+	"gdsiiguard/internal/security"
+)
+
+// buildDesign creates chains of INVs ending in security-critical DFFs.
+func buildDesign(t testing.TB, chains, stages int, util float64, seed int64) *layout.Layout {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl := netlist.New("core_t", lib)
+	clkPort, _ := nl.AddPort("clk", netlist.In)
+	clkNet, _ := nl.AddNet("clk")
+	clkNet.IsClock = true
+	_ = nl.ConnectPort(clkPort, clkNet)
+	for c := 0; c < chains; c++ {
+		in, _ := nl.AddPort(fmt.Sprintf("i%d", c), netlist.In)
+		prev, _ := nl.AddNet(fmt.Sprintf("pi%d", c))
+		_ = nl.ConnectPort(in, prev)
+		for s := 0; s < stages; s++ {
+			g, err := nl.AddInstance(fmt.Sprintf("c%dg%d", c, s), "INV_X1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			nx, _ := nl.AddNet(fmt.Sprintf("c%dn%d", c, s))
+			_ = nl.Connect(g, "A", prev)
+			_ = nl.Connect(g, "ZN", nx)
+			prev = nx
+		}
+		ff, _ := nl.AddInstance(fmt.Sprintf("key_reg%d", c), "DFF_X1")
+		ff.SecurityCritical = true
+		q, _ := nl.AddNet(fmt.Sprintf("q%d", c))
+		_ = nl.Connect(ff, "D", prev)
+		_ = nl.Connect(ff, "CK", clkNet)
+		_ = nl.Connect(ff, "Q", q)
+		out, _ := nl.AddPort(fmt.Sprintf("o%d", c), netlist.Out)
+		_ = nl.ConnectPort(out, q)
+	}
+	l, err := place.Global(nl, place.GlobalOptions{TargetUtil: util, RefinePasses: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func flowConfig(periodNS float64) FlowConfig {
+	c, _ := sdc.ParseString(fmt.Sprintf("create_clock -name clk -period %g [get_ports clk]\n", periodNS))
+	return FlowConfig{Constraints: c, Seed: 1}
+}
+
+func TestSpaceSizeMatchesPaper(t *testing.T) {
+	if got := SpaceSize(10); got != 944784 {
+		t.Errorf("SpaceSize(10) = %d, want 944784 (≈945k, Table I)", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	k := 10
+	good := DefaultParams(k)
+	if err := good.Validate(k); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+	bad := good.Clone()
+	bad.Op = "GA"
+	if err := bad.Validate(k); err == nil {
+		t.Error("bad op accepted")
+	}
+	bad = good.Clone()
+	bad.Op = LDA
+	bad.LDAGridN = 7
+	if err := bad.Validate(k); err == nil {
+		t.Error("bad grid accepted")
+	}
+	bad = good.Clone()
+	bad.ScaleM[3] = 1.3
+	if err := bad.Validate(k); err == nil {
+		t.Error("bad scale accepted")
+	}
+	bad = good.Clone()
+	bad.ScaleM = bad.ScaleM[:5]
+	if err := bad.Validate(k); err == nil {
+		t.Error("short scale vector accepted")
+	}
+}
+
+func TestRandomParamsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := RandomParams(10, rng)
+		if err := p.Validate(10); err != nil {
+			t.Fatalf("random params invalid: %v", err)
+		}
+	}
+}
+
+func TestParamsKeyIgnoresInactiveLDAGenes(t *testing.T) {
+	a := DefaultParams(10)
+	b := DefaultParams(10)
+	b.LDAGridN, b.LDAIters = 32, 3
+	if a.Key() != b.Key() {
+		t.Error("CS keys should ignore LDA genes")
+	}
+	b.Op = LDA
+	if a.Key() == b.Key() {
+		t.Error("CS and LDA keys should differ")
+	}
+}
+
+func TestCellShiftReducesExploitableRegions(t *testing.T) {
+	l := buildDesign(t, 6, 25, 0.55, 3)
+	p := security.Params{ThreshER: 20}
+	before, err := security.Assess(l, nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.ERSites == 0 {
+		t.Skip("baseline has no exploitable regions")
+	}
+	Preprocess(l)
+	res := CellShift(l, 20)
+	if res.Shifts == 0 {
+		t.Fatal("no shifts performed")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("layout invalid after CS: %v", err)
+	}
+	after, err := security.Assess(l, nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ERSites >= before.ERSites {
+		t.Errorf("ERSites did not drop: %d -> %d", before.ERSites, after.ERSites)
+	}
+	// Free sites are conserved (CS only moves cells).
+	if after.FreeSites != before.FreeSites {
+		t.Errorf("free sites changed: %d -> %d", before.FreeSites, after.FreeSites)
+	}
+}
+
+func TestCellShiftKeepsFixedCells(t *testing.T) {
+	l := buildDesign(t, 4, 15, 0.5, 5)
+	Preprocess(l)
+	want := map[string]layout.Placement{}
+	for _, in := range l.Netlist.CriticalInsts() {
+		want[in.Name] = l.PlacementOf(in)
+	}
+	CellShift(l, 20)
+	for name, p := range want {
+		if got := l.PlacementOf(l.Netlist.Instance(name)); got != p {
+			t.Errorf("critical cell %s moved: %+v -> %+v", name, p, got)
+		}
+	}
+}
+
+func TestCellShiftSecondRunDoesNotRegress(t *testing.T) {
+	// Re-running CS may keep rearranging (the two directional passes work
+	// against each other at the margins) but must not undo the security
+	// gain.
+	l := buildDesign(t, 5, 20, 0.55, 9)
+	Preprocess(l)
+	CellShift(l, 20)
+	p := security.Params{ThreshER: 20}
+	after1, err := security.Assess(l, nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CellShift(l, 20)
+	after2, err := security.Assess(l, nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after2.ERSites > after1.ERSites+after1.ERSites/5+5 {
+		t.Errorf("second CS run regressed ERSites: %d -> %d", after1.ERSites, after2.ERSites)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLDARespectsFixedAndValid(t *testing.T) {
+	l := buildDesign(t, 6, 20, 0.5, 11)
+	Preprocess(l)
+	want := map[string]layout.Placement{}
+	for _, in := range l.Netlist.CriticalInsts() {
+		want[in.Name] = l.PlacementOf(in)
+	}
+	res := LocalDensityAdjust(l, 4, 2, 1, nil)
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("layout invalid after LDA: %v", err)
+	}
+	for name, p := range want {
+		if got := l.PlacementOf(l.Netlist.Instance(name)); got != p {
+			t.Errorf("critical cell %s moved", name)
+		}
+	}
+	if len(l.Blockages) != 0 {
+		t.Error("LDA left blockages behind")
+	}
+}
+
+func TestLDAIncreasesDensityNearAssets(t *testing.T) {
+	l := buildDesign(t, 6, 20, 0.5, 13)
+	Preprocess(l)
+	gridN := 4
+	// Average density of asset-holding tiles, before vs after.
+	densityNearAssets := func() float64 {
+		counts := assetCounts(l, gridN)
+		rowsPer := (l.NumRows + gridN - 1) / gridN
+		sitesPer := (l.SitesPerRow + gridN - 1) / gridN
+		sum, n := 0.0, 0
+		for gi := 0; gi < gridN; gi++ {
+			for gj := 0; gj < gridN; gj++ {
+				if counts[gi][gj] > 0 {
+					sum += l.RegionDensity(gi*rowsPer, (gi+1)*rowsPer, gj*sitesPer, (gj+1)*sitesPer)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	before := densityNearAssets()
+	LocalDensityAdjust(l, gridN, 2, 1, nil)
+	after := densityNearAssets()
+	if after < before-0.02 {
+		t.Errorf("density near assets dropped: %g -> %g", before, after)
+	}
+}
+
+func TestFlowRunImprovesSecurity(t *testing.T) {
+	l := buildDesign(t, 6, 25, 0.55, 17)
+	base, err := EvalBaseline(l, flowConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Metrics.Security != 1.0 {
+		t.Errorf("baseline security score = %g", base.Metrics.Security)
+	}
+	if base.Assessment.ERSites == 0 {
+		t.Skip("no exploitable regions in baseline")
+	}
+	res, err := Run(base, DefaultParams(l.Lib().NumLayers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Security >= 1.0 {
+		t.Errorf("security not improved: %g", res.Metrics.Security)
+	}
+	if err := res.Layout.Validate(); err != nil {
+		t.Fatalf("result layout invalid: %v", err)
+	}
+	// Baseline untouched.
+	if err := base.Layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range base.Layout.Netlist.CriticalInsts() {
+		if in.Fixed {
+			t.Error("Run mutated the baseline netlist (Fixed flag)")
+			break
+		}
+	}
+}
+
+func TestFlowRunLDAPath(t *testing.T) {
+	l := buildDesign(t, 6, 20, 0.5, 19)
+	base, err := EvalBaseline(l, flowConfig(1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(l.Lib().NumLayers())
+	p.Op = LDA
+	p.LDAGridN = 4
+	p.LDAIters = 2
+	res, err := Run(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LDAResult.Iterations != 2 {
+		t.Errorf("LDA telemetry = %+v", res.LDAResult)
+	}
+	// On a loose-timing toy design LDA is the wrong operator (the paper
+	// prescribes CS there, and the GA learns it); only sanity of the
+	// metrics is asserted here.
+	if res.Metrics.Security < 0 || res.Metrics.PowerMW <= 0 {
+		t.Errorf("implausible metrics: %+v", res.Metrics)
+	}
+	if res.LDAResult.Moved == 0 {
+		t.Error("LDA moved nothing")
+	}
+}
+
+func TestFlowAppliesNDR(t *testing.T) {
+	l := buildDesign(t, 4, 15, 0.55, 23)
+	base, err := EvalBaseline(l, flowConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(l.Lib().NumLayers())
+	for i := range p.ScaleM {
+		p.ScaleM[i] = 1.5
+	}
+	res, err := Run(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Layout.NDR.Scale {
+		if s != 1.5 {
+			t.Fatalf("NDR scale[%d] = %g", i, s)
+		}
+	}
+	// RWS consumes tracks: fewer free tracks than an unscaled flow run.
+	unscaled, err := Run(base, DefaultParams(l.Lib().NumLayers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routes.TotalFreeTracks() >= unscaled.Routes.TotalFreeTracks() {
+		t.Error("RWS did not consume extra tracks")
+	}
+}
+
+func TestFlowDeterministic(t *testing.T) {
+	l := buildDesign(t, 5, 18, 0.55, 29)
+	base, err := EvalBaseline(l, flowConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(l.Lib().NumLayers())
+	r1, err := Run(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics.Security != r2.Metrics.Security || r1.Metrics.TNS != r2.Metrics.TNS ||
+		r1.Metrics.PowerMW != r2.Metrics.PowerMW || r1.Metrics.DRC != r2.Metrics.DRC {
+		t.Errorf("nondeterministic flow: %+v vs %+v", r1.Metrics, r2.Metrics)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	l := buildDesign(t, 3, 10, 0.55, 31)
+	base, err := EvalBaseline(l, flowConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics{DRC: 5, PowerMW: base.Metrics.PowerMW * 1.1}
+	if !Feasible(m, base, 20, 1.2) {
+		t.Error("feasible metrics rejected")
+	}
+	m.DRC = 25
+	if Feasible(m, base, 20, 1.2) {
+		t.Error("DRC violation accepted")
+	}
+	m.DRC = 5
+	m.PowerMW = base.Metrics.PowerMW * 1.5
+	if Feasible(m, base, 20, 1.2) {
+		t.Error("power violation accepted")
+	}
+}
+
+func TestPreprocessCounts(t *testing.T) {
+	l := buildDesign(t, 4, 10, 0.55, 37)
+	if n := Preprocess(l); n != 4 {
+		t.Errorf("Preprocess locked %d, want 4", n)
+	}
+	if n := Preprocess(l); n != 0 {
+		t.Errorf("second Preprocess locked %d, want 0", n)
+	}
+}
+
+func TestRunRejectsInvalidParams(t *testing.T) {
+	l := buildDesign(t, 3, 10, 0.55, 41)
+	base, err := EvalBaseline(l, flowConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams(l.Lib().NumLayers())
+	bad.ScaleM[0] = 2.0
+	if _, err := Run(base, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func BenchmarkFlowRunCS(b *testing.B) {
+	l := buildDesign(b, 8, 30, 0.55, 43)
+	base, err := EvalBaseline(l, flowConfig(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams(l.Lib().NumLayers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(base, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowRunLDA(b *testing.B) {
+	l := buildDesign(b, 8, 30, 0.55, 47)
+	base, err := EvalBaseline(l, flowConfig(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams(l.Lib().NumLayers())
+	p.Op = LDA
+	p.LDAGridN = 8
+	p.LDAIters = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(base, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"sort"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+)
+
+// The dicing stage finishes what the row-wise shifts cannot: Algorithm 1
+// provably reduces every component below Thresh_ER except the mass that
+// accumulates against each pass's blind spots (core edges and fixed
+// security-critical cells). Dicing splits those residual regions directly
+// with targeted ECO cell relocations, in the same spirit as the operator:
+//
+//   - a "safe donor" is a movable cell whose departure cannot itself create
+//     an exploitable region (the joined gap stays below threshold);
+//   - a "split donor" borders the target region itself, so moving it into
+//     the region's interior re-shapes the region, cutting it apart.
+//
+// Every move is validated against the global exploitable mass and reverted
+// if it does not strictly help, so the stage monotonically converges.
+
+// fullRun is one free run with its component id over the whole layout.
+type fullRun struct {
+	row, start, length int
+	comp               int
+}
+
+// fullComponents labels every free run of the layout with a component id
+// and returns the runs plus per-component weights.
+func fullComponents(l *layout.Layout) ([]fullRun, []int) {
+	var runs []fullRun
+	rowIdx := make([][]int, l.NumRows)
+	for r := 0; r < l.NumRows; r++ {
+		for _, run := range l.FreeRuns(r) {
+			rowIdx[r] = append(rowIdx[r], len(runs))
+			runs = append(runs, fullRun{row: r, start: run.Start, length: run.Len})
+		}
+	}
+	parent := make([]int, len(runs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for r := 1; r < l.NumRows; r++ {
+		lo, hi := rowIdx[r-1], rowIdx[r]
+		i, j := 0, 0
+		for i < len(lo) && j < len(hi) {
+			a, b := runs[lo[i]], runs[hi[j]]
+			if a.start < b.start+b.length && b.start < a.start+a.length {
+				ra, rb := find(lo[i]), find(hi[j])
+				if ra != rb {
+					parent[ra] = rb
+				}
+			}
+			if a.start+a.length < b.start+b.length {
+				i++
+			} else {
+				j++
+			}
+		}
+	}
+	weights := make([]int, len(runs))
+	for i := range runs {
+		runs[i].comp = find(i)
+		weights[runs[i].comp] += runs[i].length
+	}
+	return runs, weights
+}
+
+// exploitablePotential returns the total exploitable mass and a quadratic
+// potential Φ = Σ w² over exploitable components. Φ strictly decreases when
+// a region shrinks OR splits, and increases when regions merge, so it is
+// the dicing stage's progress measure.
+func exploitablePotential(weights []int, threshER int) (mass int, phi float64) {
+	for _, w := range weights {
+		if w >= threshER {
+			mass += w
+			phi += float64(w) * float64(w)
+		}
+	}
+	return mass, phi
+}
+
+// diceResidual splits residual exploitable regions by relocating donor
+// cells into their longest runs, keeping only moves that strictly reduce
+// the global exploitable mass. It returns the number of cells relocated.
+func diceResidual(l *layout.Layout, threshER, maxMoves int) int {
+	moves := 0
+	skipped := map[[2]int]bool{} // (row,start) of a given-up target run
+	// Attempts (including rejected probes) are bounded separately from
+	// accepted moves so pathological landscapes cannot stall the flow.
+	for attempts := 0; moves < maxMoves && attempts < 2*maxMoves; attempts++ {
+		runs, weights := fullComponents(l)
+		mass, phi := exploitablePotential(weights, threshER)
+		if mass == 0 {
+			return moves
+		}
+		target := pickTarget(runs, weights, threshER, skipped)
+		if target == nil {
+			return moves
+		}
+		cands := donorCandidates(l, runs, weights, threshER, target, 4)
+		accepted := false
+		for _, donor := range cands {
+			old := l.PlacementOf(donor)
+			at := splitPosition(target, donor.Master.WidthSites, threshER)
+			if at < 0 {
+				break
+			}
+			if err := l.Place(donor, target.row, at); err != nil {
+				continue
+			}
+			_, w2 := fullComponents(l)
+			_, phi2 := exploitablePotential(w2, threshER)
+			if phi2 < phi {
+				moves++
+				accepted = true
+				// Fresh geometry: previously hopeless targets may now be
+				// splittable.
+				skipped = map[[2]int]bool{}
+				break
+			}
+			// No improvement: revert.
+			if err := l.Place(donor, old.Row, old.Site); err != nil {
+				// The origin should always be free again; if not, keep the
+				// move rather than corrupting state.
+				moves++
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			skipped[[2]int{target.row, target.start}] = true
+		}
+	}
+	return moves
+}
+
+// pickTarget returns the longest run of the heaviest exploitable component
+// that has not been given up on.
+func pickTarget(runs []fullRun, weights []int, threshER int, skipped map[[2]int]bool) *fullRun {
+	var best *fullRun
+	bestW := 0
+	for i := range runs {
+		r := &runs[i]
+		w := weights[r.comp]
+		if w < threshER || r.length < 3 || skipped[[2]int{r.row, r.start}] {
+			continue
+		}
+		if best == nil || w > bestW || (w == bestW && r.length > best.length) {
+			best, bestW = r, w
+		}
+	}
+	return best
+}
+
+// splitPosition places a donor of the given width inside the run so the
+// left fragment stays below threshold; -1 when the run cannot host it.
+func splitPosition(target *fullRun, width, threshER int) int {
+	if width >= target.length {
+		return -1
+	}
+	at := target.start + threshER - 1
+	if at+width > target.start+target.length {
+		at = target.start + target.length/2 - width/2
+	}
+	if at < target.start {
+		at = target.start
+	}
+	if at+width > target.start+target.length {
+		return -1
+	}
+	return at
+}
+
+// donorCandidates collects up to n donor cells: safe donors (vacating them
+// creates only sub-threshold gaps) and split donors (cells bordering the
+// target component), nearest to the target first.
+func donorCandidates(l *layout.Layout, runs []fullRun, weights []int, threshER int, target *fullRun, n int) []*netlist.Instance {
+	byRow := map[int][]fullRun{}
+	for _, r := range runs {
+		byRow[r.row] = append(byRow[r.row], r)
+	}
+	compAt := func(row, site int) (int, bool) {
+		rr := byRow[row]
+		i := sort.Search(len(rr), func(k int) bool { return rr[k].start+rr[k].length > site })
+		if i < len(rr) && site >= rr[i].start {
+			return rr[i].comp, true
+		}
+		return 0, false
+	}
+	type cand struct {
+		in   *netlist.Instance
+		dist int
+		tier int // 0 safe, 1 split, 2 last-resort
+	}
+	var cands []cand
+	// Donor scan is restricted to a row window around the target: distant
+	// donors would pay too much wirelength anyway.
+	const donorRowWindow = 14
+	seenInst := map[*netlist.Instance]bool{}
+	var pool []*netlist.Instance
+	for r := target.row - donorRowWindow; r <= target.row+donorRowWindow; r++ {
+		if r < 0 || r >= l.NumRows {
+			continue
+		}
+		for _, in := range l.RowCells(r) {
+			if !seenInst[in] {
+				seenInst[in] = true
+				pool = append(pool, in)
+			}
+		}
+	}
+	for _, in := range pool {
+		if in.Fixed || !in.Master.IsFunctional() {
+			continue
+		}
+		p := l.PlacementOf(in)
+		if !p.Placed || in.Master.WidthSites >= target.length {
+			continue
+		}
+		joint := in.Master.WidthSites
+		seen := map[int]bool{}
+		touches := false
+		add := func(c int) {
+			if !seen[c] {
+				seen[c] = true
+				joint += weights[c]
+				if c == target.comp {
+					touches = true
+				}
+			}
+		}
+		if c, ok := compAt(p.Row, p.Site-1); ok {
+			add(c)
+		}
+		if c, ok := compAt(p.Row, p.Site+in.Master.WidthSites); ok {
+			add(c)
+		}
+		for _, r := range []int{p.Row - 1, p.Row + 1} {
+			for _, run := range byRow[r] {
+				if run.start < p.Site+in.Master.WidthSites && p.Site < run.start+run.length {
+					add(run.comp)
+				}
+			}
+		}
+		tier := 2
+		switch {
+		case joint < threshER:
+			tier = 0 // safe: vacancy stays sub-threshold
+		case touches:
+			tier = 1 // split: vacancy rejoins the target region
+		}
+		d := abs(p.Row-target.row)*8 + abs(p.Site-target.start)
+		cands = append(cands, cand{in, d, tier})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].tier != cands[j].tier {
+			return cands[i].tier < cands[j].tier
+		}
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].in.ID < cands[j].in.ID
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]*netlist.Instance, len(cands))
+	for i, c := range cands {
+		out[i] = c.in
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/opencell45"
+)
+
+// openLayout builds a layout with one big free region and a few movable
+// cells clustered at the left edge.
+func openLayout(t *testing.T, rows, sites, nCells int) *layout.Layout {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl := netlist.New("dice", lib)
+	clk, _ := nl.AddNet("clk")
+	clk.IsClock = true
+	p, _ := nl.AddPort("clk", netlist.In)
+	_ = nl.ConnectPort(p, clk)
+	l, err := layout.New(nl, rows, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nCells; i++ {
+		inv, err := nl.AddInstance(names(i), "INV_X1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := nl.AddNet(names(i) + "_a")
+		pa, _ := nl.AddPort(names(i)+"_pa", netlist.In)
+		_ = nl.ConnectPort(pa, a)
+		z, _ := nl.AddNet(names(i) + "_z")
+		pz, _ := nl.AddPort(names(i)+"_pz", netlist.Out)
+		_ = nl.ConnectPort(pz, z)
+		_ = nl.Connect(inv, "A", a)
+		_ = nl.Connect(inv, "ZN", z)
+		if err := l.Place(inv, i%rows, (i/rows)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.SpreadPorts()
+	return l
+}
+
+func names(i int) string { return "c" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestFullComponentsLabeling(t *testing.T) {
+	l := openLayout(t, 3, 40, 3) // cells at (0,0),(1,0),(2,0), rest free
+	runs, weights := fullComponents(l)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	// All three right-side runs are vertically connected: one component.
+	comp := runs[0].comp
+	total := 0
+	for _, r := range runs {
+		if r.comp != comp {
+			t.Errorf("run %+v in different component", r)
+		}
+		total += r.length
+	}
+	if weights[comp] != total {
+		t.Errorf("component weight %d, want %d", weights[comp], total)
+	}
+	if total != 3*40-3*2 {
+		t.Errorf("free sites = %d", total)
+	}
+}
+
+func TestExploitablePotential(t *testing.T) {
+	weights := []int{25, 5, 30, 0}
+	mass, phi := exploitablePotential(weights, 20)
+	if mass != 55 {
+		t.Errorf("mass = %d, want 55", mass)
+	}
+	if phi != 25*25+30*30 {
+		t.Errorf("phi = %g", phi)
+	}
+	mass, phi = exploitablePotential([]int{5, 19}, 20)
+	if mass != 0 || phi != 0 {
+		t.Errorf("sub-threshold mass/phi = %d/%g", mass, phi)
+	}
+}
+
+func TestDiceResidualReducesMass(t *testing.T) {
+	l := openLayout(t, 4, 60, 8)
+	_, w0 := fullComponents(l)
+	m0, _ := exploitablePotential(w0, 20)
+	if m0 == 0 {
+		t.Skip("no exploitable mass to dice")
+	}
+	moves := diceResidual(l, 20, 50)
+	_, w1 := fullComponents(l)
+	m1, _ := exploitablePotential(w1, 20)
+	if moves == 0 {
+		t.Fatal("no dice moves")
+	}
+	if m1 >= m0 {
+		t.Errorf("mass did not drop: %d -> %d", m0, m1)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("layout invalid after dicing: %v", err)
+	}
+}
+
+func TestDiceRespectsBudgetAndFixed(t *testing.T) {
+	l := openLayout(t, 4, 60, 8)
+	for _, in := range l.Netlist.Insts {
+		in.Fixed = true
+	}
+	if moves := diceResidual(l, 20, 50); moves != 0 {
+		t.Errorf("dice moved %d fixed cells", moves)
+	}
+	for _, in := range l.Netlist.Insts {
+		in.Fixed = false
+	}
+	if moves := diceResidual(l, 20, 2); moves > 2 {
+		t.Errorf("dice exceeded budget: %d", moves)
+	}
+}
+
+func TestSplitPosition(t *testing.T) {
+	run := &fullRun{row: 0, start: 10, length: 50}
+	at := splitPosition(run, 3, 20)
+	if at != 10+19 {
+		t.Errorf("at = %d, want 29", at)
+	}
+	// Donor wider than the run: refused.
+	if at := splitPosition(&fullRun{start: 0, length: 2}, 3, 20); at != -1 {
+		t.Errorf("wide donor placed at %d", at)
+	}
+	// Short run: centered.
+	at = splitPosition(&fullRun{start: 0, length: 10}, 2, 20)
+	if at < 0 || at+2 > 10 {
+		t.Errorf("centered at = %d", at)
+	}
+}
+
+func TestExploitableMassMatchesComponents(t *testing.T) {
+	l := openLayout(t, 3, 40, 3)
+	_, weights := fullComponents(l)
+	mass, _ := exploitablePotential(weights, 20)
+	if got := exploitableMass(l, 20); got != mass {
+		t.Errorf("exploitableMass = %d, fullComponents mass = %d", got, mass)
+	}
+}
+
+func TestShrinkAndSpill(t *testing.T) {
+	// v=[0,5), cell width 2 at sites 5-6, next run [7,10).
+	cur := []freeRun{{0, 5}, {7, 3}}
+	out := shrinkAndSpill(cur, 0, 2)
+	// v loses a site; spill at 6 merges with [7,3) -> [6,4).
+	if len(out) != 2 || out[0] != (freeRun{0, 4}) || out[1] != (freeRun{6, 4}) {
+		t.Errorf("out = %+v", out)
+	}
+	// No adjacent next run: a new 1-site run appears.
+	cur = []freeRun{{0, 5}, {20, 3}}
+	out = shrinkAndSpill(cur, 0, 2)
+	if len(out) != 3 || out[1] != (freeRun{6, 1}) {
+		t.Errorf("out = %+v", out)
+	}
+	// Vertex vanishes; its spill (site 2) merges with the adjacent run
+	// [3,5) into [2,5).
+	cur = []freeRun{{0, 1}, {3, 2}}
+	out = shrinkAndSpill(cur, 0, 2)
+	if len(out) != 1 || out[0] != (freeRun{2, 3}) {
+		t.Errorf("vanish out = %+v", out)
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gdsiiguard/internal/drc"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/power"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/sdc"
+	"gdsiiguard/internal/security"
+	"gdsiiguard/internal/sta"
+)
+
+// FlowConfig holds the design-independent configuration of the flow.
+type FlowConfig struct {
+	// Constraints are the design's timing constraints (required).
+	Constraints *sdc.Constraints
+	// Security holds Thresh_ER and the Trojan model (default:
+	// security.DefaultParams).
+	Security security.Params
+	// Alpha weighs ERsites vs ERtracks in the security score (paper: 0.5).
+	Alpha float64
+	// RouteOpts configures the global router.
+	RouteOpts route.Options
+	// Activity is the switching activity for power analysis.
+	Activity float64
+	// Seed drives the flow's randomized tie-breaking.
+	Seed int64
+}
+
+// normalized fills defaults.
+func (c FlowConfig) normalized() FlowConfig {
+	if c.Security.ThreshER == 0 {
+		c.Security = security.DefaultParams()
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	return c
+}
+
+// Metrics are the post-design metrics of one evaluated layout (§II-C).
+type Metrics struct {
+	// Security is α·ERsites/ERsites_base + (1−α)·ERtracks/ERtracks_base.
+	// Lower is more secure; the baseline scores 1.0 by construction.
+	Security float64
+	// ERSites and ERTracks are the raw exploitable-region totals.
+	ERSites  int
+	ERTracks float64
+	// TNS and WNS in ps (TNS ≤ 0).
+	TNS, WNS float64
+	// PowerMW is total power in mW.
+	PowerMW float64
+	// DRC is the design-rule violation count.
+	DRC int
+	// WirelengthDBU is total routed wirelength.
+	WirelengthDBU int64
+	// Runtime is the wall time of the evaluation.
+	Runtime time.Duration
+}
+
+// Baseline is the evaluated original design L_base that optimized layouts
+// are normalized against.
+type Baseline struct {
+	Layout     *layout.Layout
+	Routes     *route.Result
+	Timing     *sta.Result
+	Assessment *security.Assessment
+	Metrics    Metrics
+	Config     FlowConfig
+}
+
+// EvalBaseline routes and analyzes the baseline layout and computes its
+// security assessment. The baseline layout itself is not modified.
+func EvalBaseline(l *layout.Layout, cfg FlowConfig) (*Baseline, error) {
+	cfg = cfg.normalized()
+	start := time.Now()
+	routes, err := route.Route(l, cfg.RouteOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline routing: %w", err)
+	}
+	timing, err := sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline timing: %w", err)
+	}
+	pw, err := power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline power: %w", err)
+	}
+	assess, err := security.Assess(l, routes, timing, cfg.Security)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline security: %w", err)
+	}
+	checks := drc.Check(l, routes)
+	b := &Baseline{
+		Layout:     l,
+		Routes:     routes,
+		Timing:     timing,
+		Assessment: assess,
+		Config:     cfg,
+		Metrics: Metrics{
+			Security:      1.0,
+			ERSites:       assess.ERSites,
+			ERTracks:      assess.ERTracks,
+			TNS:           timing.TNS,
+			WNS:           timing.WNS,
+			PowerMW:       pw.TotalMW,
+			DRC:           checks.Violations,
+			WirelengthDBU: routes.TotalWL,
+			Runtime:       time.Since(start),
+		},
+	}
+	return b, nil
+}
+
+// Result is one hardened layout with its metrics.
+type Result struct {
+	Layout     *layout.Layout
+	Routes     *route.Result
+	Timing     *sta.Result
+	Assessment *security.Assessment
+	Metrics    Metrics
+	Params     Params
+	// CS / LDA operator telemetry (whichever ran).
+	CSResult  CellShiftResult
+	LDAResult LDAResult
+}
+
+// Preprocess locks every security-critical instance so subsequent ECO
+// operators cannot remove or displace it (the flow's first step).
+func Preprocess(l *layout.Layout) int {
+	n := 0
+	for _, in := range l.Netlist.CriticalInsts() {
+		if !in.Fixed {
+			in.Fixed = true
+			n++
+		}
+	}
+	return n
+}
+
+// Run applies the GDSII-Guard flow f(L_base; x) for one parameter vector:
+// clone, preprocess, the selected anti-Trojan ECO placement operator,
+// Routing Width Scaling, ECO routing, then metric extraction. The baseline
+// is never modified.
+func Run(base *Baseline, p Params) (*Result, error) {
+	cfg := base.Config
+	if err := p.Validate(base.Layout.Lib().NumLayers()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	l := base.Layout.Clone()
+	Preprocess(l)
+
+	res := &Result{Layout: l, Params: p.Clone()}
+	// Pin near-critical cells for the duration of the operator so neither
+	// ECO placement nor cell shifting disturbs the critical paths (the
+	// operators are timing-driven).
+	unpin := pinCritical(l, base.Timing, slackMarginPS)
+	switch p.Op {
+	case CS:
+		res.CSResult = CellShift(l, cfg.Security.ThreshER)
+	case LDA:
+		res.LDAResult = LocalDensityAdjust(l, p.LDAGridN, p.LDAIters, cfg.Seed, base.Timing)
+	}
+	unpin()
+
+	// Routing Width Scaling: install the NDR, then (re-)route everything
+	// under it.
+	copy(l.NDR.Scale, p.ScaleM)
+	if err := Evaluate(l, base, res); err != nil {
+		return nil, err
+	}
+	res.Metrics.Runtime = time.Since(start)
+	return res, nil
+}
+
+// Evaluate routes the (already transformed) layout and fills the result's
+// routes, timing, security assessment and metrics, normalized against the
+// baseline. It is shared between the GDSII-Guard flow and the baseline
+// defenses so every scheme is measured identically.
+func Evaluate(l *layout.Layout, base *Baseline, res *Result) error {
+	cfg := base.Config
+	routes, err := route.Route(l, cfg.RouteOpts)
+	if err != nil {
+		return fmt.Errorf("core: routing: %w", err)
+	}
+	timing, err := sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
+	if err != nil {
+		return fmt.Errorf("core: timing: %w", err)
+	}
+	pw, err := power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
+	if err != nil {
+		return fmt.Errorf("core: power: %w", err)
+	}
+	assess, err := security.Assess(l, routes, timing, cfg.Security)
+	if err != nil {
+		return fmt.Errorf("core: security: %w", err)
+	}
+	checks := drc.Check(l, routes)
+
+	res.Layout = l
+	res.Routes = routes
+	res.Timing = timing
+	res.Assessment = assess
+	res.Metrics = Metrics{
+		Security:      security.Score(assess, base.Assessment, cfg.Alpha),
+		ERSites:       assess.ERSites,
+		ERTracks:      assess.ERTracks,
+		TNS:           timing.TNS,
+		WNS:           timing.WNS,
+		PowerMW:       pw.TotalMW,
+		DRC:           checks.Violations,
+		WirelengthDBU: routes.TotalWL,
+	}
+	return nil
+}
+
+// pinCritical temporarily marks cells with slack below marginPS as Fixed;
+// the returned function releases exactly the cells it pinned. The baseline
+// timing's instance IDs are valid for the clone because Clone preserves
+// ordering.
+func pinCritical(l *layout.Layout, timing *sta.Result, marginPS float64) func() {
+	if timing == nil {
+		return func() {}
+	}
+	var pinned []*netlist.Instance
+	for _, in := range l.Netlist.Insts {
+		if in.Fixed || !in.Master.IsFunctional() {
+			continue
+		}
+		if sl := timing.InstSlack(in); !math.IsInf(sl, 1) && sl < marginPS {
+			in.Fixed = true
+			pinned = append(pinned, in)
+		}
+	}
+	return func() {
+		for _, in := range pinned {
+			in.Fixed = false
+		}
+	}
+}
+
+// Feasible reports whether the metrics meet the hard constraints of §II-C:
+// DRC_viol ≤ nDRC and Power ≤ βPower × baseline power.
+func Feasible(m Metrics, base *Baseline, nDRC int, betaPower float64) bool {
+	return m.DRC <= nDRC && m.PowerMW <= betaPower*base.Metrics.PowerMW
+}

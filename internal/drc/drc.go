@@ -1,0 +1,108 @@
+// Package drc is the design-rule check engine. With a coarse global-routing
+// model, the dominant rule classes reduce to:
+//
+//   - shorts/spacing from routing over-subscription: every GCell whose track
+//     usage exceeds capacity on some layer produces violations;
+//   - wide-wire spacing under non-default rules: when a scaled wire width
+//     eats into the inter-track spacing budget of its layer, congested
+//     GCells on that layer produce violations proportional to how crowded
+//     they are;
+//   - placement legality (overlaps, off-core cells), normally guaranteed by
+//     the layout database but re-checked defensively.
+//
+// The violation count feeds the N_DRC hard constraint of the optimizer.
+package drc
+
+import (
+	"math"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/route"
+)
+
+// Result is a DRC report.
+type Result struct {
+	// Violations is the total count, the paper's #DRC column.
+	Violations int
+	// Overflow counts routing over-subscription violations.
+	Overflow int
+	// WideWireSpacing counts NDR-induced spacing violations.
+	WideWireSpacing int
+	// Placement counts placement-legality violations.
+	Placement int
+}
+
+// Check runs all rule classes over the layout and its routing.
+func Check(l *layout.Layout, routes *route.Result) Result {
+	var res Result
+	res.Placement = checkPlacement(l)
+	if routes != nil {
+		res.Overflow = checkOverflow(routes)
+		res.WideWireSpacing = checkWideWireSpacing(l, routes)
+	}
+	res.Violations = res.Placement + res.Overflow + res.WideWireSpacing
+	return res
+}
+
+// checkPlacement re-validates the occupancy grid.
+func checkPlacement(l *layout.Layout) int {
+	if err := l.Validate(); err != nil {
+		return 1
+	}
+	return 0
+}
+
+// DetourHeadroom is the over-subscription a detail router is assumed to
+// absorb by detouring within neighboring GCells; only demand beyond
+// headroom × capacity manifests as shorts/spacing violations. The global
+// routing model books straight pattern routes, so raw usage overstates the
+// final detail-routed demand.
+const DetourHeadroom = 1.8
+
+// checkOverflow counts a violation for every whole track of demand beyond
+// the detour headroom in every (layer, GCell).
+func checkOverflow(routes *route.Result) int {
+	v := 0
+	for li := range routes.Usage {
+		for i := range routes.Usage[li] {
+			if d := routes.Usage[li][i] - DetourHeadroom*routes.Cap[li][i]; d > 0 {
+				v += int(math.Ceil(d))
+			}
+		}
+	}
+	return v
+}
+
+// checkWideWireSpacing flags layers where the scaled wire width exceeds the
+// spacing budget (width·scale > pitch − minSpacing): on such layers,
+// adjacent occupied tracks are too close. The expected number of adjacent
+// pairs in a GCell grows quadratically with its utilization, so violations
+// are counted on GCells above 70% usage.
+func checkWideWireSpacing(l *layout.Layout, routes *route.Result) int {
+	lib := l.Lib()
+	v := 0
+	for metal := 1; metal <= lib.NumLayers(); metal++ {
+		layer := lib.Layer(metal)
+		scale := l.NDR.LayerScale(metal)
+		if scale <= 1.0 {
+			continue
+		}
+		widthScaled := float64(layer.Width) * scale
+		budget := float64(layer.Pitch - layer.Spacing)
+		if widthScaled <= budget {
+			continue // still legal at this width
+		}
+		severity := (widthScaled - budget) / float64(layer.Width)
+		for i, u := range routes.Usage[metal-1] {
+			c := routes.Cap[metal-1][i]
+			if c <= 0 {
+				continue
+			}
+			util := u / c
+			if util > 0.7 {
+				v += int(math.Ceil((util - 0.7) * u * severity))
+			}
+		}
+	}
+	return v
+}

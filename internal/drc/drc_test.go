@@ -1,0 +1,141 @@
+package drc
+
+import (
+	"fmt"
+	"testing"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/place"
+	"gdsiiguard/internal/route"
+)
+
+func mesh(t testing.TB, chains, stages int, util float64) *layout.Layout {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl := netlist.New("d", lib)
+	clkPort, _ := nl.AddPort("clk", netlist.In)
+	clkNet, _ := nl.AddNet("clk")
+	clkNet.IsClock = true
+	_ = nl.ConnectPort(clkPort, clkNet)
+	for c := 0; c < chains; c++ {
+		in, _ := nl.AddPort(fmt.Sprintf("i%d", c), netlist.In)
+		prev, _ := nl.AddNet(fmt.Sprintf("ci%d", c))
+		_ = nl.ConnectPort(in, prev)
+		for s := 0; s < stages; s++ {
+			g, err := nl.AddInstance(fmt.Sprintf("c%dg%d", c, s), "INV_X1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			nx, _ := nl.AddNet(fmt.Sprintf("c%dn%d", c, s))
+			_ = nl.Connect(g, "A", prev)
+			_ = nl.Connect(g, "ZN", nx)
+			prev = nx
+		}
+		ff, _ := nl.AddInstance(fmt.Sprintf("ff%d", c), "DFF_X1")
+		q, _ := nl.AddNet(fmt.Sprintf("q%d", c))
+		_ = nl.Connect(ff, "D", prev)
+		_ = nl.Connect(ff, "CK", clkNet)
+		_ = nl.Connect(ff, "Q", q)
+		out, _ := nl.AddPort(fmt.Sprintf("o%d", c), netlist.Out)
+		_ = nl.ConnectPort(out, q)
+	}
+	l, err := place.Global(nl, place.GlobalOptions{TargetUtil: util, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCleanLayoutHasNoViolations(t *testing.T) {
+	l := mesh(t, 4, 15, 0.5)
+	routes, err := route.Route(l, route.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Check(l, routes)
+	if res.Placement != 0 {
+		t.Errorf("placement violations = %d", res.Placement)
+	}
+	if res.WideWireSpacing != 0 {
+		t.Errorf("wide-wire violations without NDR = %d", res.WideWireSpacing)
+	}
+	if res.Violations != res.Placement+res.Overflow+res.WideWireSpacing {
+		t.Error("total does not sum components")
+	}
+}
+
+func TestCheckWithoutRoutes(t *testing.T) {
+	l := mesh(t, 2, 5, 0.5)
+	res := Check(l, nil)
+	if res.Overflow != 0 || res.WideWireSpacing != 0 {
+		t.Errorf("routeless check = %+v", res)
+	}
+}
+
+func TestNDRSpacingViolationsAppearWhenCongested(t *testing.T) {
+	l := mesh(t, 8, 25, 0.8)
+	// Aggressive scaling on the mid stack, where the pitch budget is tight
+	// (metal4-6: width 140, pitch 280, spacing 140 → any scale > 1.0 eats
+	// the budget).
+	l.NDR.Scale[3] = 1.5
+	l.NDR.Scale[4] = 1.5
+	l.NDR.Scale[5] = 1.5
+	routes, err := route.Route(l, route.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force congestion on metal4: small toy cores route everything on the
+	// low stack, so load the mid layer explicitly.
+	for i := range routes.Usage[3] {
+		routes.Usage[3][i] = routes.Cap[3][i] * 0.95
+	}
+	resNDR := Check(l, routes)
+	if resNDR.WideWireSpacing == 0 {
+		t.Error("over-budget NDR scaling on congested layer produced no violations")
+	}
+
+	// Same congestion without scaling: no wide-wire violations.
+	base := l.Clone()
+	for i := range base.NDR.Scale {
+		base.NDR.Scale[i] = 1.0
+	}
+	resBase := Check(base, routes)
+	if resBase.WideWireSpacing != 0 {
+		t.Errorf("unscaled layout flagged %d wide-wire violations", resBase.WideWireSpacing)
+	}
+}
+
+func TestMildNDRWithinBudgetIsFree(t *testing.T) {
+	l := mesh(t, 4, 10, 0.5)
+	// metal1: width 70, pitch 190, spacing 65 → budget 125; 70·1.5=105 OK.
+	l.NDR.Scale[0] = 1.5
+	routes, err := route.Route(l, route.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Check(l, routes)
+	if res.WideWireSpacing != 0 {
+		t.Errorf("within-budget scaling flagged: %d", res.WideWireSpacing)
+	}
+}
+
+func TestOverflowCounting(t *testing.T) {
+	l := mesh(t, 2, 5, 0.5)
+	routes, err := route.Route(l, route.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force synthetic overflow beyond the detour headroom.
+	routes.Usage[0][0] = DetourHeadroom*routes.Cap[0][0] + 2.4
+	res := Check(l, routes)
+	if res.Overflow != 3 { // ceil(2.4)
+		t.Errorf("overflow = %d, want 3", res.Overflow)
+	}
+	// Demand within headroom is absorbed by detouring.
+	routes.Usage[0][0] = 1.2 * routes.Cap[0][0]
+	if res := Check(l, routes); res.Overflow != 0 {
+		t.Errorf("within-headroom overflow = %d, want 0", res.Overflow)
+	}
+}

@@ -1,0 +1,85 @@
+package gdsii
+
+import (
+	"fmt"
+
+	"gdsiiguard/internal/geom"
+	"gdsiiguard/internal/layout"
+)
+
+// GDSII layer assignments for exported layouts. Cell outlines go on the
+// outline layer of their masters' structures; routed wires go on
+// WireLayerBase+metalIndex; annotations use the label layer.
+const (
+	OutlineLayer  = 1
+	WireLayerBase = 10 // metal i => GDS layer WireLayerBase + i
+	LabelLayer    = 63
+	DieLayer      = 235
+)
+
+// Wire is one routed net segment to export: a centerline polyline on a
+// metal layer (1-based index) with a width in DBU.
+type Wire struct {
+	Metal int
+	Width int64
+	Pts   []geom.Point
+}
+
+// FromLayout converts a placed layout (plus optional routed wires) into a
+// GDSII library: one structure per used master cell holding its outline
+// boundary, and a top structure with the die outline, one SRef per placed
+// instance, a name label per security-critical instance, and one Path per
+// wire segment.
+func FromLayout(l *layout.Layout, wires []Wire) (*Library, error) {
+	lib := NewLibrary(l.Netlist.Name)
+	techLib := l.Lib()
+
+	// Master structures for every used cell type.
+	used := map[string]bool{}
+	for _, in := range l.Netlist.Insts {
+		if !l.PlacementOf(in).Placed || used[in.Master.Name] {
+			continue
+		}
+		used[in.Master.Name] = true
+		s := lib.AddStruct(in.Master.Name)
+		w := int64(in.Master.WidthSites) * techLib.Site.Width
+		h := techLib.Site.Height
+		s.Elements = append(s.Elements, Boundary{
+			Layer: OutlineLayer,
+			XY:    []geom.Point{geom.Pt(0, 0), geom.Pt(w, 0), geom.Pt(w, h), geom.Pt(0, h)},
+		})
+	}
+
+	top := lib.AddStruct(l.Netlist.Name)
+	core := l.CoreRect()
+	top.Elements = append(top.Elements, Boundary{
+		Layer: DieLayer,
+		XY: []geom.Point{
+			core.Lo, geom.Pt(core.Hi.X, core.Lo.Y), core.Hi, geom.Pt(core.Lo.X, core.Hi.Y),
+		},
+	})
+	for _, in := range l.Netlist.Insts {
+		p := l.PlacementOf(in)
+		if !p.Placed {
+			continue
+		}
+		at := l.SiteDBU(p.Row, p.Site)
+		top.Elements = append(top.Elements, SRef{Name: in.Master.Name, At: at})
+		if in.SecurityCritical {
+			top.Elements = append(top.Elements, Text{
+				Layer: LabelLayer, At: at, String: in.Name,
+			})
+		}
+	}
+	for _, w := range wires {
+		if len(w.Pts) < 2 {
+			return nil, fmt.Errorf("gdsii: wire on metal%d with %d points", w.Metal, len(w.Pts))
+		}
+		top.Elements = append(top.Elements, Path{
+			Layer: int16(WireLayerBase + w.Metal),
+			Width: int32(w.Width),
+			XY:    w.Pts,
+		})
+	}
+	return lib, nil
+}

@@ -1,0 +1,133 @@
+package gdsii
+
+import (
+	"bytes"
+	"testing"
+
+	"gdsiiguard/internal/geom"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/verilog"
+)
+
+const toySrc = `
+module toy ( in0, in1, clk, out0 );
+  input in0, in1, clk ;
+  output out0 ;
+  wire n1, n2 ;
+  INV_X1 u1 ( .A(in0), .ZN(n1) );
+  NAND2_X1 u2 ( .A1(n1), .A2(in1), .ZN(n2) );
+  DFF_X1 u3 ( .D(n2), .CK(clk), .Q(out0) );
+endmodule
+`
+
+func exportToy(t *testing.T) (*layout.Layout, *Library) {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl, err := verilog.ParseString(toySrc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Instance("u3").SecurityCritical = true
+	l, _ := layout.New(nl, 4, 40)
+	_ = l.Place(nl.Instance("u1"), 0, 0)
+	_ = l.Place(nl.Instance("u2"), 1, 5)
+	_ = l.Place(nl.Instance("u3"), 2, 10)
+	wires := []Wire{
+		{Metal: 1, Width: 70, Pts: []geom.Point{geom.Pt(0, 700), geom.Pt(1000, 700)}},
+		{Metal: 2, Width: 70, Pts: []geom.Point{geom.Pt(1000, 700), geom.Pt(1000, 2100)}},
+	}
+	g, err := FromLayout(l, wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, g
+}
+
+func TestFromLayoutStructure(t *testing.T) {
+	_, g := exportToy(t)
+	// One struct per used master + top.
+	for _, name := range []string{"INV_X1", "NAND2_X1", "DFF_X1", "toy"} {
+		if g.Struct(name) == nil {
+			t.Errorf("struct %s missing", name)
+		}
+	}
+	top := g.Struct("toy")
+	stats := g.Stats()
+	if stats.SRefs != 3 {
+		t.Errorf("SRefs = %d, want 3", stats.SRefs)
+	}
+	if stats.Paths != 2 {
+		t.Errorf("Paths = %d, want 2", stats.Paths)
+	}
+	// Critical-cell label present.
+	foundLabel := false
+	for _, e := range top.Elements {
+		if txt, ok := e.(Text); ok && txt.String == "u3" {
+			foundLabel = true
+		}
+	}
+	if !foundLabel {
+		t.Error("security-critical label missing")
+	}
+}
+
+func TestFromLayoutSRefPositions(t *testing.T) {
+	l, g := exportToy(t)
+	top := g.Struct("toy")
+	wantU1 := l.SiteDBU(0, 0)
+	found := false
+	for _, e := range top.Elements {
+		if s, ok := e.(SRef); ok && s.Name == "INV_X1" && s.At == wantU1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("u1 SRef at %v missing", wantU1)
+	}
+}
+
+func TestFromLayoutRoundTripsThroughBinary(t *testing.T) {
+	_, g := exportToy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	gs, rs := g.Stats(), got.Stats()
+	if gs.Structs != rs.Structs || gs.Boundaries != rs.Boundaries ||
+		gs.Paths != rs.Paths || gs.SRefs != rs.SRefs || gs.Texts != rs.Texts ||
+		len(gs.LayersUsed) != len(rs.LayersUsed) {
+		t.Errorf("stats changed: %+v vs %+v", rs, gs)
+	}
+}
+
+func TestFromLayoutRejectsBadWire(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl, _ := verilog.ParseString(toySrc, lib)
+	l, _ := layout.New(nl, 4, 40)
+	_, err := FromLayout(l, []Wire{{Metal: 1, Width: 70, Pts: []geom.Point{geom.Pt(0, 0)}}})
+	if err == nil {
+		t.Error("single-point wire accepted")
+	}
+}
+
+func TestFromLayoutSkipsUnplaced(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl, _ := verilog.ParseString(toySrc, lib)
+	l, _ := layout.New(nl, 4, 40)
+	_ = l.Place(nl.Instance("u1"), 0, 0)
+	g, err := FromLayout(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().SRefs != 1 {
+		t.Errorf("SRefs = %d, want 1 (u2/u3 unplaced)", g.Stats().SRefs)
+	}
+	if g.Struct("NAND2_X1") != nil {
+		t.Error("master struct created for unplaced-only cell type")
+	}
+}

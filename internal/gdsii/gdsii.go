@@ -1,0 +1,440 @@
+package gdsii
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gdsiiguard/internal/geom"
+)
+
+// Library is a GDSII stream library: named structures holding geometry.
+type Library struct {
+	Name string
+	// UserUnit is database units per user unit (typically 1e-3: 1 DBU =
+	// 0.001 µm). MeterUnit is meters per database unit (typically 1e-9).
+	UserUnit  float64
+	MeterUnit float64
+	Structs   []*Struct
+
+	byName map[string]*Struct
+}
+
+// NewLibrary returns an empty library with 1nm database units.
+func NewLibrary(name string) *Library {
+	return &Library{
+		Name:      name,
+		UserUnit:  1e-3,
+		MeterUnit: 1e-9,
+		byName:    make(map[string]*Struct),
+	}
+}
+
+// AddStruct creates (or returns the existing) structure with the name.
+func (l *Library) AddStruct(name string) *Struct {
+	if l.byName == nil {
+		l.byName = make(map[string]*Struct)
+	}
+	if s, ok := l.byName[name]; ok {
+		return s
+	}
+	s := &Struct{Name: name}
+	l.Structs = append(l.Structs, s)
+	l.byName[name] = s
+	return s
+}
+
+// Struct returns the named structure, or nil.
+func (l *Library) Struct(name string) *Struct {
+	if l.byName == nil {
+		return nil
+	}
+	return l.byName[name]
+}
+
+// Struct is one GDSII structure (a cell).
+type Struct struct {
+	Name     string
+	Elements []Element
+}
+
+// Element is any geometry element within a structure.
+type Element interface {
+	elem()
+}
+
+// Boundary is a closed polygon on a layer. XY need not repeat the first
+// point; the writer closes the ring.
+type Boundary struct {
+	Layer    int16
+	DataType int16
+	XY       []geom.Point
+}
+
+func (Boundary) elem() {}
+
+// Path is a wire centerline with a width, on a layer.
+type Path struct {
+	Layer    int16
+	DataType int16
+	PathType int16
+	Width    int32
+	XY       []geom.Point
+}
+
+func (Path) elem() {}
+
+// SRef places an instance of another structure.
+type SRef struct {
+	Name string
+	At   geom.Point
+}
+
+func (SRef) elem() {}
+
+// Text is a text label.
+type Text struct {
+	Layer    int16
+	TextType int16
+	At       geom.Point
+	String   string
+}
+
+func (Text) elem() {}
+
+// Write emits the library as a GDSII stream.
+func Write(w io.Writer, lib *Library) error {
+	if err := writeRecord(w, recHEADER, int16Data(600)); err != nil {
+		return err
+	}
+	// Fixed timestamps keep output deterministic.
+	ts := int16Data(2023, 1, 1, 0, 0, 0, 2023, 1, 1, 0, 0, 0)
+	if err := writeRecord(w, recBGNLIB, ts); err != nil {
+		return err
+	}
+	if err := writeRecord(w, recLIBNAME, stringData(lib.Name)); err != nil {
+		return err
+	}
+	units := append(encodeReal8(lib.UserUnit), encodeReal8(lib.MeterUnit)...)
+	if err := writeRecord(w, recUNITS, units); err != nil {
+		return err
+	}
+	for _, s := range lib.Structs {
+		if err := writeStruct(w, s, ts); err != nil {
+			return err
+		}
+	}
+	return writeRecord(w, recENDLIB, nil)
+}
+
+func writeStruct(w io.Writer, s *Struct, ts []byte) error {
+	if err := writeRecord(w, recBGNSTR, ts); err != nil {
+		return err
+	}
+	if err := writeRecord(w, recSTRNAME, stringData(s.Name)); err != nil {
+		return err
+	}
+	for _, e := range s.Elements {
+		if err := writeElement(w, e); err != nil {
+			return err
+		}
+	}
+	return writeRecord(w, recENDSTR, nil)
+}
+
+func writeElement(w io.Writer, e Element) error {
+	emitXY := func(pts []geom.Point) error {
+		vals := make([]int32, 0, 2*len(pts))
+		for _, p := range pts {
+			vals = append(vals, int32(p.X), int32(p.Y))
+		}
+		return writeRecord(w, recXY, int32Data(vals...))
+	}
+	switch el := e.(type) {
+	case Boundary:
+		if len(el.XY) < 3 {
+			return fmt.Errorf("gdsii: boundary with %d points", len(el.XY))
+		}
+		if err := writeRecord(w, recBOUNDARY, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recDATATYPE, int16Data(el.DataType)); err != nil {
+			return err
+		}
+		ring := el.XY
+		if ring[0] != ring[len(ring)-1] {
+			ring = append(append([]geom.Point(nil), ring...), ring[0])
+		}
+		if err := emitXY(ring); err != nil {
+			return err
+		}
+	case Path:
+		if len(el.XY) < 2 {
+			return fmt.Errorf("gdsii: path with %d points", len(el.XY))
+		}
+		if err := writeRecord(w, recPATH, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recDATATYPE, int16Data(el.DataType)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recPATHTYPE, int16Data(el.PathType)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recWIDTH, int32Data(el.Width)); err != nil {
+			return err
+		}
+		if err := emitXY(el.XY); err != nil {
+			return err
+		}
+	case SRef:
+		if err := writeRecord(w, recSREF, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recSNAME, stringData(el.Name)); err != nil {
+			return err
+		}
+		if err := emitXY([]geom.Point{el.At}); err != nil {
+			return err
+		}
+	case Text:
+		if err := writeRecord(w, recTEXT, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recTEXTTYPE, int16Data(el.TextType)); err != nil {
+			return err
+		}
+		if err := emitXY([]geom.Point{el.At}); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recSTRING, stringData(el.String)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("gdsii: unknown element %T", e)
+	}
+	return writeRecord(w, recENDEL, nil)
+}
+
+// Read parses a GDSII stream into a Library.
+func Read(r io.Reader) (*Library, error) {
+	lib := NewLibrary("")
+	var cur *Struct
+	var el *elemBuilder
+	sawHeader := false
+	for {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			return nil, fmt.Errorf("gdsii: missing ENDLIB")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.Type {
+		case recHEADER:
+			sawHeader = true
+		case recBGNLIB, recBGNSTR:
+			if rec.Type == recBGNSTR {
+				cur = &Struct{}
+			}
+		case recLIBNAME:
+			lib.Name = decodeString(rec.Data)
+		case recUNITS:
+			if len(rec.Data) < 16 {
+				return nil, fmt.Errorf("gdsii: short UNITS record")
+			}
+			uu, err := decodeReal8(rec.Data[0:8])
+			if err != nil {
+				return nil, err
+			}
+			mu, err := decodeReal8(rec.Data[8:16])
+			if err != nil {
+				return nil, err
+			}
+			lib.UserUnit, lib.MeterUnit = uu, mu
+		case recSTRNAME:
+			if cur == nil {
+				return nil, fmt.Errorf("gdsii: STRNAME outside structure")
+			}
+			cur.Name = decodeString(rec.Data)
+		case recENDSTR:
+			if cur == nil {
+				return nil, fmt.Errorf("gdsii: ENDSTR outside structure")
+			}
+			s := lib.AddStruct(cur.Name)
+			s.Elements = cur.Elements
+			cur = nil
+		case recBOUNDARY, recPATH, recSREF, recTEXT:
+			if cur == nil {
+				return nil, fmt.Errorf("gdsii: element outside structure")
+			}
+			el = &elemBuilder{kind: rec.Type}
+		case recLAYER:
+			v, err := decodeInt16(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			if el != nil {
+				el.layer = v
+			}
+		case recDATATYPE:
+			v, err := decodeInt16(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			if el != nil {
+				el.dataType = v
+			}
+		case recTEXTTYPE:
+			v, err := decodeInt16(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			if el != nil {
+				el.textType = v
+			}
+		case recPATHTYPE:
+			v, err := decodeInt16(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			if el != nil {
+				el.pathType = v
+			}
+		case recWIDTH:
+			vals, err := decodeInt32s(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			if el != nil && len(vals) > 0 {
+				el.width = vals[0]
+			}
+		case recXY:
+			vals, err := decodeInt32s(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			if len(vals)%2 != 0 {
+				return nil, fmt.Errorf("gdsii: odd XY coordinate count")
+			}
+			if el != nil {
+				for i := 0; i < len(vals); i += 2 {
+					el.xy = append(el.xy, geom.Pt(int64(vals[i]), int64(vals[i+1])))
+				}
+			}
+		case recSNAME:
+			if el != nil {
+				el.sname = decodeString(rec.Data)
+			}
+		case recSTRING:
+			if el != nil {
+				el.str = decodeString(rec.Data)
+			}
+		case recSTRANS, recPRESENTATION:
+			// orientation/presentation flags: accepted, not modeled
+		case recENDEL:
+			if cur == nil || el == nil {
+				return nil, fmt.Errorf("gdsii: ENDEL without element")
+			}
+			built, err := el.build()
+			if err != nil {
+				return nil, err
+			}
+			cur.Elements = append(cur.Elements, built)
+			el = nil
+		case recENDLIB:
+			if !sawHeader {
+				return nil, fmt.Errorf("gdsii: missing HEADER")
+			}
+			return lib, nil
+		default:
+			// Unknown records are legal to skip per the format.
+		}
+	}
+}
+
+type elemBuilder struct {
+	kind     uint16
+	layer    int16
+	dataType int16
+	textType int16
+	pathType int16
+	width    int32
+	xy       []geom.Point
+	sname    string
+	str      string
+}
+
+func (b *elemBuilder) build() (Element, error) {
+	switch b.kind {
+	case recBOUNDARY:
+		xy := b.xy
+		if len(xy) >= 2 && xy[0] == xy[len(xy)-1] {
+			xy = xy[:len(xy)-1] // strip closing point
+		}
+		if len(xy) < 3 {
+			return nil, fmt.Errorf("gdsii: boundary with %d points", len(xy))
+		}
+		return Boundary{Layer: b.layer, DataType: b.dataType, XY: xy}, nil
+	case recPATH:
+		if len(b.xy) < 2 {
+			return nil, fmt.Errorf("gdsii: path with %d points", len(b.xy))
+		}
+		return Path{Layer: b.layer, DataType: b.dataType, PathType: b.pathType, Width: b.width, XY: b.xy}, nil
+	case recSREF:
+		if b.sname == "" || len(b.xy) != 1 {
+			return nil, fmt.Errorf("gdsii: malformed SREF")
+		}
+		return SRef{Name: b.sname, At: b.xy[0]}, nil
+	case recTEXT:
+		if len(b.xy) != 1 {
+			return nil, fmt.Errorf("gdsii: malformed TEXT")
+		}
+		return Text{Layer: b.layer, TextType: b.textType, At: b.xy[0], String: b.str}, nil
+	}
+	return nil, fmt.Errorf("gdsii: unknown element kind 0x%04x", b.kind)
+}
+
+// Stats summarizes a library for reports and inspection tools.
+type Stats struct {
+	Structs, Boundaries, Paths, SRefs, Texts int
+	LayersUsed                               []int16
+}
+
+// Stats computes summary statistics over the library.
+func (l *Library) Stats() Stats {
+	var s Stats
+	layers := map[int16]bool{}
+	s.Structs = len(l.Structs)
+	for _, st := range l.Structs {
+		for _, e := range st.Elements {
+			switch el := e.(type) {
+			case Boundary:
+				s.Boundaries++
+				layers[el.Layer] = true
+			case Path:
+				s.Paths++
+				layers[el.Layer] = true
+			case SRef:
+				s.SRefs++
+			case Text:
+				s.Texts++
+				layers[el.Layer] = true
+			}
+		}
+	}
+	for ly := range layers {
+		s.LayersUsed = append(s.LayersUsed, ly)
+	}
+	sort.Slice(s.LayersUsed, func(i, j int) bool { return s.LayersUsed[i] < s.LayersUsed[j] })
+	return s
+}

@@ -1,0 +1,200 @@
+package gdsii
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gdsiiguard/internal/geom"
+)
+
+func sampleLib() *Library {
+	lib := NewLibrary("testlib")
+	inv := lib.AddStruct("INV_X1")
+	inv.Elements = append(inv.Elements, Boundary{
+		Layer: 1,
+		XY:    []geom.Point{geom.Pt(0, 0), geom.Pt(380, 0), geom.Pt(380, 1400), geom.Pt(0, 1400)},
+	})
+	top := lib.AddStruct("top")
+	top.Elements = append(top.Elements,
+		SRef{Name: "INV_X1", At: geom.Pt(1900, 2800)},
+		SRef{Name: "INV_X1", At: geom.Pt(3800, 0)},
+		Path{Layer: 11, Width: 70, XY: []geom.Point{geom.Pt(0, 0), geom.Pt(1000, 0), geom.Pt(1000, 900)}},
+		Text{Layer: 63, At: geom.Pt(5, 5), String: "key_reg[0]"},
+	)
+	return lib
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := sampleLib()
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != "testlib" {
+		t.Errorf("Name = %q", got.Name)
+	}
+	if got.UserUnit != lib.UserUnit || got.MeterUnit != lib.MeterUnit {
+		t.Errorf("units = %g/%g, want %g/%g", got.UserUnit, got.MeterUnit, lib.UserUnit, lib.MeterUnit)
+	}
+	if len(got.Structs) != 2 {
+		t.Fatalf("structs = %d", len(got.Structs))
+	}
+	inv := got.Struct("INV_X1")
+	if inv == nil || len(inv.Elements) != 1 {
+		t.Fatalf("INV_X1 = %+v", inv)
+	}
+	b, ok := inv.Elements[0].(Boundary)
+	if !ok || b.Layer != 1 || len(b.XY) != 4 {
+		t.Errorf("boundary = %+v", inv.Elements[0])
+	}
+	top := got.Struct("top")
+	if len(top.Elements) != 4 {
+		t.Fatalf("top elements = %d", len(top.Elements))
+	}
+	if s, ok := top.Elements[0].(SRef); !ok || s.Name != "INV_X1" || s.At != geom.Pt(1900, 2800) {
+		t.Errorf("sref = %+v", top.Elements[0])
+	}
+	if p, ok := top.Elements[2].(Path); !ok || p.Layer != 11 || p.Width != 70 || len(p.XY) != 3 {
+		t.Errorf("path = %+v", top.Elements[2])
+	}
+	if txt, ok := top.Elements[3].(Text); !ok || txt.String != "key_reg[0]" {
+		t.Errorf("text = %+v", top.Elements[3])
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Write(&a, sampleLib()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, sampleLib()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("output not deterministic")
+	}
+}
+
+func TestReal8Codec(t *testing.T) {
+	cases := []float64{0, 1, -1, 1e-3, 1e-9, 0.5, 1024, -3.14159, 1e-6, 2e-2}
+	for _, f := range cases {
+		got, err := decodeReal8(encodeReal8(f))
+		if err != nil {
+			t.Fatalf("decode(%g): %v", f, err)
+		}
+		if f == 0 {
+			if got != 0 {
+				t.Errorf("0 -> %g", got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-f) / math.Abs(f); rel > 1e-12 {
+			t.Errorf("real8(%g) = %g (rel err %g)", f, got, rel)
+		}
+	}
+}
+
+func TestQuickReal8(t *testing.T) {
+	f := func(mant int32, exp int8) bool {
+		v := float64(mant) * math.Pow(2, float64(exp)/8)
+		got, err := decodeReal8(encodeReal8(v))
+		if err != nil {
+			return false
+		}
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v)/math.Abs(v) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Truncated stream.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLib()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := Read(bytes.NewReader(data[:7])); err == nil {
+		t.Error("mid-record truncation accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Garbage header size.
+	if _, err := Read(bytes.NewReader([]byte{0, 2, 0, 2})); err == nil {
+		t.Error("impossible record size accepted")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	lib := NewLibrary("bad")
+	s := lib.AddStruct("s")
+	s.Elements = append(s.Elements, Boundary{Layer: 1, XY: []geom.Point{geom.Pt(0, 0)}})
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err == nil {
+		t.Error("degenerate boundary accepted")
+	}
+	lib2 := NewLibrary("bad2")
+	s2 := lib2.AddStruct("s")
+	s2.Elements = append(s2.Elements, Path{Layer: 1, XY: []geom.Point{geom.Pt(0, 0)}})
+	buf.Reset()
+	if err := Write(&buf, lib2); err == nil {
+		t.Error("single-point path accepted")
+	}
+}
+
+func TestAddStructDedup(t *testing.T) {
+	lib := NewLibrary("x")
+	a := lib.AddStruct("s")
+	b := lib.AddStruct("s")
+	if a != b {
+		t.Error("AddStruct created duplicate")
+	}
+	if len(lib.Structs) != 1 {
+		t.Errorf("structs = %d", len(lib.Structs))
+	}
+	if lib.Struct("nope") != nil {
+		t.Error("missing struct should be nil")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := sampleLib().Stats()
+	if s.Structs != 2 || s.Boundaries != 1 || s.Paths != 1 || s.SRefs != 2 || s.Texts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if len(s.LayersUsed) != 3 { // 1, 11, 63
+		t.Errorf("layers = %v", s.LayersUsed)
+	}
+}
+
+func TestBoundaryClosureStripped(t *testing.T) {
+	// A boundary written with explicit closure reads back unclosed.
+	lib := sampleLib()
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.Struct("INV_X1").Elements[0].(Boundary)
+	if b.XY[0] == b.XY[len(b.XY)-1] {
+		t.Error("closing point not stripped on read")
+	}
+}

@@ -1,0 +1,191 @@
+// Package gdsii reads and writes GDSII stream format — the binary mask
+// layout exchange format that tapeout hands to the foundry and that the
+// paper's threat model assumes the attacker starts from. The codec covers
+// the record set needed for standard-cell layouts: library/structure
+// headers, boundaries, paths, structure references and text labels.
+package gdsii
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record type bytes (record-type << 8 | data-type), per the GDSII stream
+// specification.
+const (
+	recHEADER       = 0x0002
+	recBGNLIB       = 0x0102
+	recLIBNAME      = 0x0206
+	recUNITS        = 0x0305
+	recENDLIB       = 0x0400
+	recBGNSTR       = 0x0502
+	recSTRNAME      = 0x0606
+	recENDSTR       = 0x0700
+	recBOUNDARY     = 0x0800
+	recPATH         = 0x0900
+	recSREF         = 0x0A00
+	recTEXT         = 0x0C00
+	recLAYER        = 0x0D02
+	recDATATYPE     = 0x0E02
+	recWIDTH        = 0x0F03
+	recXY           = 0x1003
+	recENDEL        = 0x1100
+	recSNAME        = 0x1206
+	recTEXTTYPE     = 0x1602
+	recPRESENTATION = 0x1701
+	recSTRING       = 0x1906
+	recSTRANS       = 0x1A01
+	recPATHTYPE     = 0x2102
+)
+
+// record is one raw GDSII record.
+type record struct {
+	Type uint16
+	Data []byte
+}
+
+// writeRecord emits a record with its 4-byte header. GDSII record payloads
+// must be even-length; strings are padded with a NUL.
+func writeRecord(w io.Writer, typ uint16, data []byte) error {
+	if len(data)%2 == 1 {
+		data = append(data, 0)
+	}
+	total := len(data) + 4
+	if total > math.MaxUint16 {
+		return fmt.Errorf("gdsii: record 0x%04x too long (%d bytes)", typ, total)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(total))
+	binary.BigEndian.PutUint16(hdr[2:4], typ)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// readRecord reads the next record; io.EOF at a clean record boundary.
+func readRecord(r io.Reader) (record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, fmt.Errorf("gdsii: truncated record header")
+		}
+		return record{}, err
+	}
+	size := binary.BigEndian.Uint16(hdr[0:2])
+	typ := binary.BigEndian.Uint16(hdr[2:4])
+	if size < 4 {
+		return record{}, fmt.Errorf("gdsii: record 0x%04x with impossible size %d", typ, size)
+	}
+	data := make([]byte, size-4)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return record{}, fmt.Errorf("gdsii: truncated record 0x%04x", typ)
+	}
+	return record{Type: typ, Data: data}, nil
+}
+
+// int16Data encodes int16 values big-endian.
+func int16Data(vals ...int16) []byte {
+	out := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+// int32Data encodes int32 values big-endian.
+func int32Data(vals ...int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// decodeInt32s decodes a big-endian int32 array.
+func decodeInt32s(data []byte) ([]int32, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("gdsii: int32 payload of %d bytes", len(data))
+	}
+	out := make([]int32, len(data)/4)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(data[4*i:]))
+	}
+	return out, nil
+}
+
+// decodeInt16 decodes the first int16 of a payload.
+func decodeInt16(data []byte) (int16, error) {
+	if len(data) < 2 {
+		return 0, fmt.Errorf("gdsii: int16 payload of %d bytes", len(data))
+	}
+	return int16(binary.BigEndian.Uint16(data)), nil
+}
+
+// stringData encodes an ASCII string (caller pads via writeRecord).
+func stringData(s string) []byte { return []byte(s) }
+
+// decodeString strips trailing NUL padding.
+func decodeString(data []byte) string {
+	for len(data) > 0 && data[len(data)-1] == 0 {
+		data = data[:len(data)-1]
+	}
+	return string(data)
+}
+
+// encodeReal8 converts a float64 to the GDSII 8-byte excess-64 base-16
+// floating point representation.
+func encodeReal8(f float64) []byte {
+	out := make([]byte, 8)
+	if f == 0 {
+		return out
+	}
+	neg := false
+	if f < 0 {
+		neg = true
+		f = -f
+	}
+	// Normalize mantissa into [1/16, 1) with exponent base 16.
+	exp := 0
+	for f >= 1 {
+		f /= 16
+		exp++
+	}
+	for f < 1.0/16 {
+		f *= 16
+		exp--
+	}
+	mant := uint64(f * (1 << 56)) // 7 bytes of mantissa
+	b0 := byte(exp + 64)
+	if neg {
+		b0 |= 0x80
+	}
+	out[0] = b0
+	for i := 0; i < 7; i++ {
+		out[1+i] = byte(mant >> uint(8*(6-i)))
+	}
+	return out
+}
+
+// decodeReal8 converts the GDSII 8-byte real back to float64.
+func decodeReal8(data []byte) (float64, error) {
+	if len(data) < 8 {
+		return 0, fmt.Errorf("gdsii: real8 payload of %d bytes", len(data))
+	}
+	b0 := data[0]
+	neg := b0&0x80 != 0
+	exp := int(b0&0x7f) - 64
+	var mant uint64
+	for i := 0; i < 7; i++ {
+		mant = mant<<8 | uint64(data[1+i])
+	}
+	f := float64(mant) / float64(uint64(1)<<56)
+	f *= math.Pow(16, float64(exp))
+	if neg {
+		f = -f
+	}
+	return f, nil
+}

@@ -1,0 +1,259 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := p.ManhattanDist(q); got != 6 {
+		t.Errorf("ManhattanDist = %d, want 6", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 20, 0, 5)
+	if r.Lo != Pt(0, 5) || r.Hi != Pt(10, 20) {
+		t.Errorf("R did not normalize: %v", r)
+	}
+	if r.W() != 10 || r.H() != 15 {
+		t.Errorf("W/H = %d/%d, want 10/15", r.W(), r.H())
+	}
+	if r.Area() != 150 {
+		t.Errorf("Area = %d, want 150", r.Area())
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	if !(Rect{}).Empty() {
+		t.Error("zero Rect should be empty")
+	}
+	if R(0, 0, 0, 10).Area() != 0 {
+		t.Error("zero-width rect should have zero area")
+	}
+	if R(0, 0, 5, 5).Empty() {
+		t.Error("5x5 rect should not be empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(9, 9), true},
+		{Pt(10, 9), false}, // half-open on Hi
+		{Pt(9, 10), false},
+		{Pt(-1, 5), false},
+		{Pt(5, 5), true},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if !r.ContainsRect(R(2, 2, 8, 8)) {
+		t.Error("inner rect should be contained")
+	}
+	if !r.ContainsRect(r) {
+		t.Error("rect should contain itself")
+	}
+	if r.ContainsRect(R(5, 5, 11, 8)) {
+		t.Error("overhanging rect should not be contained")
+	}
+	if !r.ContainsRect(Rect{}) {
+		t.Error("empty rect is contained in anything")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	c := R(10, 0, 20, 10) // touching edge: half-open, no overlap
+	if a.Intersects(c) {
+		t.Error("edge-touching rects should not intersect")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := R(0, 0, 5, 5)
+	b := R(10, 10, 20, 20)
+	if got := a.Union(b); got != R(0, 0, 20, 20) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Errorf("empty Union b = %v, want %v", got, b)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := R(5, 5, 10, 10)
+	if got := r.Expand(2); got != R(3, 3, 12, 12) {
+		t.Errorf("Expand(2) = %v", got)
+	}
+	if got := r.Expand(-3); !got.Empty() {
+		t.Errorf("over-shrunk rect should be empty, got %v", got)
+	}
+}
+
+func TestRectDistTo(t *testing.T) {
+	r := R(10, 10, 20, 20)
+	if d := r.DistTo(Pt(15, 15)); d != 0 {
+		t.Errorf("inside dist = %d, want 0", d)
+	}
+	if d := r.DistTo(Pt(5, 15)); d != 5 {
+		t.Errorf("left dist = %d, want 5", d)
+	}
+	if d := r.DistTo(Pt(5, 5)); d != 10 {
+		t.Errorf("corner dist = %d, want 10", d)
+	}
+	if d := r.DistTo(Pt(25, 15)); d != 6 {
+		t.Errorf("right dist = %d, want 6 (half-open)", d)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	v := Iv(10, 3)
+	if v.Lo != 3 || v.Hi != 10 {
+		t.Errorf("Iv did not normalize: %v", v)
+	}
+	if v.Len() != 7 {
+		t.Errorf("Len = %d, want 7", v.Len())
+	}
+	if !v.Contains(3) || v.Contains(10) {
+		t.Error("half-open containment broken")
+	}
+	w := Iv(8, 20)
+	if !v.Overlaps(w) {
+		t.Error("should overlap")
+	}
+	if got := v.Intersect(w); got != (Interval{8, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if v.Overlaps(Iv(10, 12)) {
+		t.Error("touching intervals should not overlap")
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 5), Pt(3, 20)}
+	if got := HPWL(pts); got != 30 {
+		t.Errorf("HPWL = %d, want 30", got)
+	}
+	if HPWL(pts[:1]) != 0 {
+		t.Error("single-point HPWL should be 0")
+	}
+	if HPWL(nil) != 0 {
+		t.Error("nil HPWL should be 0")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	pts := []Point{Pt(2, 3), Pt(-1, 8), Pt(5, 0)}
+	got := BBox(pts)
+	want := R(-1, 0, 6, 9) // half-open: Hi is max+1
+	if got != want {
+		t.Errorf("BBox = %v, want %v", got, want)
+	}
+	if !(BBox(nil)).Empty() {
+		t.Error("BBox of nothing should be empty")
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestQuickIntersectProperties(t *testing.T) {
+	f := func(x0, y0, x1, y1, x2, y2, x3, y3 int16) bool {
+		a := R(int64(x0), int64(y0), int64(x1), int64(y1))
+		b := R(int64(x2), int64(y2), int64(x3), int64(y3))
+		ab := a.Intersect(b)
+		ba := b.Intersect(a)
+		if ab.Area() != ba.Area() {
+			return false
+		}
+		if !ab.Empty() && (!a.ContainsRect(ab) || !b.ContainsRect(ab)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both operands.
+func TestQuickUnionContains(t *testing.T) {
+	f := func(x0, y0, x1, y1, x2, y2, x3, y3 int16) bool {
+		a := R(int64(x0), int64(y0), int64(x1), int64(y1))
+		b := R(int64(x2), int64(y2), int64(x3), int64(y3))
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Manhattan distance is a metric (symmetry + triangle inequality).
+func TestQuickManhattanMetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a, b, c := Pt(int64(ax), int64(ay)), Pt(int64(bx), int64(by)), Pt(int64(cx), int64(cy))
+		if a.ManhattanDist(b) != b.ManhattanDist(a) {
+			return false
+		}
+		return a.ManhattanDist(c) <= a.ManhattanDist(b)+b.ManhattanDist(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HPWL is invariant under point permutation (reverse) and
+// non-negative.
+func TestQuickHPWLInvariance(t *testing.T) {
+	f := func(xs, ys []int16) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		pts := make([]Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = Pt(int64(xs[i]), int64(ys[i]))
+		}
+		h := HPWL(pts)
+		if h < 0 {
+			return false
+		}
+		rev := make([]Point, n)
+		for i := range pts {
+			rev[n-1-i] = pts[i]
+		}
+		return HPWL(rev) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,613 @@
+// Package lef reads and writes the subset of the LEF (Library Exchange
+// Format) language needed to describe a standard-cell technology: database
+// units, the core SITE, ROUTING LAYERs with electrical properties, and MACRO
+// definitions with pin directions and uses.
+//
+// Parsing produces a tech.Library with geometry and pin-direction data;
+// Liberty data (package liberty) is merged on top to complete timing and
+// power. The writer emits LEF that this parser round-trips exactly.
+package lef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gdsiiguard/internal/tech"
+)
+
+// Parse reads LEF text and builds a technology library. Macro widths are
+// converted to integer site counts; a macro whose width is not an exact
+// multiple of the site width is rounded to the nearest site (minimum 1).
+func Parse(r io.Reader) (*tech.Library, error) {
+	p := &parser{sc: newScanner(r), lib: tech.NewLibrary("")}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.lib, nil
+}
+
+// ParseString is a convenience wrapper over Parse.
+func ParseString(s string) (*tech.Library, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type parser struct {
+	sc  *scanner
+	lib *tech.Library
+}
+
+func (p *parser) parse() error {
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return nil
+		}
+		switch strings.ToUpper(tok) {
+		case "VERSION", "BUSBITCHARS", "DIVIDERCHAR":
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		case "NAMESCASESENSITIVE", "MANUFACTURINGGRID", "CLEARANCEMEASURE":
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		case "UNITS":
+			if err := p.parseUnits(); err != nil {
+				return err
+			}
+		case "SITE":
+			if err := p.parseSite(); err != nil {
+				return err
+			}
+		case "LAYER":
+			if err := p.parseLayer(); err != nil {
+				return err
+			}
+		case "MACRO":
+			if err := p.parseMacro(); err != nil {
+				return err
+			}
+		case "VIA", "VIARULE", "SPACING", "PROPERTYDEFINITIONS":
+			if err := p.skipBlock(tok); err != nil {
+				return err
+			}
+		case "END":
+			// END LIBRARY or dangling END; consume optional name.
+			p.sc.next()
+			return nil
+		default:
+			return p.errf("unexpected token %q", tok)
+		}
+	}
+}
+
+func (p *parser) parseUnits() error {
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated UNITS")
+		}
+		switch strings.ToUpper(tok) {
+		case "DATABASE":
+			unit, err := p.word()
+			if err != nil {
+				return err
+			}
+			if strings.ToUpper(unit) != "MICRONS" {
+				return p.errf("unsupported DATABASE unit %q", unit)
+			}
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			p.lib.DBUPerMicron = int64(v)
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "END":
+			if _, err := p.word(); err != nil { // UNITS
+				return err
+			}
+			return nil
+		default:
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *parser) parseSite() error {
+	name, err := p.word()
+	if err != nil {
+		return err
+	}
+	site := tech.Site{Name: name}
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated SITE %s", name)
+		}
+		switch strings.ToUpper(tok) {
+		case "SIZE":
+			w, h, err := p.sizePair()
+			if err != nil {
+				return err
+			}
+			site.Width = p.toDBU(w)
+			site.Height = p.toDBU(h)
+		case "CLASS", "SYMMETRY":
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		case "END":
+			if _, err := p.word(); err != nil {
+				return err
+			}
+			p.lib.Site = site
+			return nil
+		default:
+			return p.errf("unexpected token %q in SITE", tok)
+		}
+	}
+}
+
+func (p *parser) parseLayer() error {
+	name, err := p.word()
+	if err != nil {
+		return err
+	}
+	layer := tech.Layer{Name: name, Index: p.lib.NumLayers() + 1}
+	routing := false
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated LAYER %s", name)
+		}
+		switch strings.ToUpper(tok) {
+		case "TYPE":
+			t, err := p.word()
+			if err != nil {
+				return err
+			}
+			routing = strings.EqualFold(t, "ROUTING")
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "DIRECTION":
+			d, err := p.word()
+			if err != nil {
+				return err
+			}
+			if strings.EqualFold(d, "VERTICAL") {
+				layer.Dir = tech.Vertical
+			} else {
+				layer.Dir = tech.Horizontal
+			}
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "PITCH":
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			layer.Pitch = p.toDBU(v)
+			// Optional second value (PITCH x y) — keep the first.
+			if err := p.finishNumericStatement(); err != nil {
+				return err
+			}
+		case "WIDTH":
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			layer.Width = p.toDBU(v)
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "SPACING":
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			layer.Spacing = p.toDBU(v)
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "RESISTANCE":
+			// RESISTANCE RPERUM <v> ; (per-micron form used by this library)
+			// RESISTANCE RPERSQ <v> ; is accepted and stored as-is too.
+			if _, err := p.word(); err != nil {
+				return err
+			}
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			layer.RPerUM = v
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "CAPACITANCE":
+			if _, err := p.word(); err != nil { // CPERUM / CPERSQDIST
+				return err
+			}
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			layer.CPerUM = v
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "OFFSET", "AREA", "MINWIDTH", "THICKNESS", "HEIGHT", "EDGECAPACITANCE":
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		case "END":
+			if _, err := p.word(); err != nil {
+				return err
+			}
+			if routing {
+				p.lib.Layers = append(p.lib.Layers, layer)
+			}
+			return nil
+		default:
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *parser) parseMacro() error {
+	name, err := p.word()
+	if err != nil {
+		return err
+	}
+	cell := &tech.Cell{Name: name, Class: tech.Comb}
+	var widthUM float64
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated MACRO %s", name)
+		}
+		switch strings.ToUpper(tok) {
+		case "CLASS":
+			// CLASS CORE [SPACER|WELLTAP|ANTENNACELL] ;
+			for {
+				w, ok := p.sc.next()
+				if !ok {
+					return p.errf("unterminated CLASS in MACRO %s", name)
+				}
+				if w == ";" {
+					break
+				}
+				switch strings.ToUpper(w) {
+				case "SPACER":
+					cell.Class = tech.Filler
+				case "WELLTAP":
+					cell.Class = tech.Tap
+				}
+			}
+		case "SIZE":
+			w, _, err := p.sizePair()
+			if err != nil {
+				return err
+			}
+			widthUM = w
+		case "PIN":
+			if err := p.parsePin(cell); err != nil {
+				return err
+			}
+		case "FOREIGN", "ORIGIN", "SYMMETRY", "SITE":
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		case "OBS":
+			if err := p.skipBlock("OBS"); err != nil {
+				return err
+			}
+		case "END":
+			if _, err := p.word(); err != nil {
+				return err
+			}
+			if p.lib.Site.Width > 0 {
+				sites := int(p.toDBU(widthUM)/p.lib.Site.Width + 0)
+				rem := p.toDBU(widthUM) % p.lib.Site.Width
+				if rem*2 >= p.lib.Site.Width {
+					sites++
+				}
+				if sites < 1 {
+					sites = 1
+				}
+				cell.WidthSites = sites
+			} else {
+				cell.WidthSites = 1
+			}
+			p.lib.AddCell(cell)
+			return nil
+		default:
+			return p.errf("unexpected token %q in MACRO %s", tok, name)
+		}
+	}
+}
+
+func (p *parser) parsePin(cell *tech.Cell) error {
+	name, err := p.word()
+	if err != nil {
+		return err
+	}
+	pin := tech.Pin{Name: name}
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated PIN %s", name)
+		}
+		switch strings.ToUpper(tok) {
+		case "DIRECTION":
+			d, err := p.word()
+			if err != nil {
+				return err
+			}
+			switch strings.ToUpper(d) {
+			case "INPUT":
+				pin.Dir = tech.Input
+			case "OUTPUT":
+				pin.Dir = tech.Output
+			case "INOUT":
+				pin.Dir = tech.Inout
+			default:
+				return p.errf("bad pin direction %q", d)
+			}
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "USE":
+			u, err := p.word()
+			if err != nil {
+				return err
+			}
+			if strings.EqualFold(u, "CLOCK") {
+				pin.IsClock = true
+			}
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case "PORT":
+			if err := p.skipBlock("PORT"); err != nil {
+				return err
+			}
+		case "SHAPE", "ANTENNAGATEAREA", "ANTENNADIFFAREA":
+			if err := p.skipStatement(); err != nil {
+				return err
+			}
+		case "END":
+			if _, err := p.word(); err != nil {
+				return err
+			}
+			cell.Pins = append(cell.Pins, pin)
+			return nil
+		default:
+			return p.errf("unexpected token %q in PIN %s", tok, name)
+		}
+	}
+}
+
+// skipStatement consumes tokens up to and including the next ';'.
+func (p *parser) skipStatement() error {
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated statement")
+		}
+		if tok == ";" {
+			return nil
+		}
+	}
+}
+
+// finishNumericStatement consumes optional trailing numbers then ';'.
+func (p *parser) finishNumericStatement() error {
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated statement")
+		}
+		if tok == ";" {
+			return nil
+		}
+		if _, err := strconv.ParseFloat(tok, 64); err != nil {
+			return p.errf("expected number or ';', got %q", tok)
+		}
+	}
+}
+
+// skipBlock consumes a LEF block up to its matching END, handling one level
+// of statement structure (blocks we skip do not nest further in practice).
+func (p *parser) skipBlock(kind string) error {
+	depth := 1
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated %s block", kind)
+		}
+		u := strings.ToUpper(tok)
+		if u == "END" {
+			depth--
+			if depth == 0 {
+				// Optional trailing name; VIA/OBS blocks end with
+				// "END" or "END name". Peek: if the next token is a
+				// structural keyword, push it back.
+				if w, ok := p.sc.peek(); ok && w != ";" && !isTopKeyword(w) {
+					p.sc.next()
+				}
+				return nil
+			}
+		}
+	}
+}
+
+func isTopKeyword(w string) bool {
+	switch strings.ToUpper(w) {
+	case "VERSION", "UNITS", "SITE", "LAYER", "MACRO", "VIA", "VIARULE", "SPACING", "END", "PIN", "OBS", "PROPERTYDEFINITIONS":
+		return true
+	}
+	return false
+}
+
+func (p *parser) word() (string, error) {
+	tok, ok := p.sc.next()
+	if !ok {
+		return "", p.errf("unexpected EOF")
+	}
+	return tok, nil
+}
+
+func (p *parser) number() (float64, error) {
+	tok, ok := p.sc.next()
+	if !ok {
+		return 0, p.errf("unexpected EOF, wanted number")
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", tok)
+	}
+	return v, nil
+}
+
+func (p *parser) expect(want string) error {
+	tok, ok := p.sc.next()
+	if !ok {
+		return p.errf("unexpected EOF, wanted %q", want)
+	}
+	if tok != want {
+		return p.errf("expected %q, got %q", want, tok)
+	}
+	return nil
+}
+
+// sizePair parses "<w> BY <h> ;".
+func (p *parser) sizePair() (w, h float64, err error) {
+	w, err = p.number()
+	if err != nil {
+		return
+	}
+	by, err2 := p.word()
+	if err2 != nil {
+		err = err2
+		return
+	}
+	if !strings.EqualFold(by, "BY") {
+		err = p.errf("expected BY, got %q", by)
+		return
+	}
+	h, err = p.number()
+	if err != nil {
+		return
+	}
+	err = p.expect(";")
+	return
+}
+
+func (p *parser) toDBU(um float64) int64 {
+	dbu := p.lib.DBUPerMicron
+	if dbu == 0 {
+		dbu = 1000
+	}
+	return int64(um*float64(dbu) + 0.5)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lef: line %d: %s", p.sc.line, fmt.Sprintf(format, args...))
+}
+
+// scanner tokenizes LEF: whitespace-separated words, with ';' always its own
+// token and '#' comments stripped to end of line.
+type scanner struct {
+	br      *bufio.Reader
+	line    int
+	pending []string
+}
+
+func newScanner(r io.Reader) *scanner {
+	return &scanner{br: bufio.NewReader(r), line: 1}
+}
+
+func (s *scanner) peek() (string, bool) {
+	tok, ok := s.next()
+	if !ok {
+		return "", false
+	}
+	s.pending = append(s.pending, tok)
+	return tok, true
+}
+
+func (s *scanner) next() (string, bool) {
+	if n := len(s.pending); n > 0 {
+		tok := s.pending[n-1]
+		s.pending = s.pending[:n-1]
+		return tok, true
+	}
+	var b strings.Builder
+	for {
+		c, err := s.br.ReadByte()
+		if err != nil {
+			if b.Len() > 0 {
+				return b.String(), true
+			}
+			return "", false
+		}
+		switch {
+		case c == '#':
+			// comment to EOL
+			for {
+				c2, err := s.br.ReadByte()
+				if err != nil {
+					break
+				}
+				if c2 == '\n' {
+					s.line++
+					break
+				}
+			}
+			if b.Len() > 0 {
+				return b.String(), true
+			}
+		case c == '\n':
+			s.line++
+			if b.Len() > 0 {
+				return b.String(), true
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			if b.Len() > 0 {
+				return b.String(), true
+			}
+		case c == ';':
+			if b.Len() > 0 {
+				s.pending = append(s.pending, ";")
+				return b.String(), true
+			}
+			return ";", true
+		case c == '"':
+			// quoted string: read to closing quote, return contents
+			for {
+				c2, err := s.br.ReadByte()
+				if err != nil || c2 == '"' {
+					break
+				}
+				if c2 == '\n' {
+					s.line++
+				}
+				b.WriteByte(c2)
+			}
+			return b.String(), true
+		default:
+			b.WriteByte(c)
+		}
+	}
+}

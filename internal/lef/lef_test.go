@@ -1,0 +1,275 @@
+package lef
+
+import (
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/tech"
+)
+
+const sampleLEF = `
+# A comment line
+VERSION 5.8 ;
+BUSBITCHARS "[]" ;
+DIVIDERCHAR "/" ;
+
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+
+SITE FreePDK45_38x28
+  CLASS CORE ;
+  SYMMETRY Y ;
+  SIZE 0.19 BY 1.4 ;
+END FreePDK45_38x28
+
+LAYER metal1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0.19 ;
+  WIDTH 0.07 ;
+  SPACING 0.065 ;
+  RESISTANCE RPERUM 0.00038 ;
+  CAPACITANCE CPERUM 0.16 ;
+END metal1
+
+LAYER metal2
+  TYPE ROUTING ;
+  DIRECTION VERTICAL ;
+  PITCH 0.19 ;
+  WIDTH 0.07 ;
+  SPACING 0.07 ;
+  RESISTANCE RPERUM 0.00025 ;
+  CAPACITANCE CPERUM 0.18 ;
+END metal2
+
+MACRO INV_X1
+  CLASS CORE ;
+  SIZE 0.38 BY 1.4 ;
+  SITE FreePDK45_38x28 ;
+  PIN A
+    DIRECTION INPUT ;
+  END A
+  PIN ZN
+    DIRECTION OUTPUT ;
+  END ZN
+END INV_X1
+
+MACRO DFF_X1
+  CLASS CORE ;
+  SIZE 1.71 BY 1.4 ;
+  PIN D
+    DIRECTION INPUT ;
+  END D
+  PIN CK
+    DIRECTION INPUT ;
+    USE CLOCK ;
+  END CK
+  PIN Q
+    DIRECTION OUTPUT ;
+  END Q
+END DFF_X1
+
+MACRO FILLCELL_X4
+  CLASS CORE SPACER ;
+  SIZE 0.76 BY 1.4 ;
+END FILLCELL_X4
+
+MACRO TAPCELL
+  CLASS CORE WELLTAP ;
+  SIZE 0.38 BY 1.4 ;
+END TAPCELL
+
+END LIBRARY
+`
+
+func TestParseBasics(t *testing.T) {
+	lib, err := ParseString(sampleLEF)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if lib.DBUPerMicron != 1000 {
+		t.Errorf("DBUPerMicron = %d", lib.DBUPerMicron)
+	}
+	if lib.Site.Name != "FreePDK45_38x28" || lib.Site.Width != 190 || lib.Site.Height != 1400 {
+		t.Errorf("Site = %+v", lib.Site)
+	}
+	if lib.NumLayers() != 2 {
+		t.Fatalf("NumLayers = %d", lib.NumLayers())
+	}
+	m1 := lib.Layer(1)
+	if m1.Name != "metal1" || m1.Dir != tech.Horizontal || m1.Pitch != 190 ||
+		m1.Width != 70 || m1.Spacing != 65 {
+		t.Errorf("metal1 = %+v", m1)
+	}
+	if m1.RPerUM != 0.00038 || m1.CPerUM != 0.16 {
+		t.Errorf("metal1 RC = %g/%g", m1.RPerUM, m1.CPerUM)
+	}
+	if lib.Layer(2).Dir != tech.Vertical {
+		t.Error("metal2 should be vertical")
+	}
+}
+
+func TestParseMacros(t *testing.T) {
+	lib, err := ParseString(sampleLEF)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	inv := lib.Cell("INV_X1")
+	if inv == nil {
+		t.Fatal("INV_X1 missing")
+	}
+	if inv.WidthSites != 2 {
+		t.Errorf("INV_X1 width = %d sites, want 2", inv.WidthSites)
+	}
+	if inv.Class != tech.Comb {
+		t.Errorf("INV_X1 class = %v", inv.Class)
+	}
+	if p := inv.Pin("A"); p == nil || p.Dir != tech.Input {
+		t.Errorf("INV_X1 pin A = %v", p)
+	}
+	if p := inv.Pin("ZN"); p == nil || p.Dir != tech.Output {
+		t.Errorf("INV_X1 pin ZN = %v", p)
+	}
+
+	dff := lib.Cell("DFF_X1")
+	if dff == nil {
+		t.Fatal("DFF_X1 missing")
+	}
+	if dff.WidthSites != 9 {
+		t.Errorf("DFF_X1 width = %d sites, want 9", dff.WidthSites)
+	}
+	ck := dff.Pin("CK")
+	if ck == nil || !ck.IsClock {
+		t.Errorf("DFF_X1 CK not marked clock: %v", ck)
+	}
+
+	fill := lib.Cell("FILLCELL_X4")
+	if fill == nil || fill.Class != tech.Filler || fill.WidthSites != 4 {
+		t.Errorf("FILLCELL_X4 = %+v", fill)
+	}
+	tap := lib.Cell("TAPCELL")
+	if tap == nil || tap.Class != tech.Tap {
+		t.Errorf("TAPCELL = %+v", tap)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"GARBAGE_TOKEN ;",
+		"UNITS\n DATABASE FURLONGS 10 ;\nEND UNITS",
+		"SITE s\n SIZE 0.19 NEAR 1.4 ;\nEND s", // missing BY
+		"MACRO M\n PIN P\n  DIRECTION SIDEWAYS ;\n END P\nEND M",
+		"SITE s\n SIZE 0.19 BY",
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib, err := ParseString(sampleLEF)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text := WriteString(lib)
+	lib2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-Parse of written LEF: %v\n%s", err, text)
+	}
+	if lib2.DBUPerMicron != lib.DBUPerMicron || lib2.Site != lib.Site {
+		t.Error("units/site did not round-trip")
+	}
+	if lib2.NumLayers() != lib.NumLayers() {
+		t.Fatalf("layers = %d vs %d", lib2.NumLayers(), lib.NumLayers())
+	}
+	for i := 1; i <= lib.NumLayers(); i++ {
+		if *lib2.Layer(i) != *lib.Layer(i) {
+			t.Errorf("layer %d: %+v vs %+v", i, lib2.Layer(i), lib.Layer(i))
+		}
+	}
+	if lib2.NumCells() != lib.NumCells() {
+		t.Fatalf("cells = %d vs %d", lib2.NumCells(), lib.NumCells())
+	}
+	for _, c := range lib.Cells() {
+		c2 := lib2.Cell(c.Name)
+		if c2 == nil {
+			t.Fatalf("cell %s missing after round trip", c.Name)
+		}
+		if c2.Class != c.Class || c2.WidthSites != c.WidthSites || len(c2.Pins) != len(c.Pins) {
+			t.Errorf("cell %s mismatch: %+v vs %+v", c.Name, c2, c)
+		}
+		for i := range c.Pins {
+			if c.Pins[i].Name != c2.Pins[i].Name || c.Pins[i].Dir != c2.Pins[i].Dir ||
+				c.Pins[i].IsClock != c2.Pins[i].IsClock {
+				t.Errorf("cell %s pin %d mismatch", c.Name, i)
+			}
+		}
+	}
+}
+
+func TestWidthRounding(t *testing.T) {
+	src := `
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+SITE s
+  SIZE 0.19 BY 1.4 ;
+END s
+MACRO ODD
+  CLASS CORE ;
+  SIZE 0.28 BY 1.4 ;
+END ODD
+MACRO TINY
+  CLASS CORE ;
+  SIZE 0.01 BY 1.4 ;
+END TINY
+END LIBRARY
+`
+	lib, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// 0.28/0.19 = 1.47 -> 1 site + remainder 90 >= 95? No: 90*2=180 < 190 -> 1.
+	if got := lib.Cell("ODD").WidthSites; got != 1 {
+		t.Errorf("ODD width = %d, want 1", got)
+	}
+	if got := lib.Cell("TINY").WidthSites; got != 1 {
+		t.Errorf("TINY width = %d, want minimum 1", got)
+	}
+}
+
+func TestSkipsUnknownBlocks(t *testing.T) {
+	src := `
+UNITS
+  DATABASE MICRONS 2000 ;
+END UNITS
+VIA via1 DEFAULT
+  LAYER metal1 ;
+END via1
+SITE s
+  SIZE 0.19 BY 1.4 ;
+END s
+END LIBRARY
+`
+	lib, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse with VIA block: %v", err)
+	}
+	if lib.DBUPerMicron != 2000 || lib.Site.Name != "s" {
+		t.Errorf("lib = %+v", lib)
+	}
+}
+
+func TestCommentsAndQuotes(t *testing.T) {
+	src := "UNITS\n DATABASE MICRONS 1000 ; # trailing comment\nEND UNITS\n" +
+		"BUSBITCHARS \"[]\" ;\nEND LIBRARY\n"
+	if _, err := ParseString(src); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := Parse(strings.NewReader("")); err != nil {
+		t.Fatalf("empty input should parse: %v", err)
+	}
+}

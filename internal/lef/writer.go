@@ -1,0 +1,71 @@
+package lef
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gdsiiguard/internal/tech"
+)
+
+// Write emits the library as LEF text that Parse round-trips: units, site,
+// routing layers and macros with pin directions and uses.
+func Write(w io.Writer, lib *tech.Library) error {
+	var b strings.Builder
+	b.WriteString("VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n\n")
+	fmt.Fprintf(&b, "UNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n\n", lib.DBUPerMicron)
+
+	um := func(dbu int64) float64 { return lib.DBUToMicrons(dbu) }
+
+	if lib.Site.Name != "" {
+		fmt.Fprintf(&b, "SITE %s\n  CLASS CORE ;\n  SYMMETRY Y ;\n  SIZE %g BY %g ;\nEND %s\n\n",
+			lib.Site.Name, um(lib.Site.Width), um(lib.Site.Height), lib.Site.Name)
+	}
+
+	for i := range lib.Layers {
+		ly := &lib.Layers[i]
+		fmt.Fprintf(&b, "LAYER %s\n  TYPE ROUTING ;\n  DIRECTION %s ;\n  PITCH %g ;\n  WIDTH %g ;\n  SPACING %g ;\n",
+			ly.Name, ly.Dir, um(ly.Pitch), um(ly.Width), um(ly.Spacing))
+		fmt.Fprintf(&b, "  RESISTANCE RPERUM %g ;\n  CAPACITANCE CPERUM %g ;\nEND %s\n\n",
+			ly.RPerUM, ly.CPerUM, ly.Name)
+	}
+
+	for _, c := range lib.Cells() {
+		class := "CORE"
+		switch c.Class {
+		case tech.Filler:
+			class = "CORE SPACER"
+		case tech.Tap:
+			class = "CORE WELLTAP"
+		}
+		widthUM := um(int64(c.WidthSites) * lib.Site.Width)
+		fmt.Fprintf(&b, "MACRO %s\n  CLASS %s ;\n  SIZE %g BY %g ;\n  SITE %s ;\n",
+			c.Name, class, widthUM, um(lib.Site.Height), lib.Site.Name)
+		for _, p := range c.Pins {
+			dir := "INPUT"
+			switch p.Dir {
+			case tech.Output:
+				dir = "OUTPUT"
+			case tech.Inout:
+				dir = "INOUT"
+			}
+			fmt.Fprintf(&b, "  PIN %s\n    DIRECTION %s ;\n", p.Name, dir)
+			if p.IsClock {
+				b.WriteString("    USE CLOCK ;\n")
+			}
+			fmt.Fprintf(&b, "  END %s\n", p.Name)
+		}
+		fmt.Fprintf(&b, "END %s\n\n", c.Name)
+	}
+	b.WriteString("END LIBRARY\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteString renders the library as a LEF string.
+func WriteString(lib *tech.Library) string {
+	var b strings.Builder
+	// strings.Builder writes never fail.
+	_ = Write(&b, lib)
+	return b.String()
+}

@@ -1,0 +1,456 @@
+// Package liberty reads and writes the subset of the Liberty (.lib) timing
+// library format needed by the flow: cell leakage, pin capacitances, linear
+// (generic-CMOS) delay arcs with intrinsic delay and drive resistance,
+// flip-flop groups, and per-pin internal energy.
+//
+// The parser is two-stage: a generic group/attribute parser builds an AST
+// (Group), then Merge interprets the AST onto a tech.Library previously
+// loaded from LEF, completing the timing and power view of each cell.
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gdsiiguard/internal/tech"
+)
+
+// Group is one Liberty group: `name (args) { attributes and subgroups }`.
+type Group struct {
+	Name   string
+	Args   []string
+	Attrs  []Attr
+	Groups []*Group
+}
+
+// Attr is a simple attribute `name : value ;`.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (g *Group) Attr(name string) (string, bool) {
+	for _, a := range g.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Float returns the named attribute as float64 (0, false if absent/bad).
+func (g *Group) Float(name string) (float64, bool) {
+	s, ok := g.Attr(name)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Sub returns all direct subgroups with the given name.
+func (g *Group) Sub(name string) []*Group {
+	var out []*Group
+	for _, s := range g.Groups {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ParseAST parses Liberty text into its top-level group (usually `library`).
+func ParseAST(r io.Reader) (*Group, error) {
+	p := &astParser{sc: newScanner(r)}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("liberty: empty input")
+	}
+	return g, nil
+}
+
+type astParser struct {
+	sc *scanner
+}
+
+// parseGroup parses `ident (args) { body }`; returns nil at EOF.
+func (p *astParser) parseGroup() (*Group, error) {
+	name, ok := p.sc.next()
+	if !ok {
+		return nil, nil
+	}
+	g := &Group{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return nil, p.errf("unterminated argument list of %s", name)
+		}
+		if tok == ")" {
+			break
+		}
+		if tok != "," {
+			g.Args = append(g.Args, tok)
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	if err := p.parseBody(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *astParser) parseBody(g *Group) error {
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated group %s", g.Name)
+		}
+		if tok == "}" {
+			return nil
+		}
+		next, ok := p.sc.peek()
+		if !ok {
+			return p.errf("dangling token %q in %s", tok, g.Name)
+		}
+		switch next {
+		case ":":
+			p.sc.next() // ':'
+			val, err := p.attrValue()
+			if err != nil {
+				return err
+			}
+			g.Attrs = append(g.Attrs, Attr{Name: tok, Value: val})
+		case "(":
+			p.sc.next() // '('
+			sub := &Group{Name: tok}
+			for {
+				t, ok := p.sc.next()
+				if !ok {
+					return p.errf("unterminated args of %s", tok)
+				}
+				if t == ")" {
+					break
+				}
+				if t != "," {
+					sub.Args = append(sub.Args, t)
+				}
+			}
+			after, ok := p.sc.next()
+			if !ok {
+				return p.errf("unexpected EOF after %s(...)", tok)
+			}
+			switch after {
+			case "{":
+				if err := p.parseBody(sub); err != nil {
+					return err
+				}
+				g.Groups = append(g.Groups, sub)
+			case ";":
+				// complex attribute like capacitive_load_unit (1,ff);
+				g.Attrs = append(g.Attrs, Attr{Name: tok, Value: strings.Join(sub.Args, ",")})
+			default:
+				return p.errf("expected '{' or ';' after %s(...), got %q", tok, after)
+			}
+		default:
+			return p.errf("unexpected token %q after %q", next, tok)
+		}
+	}
+}
+
+// attrValue reads tokens until ';' and joins them (values may contain
+// spaces when unquoted in the wild).
+func (p *astParser) attrValue() (string, error) {
+	var parts []string
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return "", p.errf("unterminated attribute value")
+		}
+		if tok == ";" {
+			break
+		}
+		parts = append(parts, tok)
+	}
+	return strings.Join(parts, " "), nil
+}
+
+func (p *astParser) expect(want string) error {
+	tok, ok := p.sc.next()
+	if !ok {
+		return p.errf("unexpected EOF, wanted %q", want)
+	}
+	if tok != want {
+		return p.errf("expected %q, got %q", want, tok)
+	}
+	return nil
+}
+
+func (p *astParser) errf(format string, args ...any) error {
+	return fmt.Errorf("liberty: line %d: %s", p.sc.line, fmt.Sprintf(format, args...))
+}
+
+// Merge parses Liberty text and merges timing/power data onto cells already
+// present in lib (from LEF). Cells in the Liberty file with no LEF macro are
+// reported as an error, as are pins unknown to the macro. The library group
+// name and nominal voltage are also applied.
+func Merge(r io.Reader, lib *tech.Library) error {
+	root, err := ParseAST(r)
+	if err != nil {
+		return err
+	}
+	if root.Name != "library" {
+		return fmt.Errorf("liberty: top-level group is %q, want library", root.Name)
+	}
+	if len(root.Args) > 0 && lib.Name == "" {
+		lib.Name = root.Args[0]
+	}
+	if v, ok := root.Float("nom_voltage"); ok {
+		lib.Vdd = v
+	}
+	for _, cg := range root.Sub("cell") {
+		if len(cg.Args) != 1 {
+			return fmt.Errorf("liberty: cell group with %d args", len(cg.Args))
+		}
+		name := cg.Args[0]
+		cell := lib.Cell(name)
+		if cell == nil {
+			return fmt.Errorf("liberty: cell %q has no LEF macro", name)
+		}
+		if err := mergeCell(cg, cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeString is a convenience wrapper over Merge.
+func MergeString(s string, lib *tech.Library) error {
+	return Merge(strings.NewReader(s), lib)
+}
+
+func mergeCell(cg *Group, cell *tech.Cell) error {
+	if v, ok := cg.Float("cell_leakage_power"); ok {
+		cell.Leakage = v
+	}
+	// ff group marks the cell sequential and names the clock via clocked_on.
+	var clockedOn string
+	if ffs := cg.Sub("ff"); len(ffs) > 0 {
+		cell.Class = tech.Seq
+		if s, ok := ffs[0].Attr("clocked_on"); ok {
+			clockedOn = strings.Trim(s, "\" ")
+		}
+	}
+	for _, pg := range cg.Sub("pin") {
+		if len(pg.Args) != 1 {
+			return fmt.Errorf("liberty: cell %s: pin group with %d args", cell.Name, len(pg.Args))
+		}
+		pin := cell.Pin(pg.Args[0])
+		if pin == nil {
+			return fmt.Errorf("liberty: cell %s: pin %q not in LEF macro", cell.Name, pg.Args[0])
+		}
+		if v, ok := pg.Float("capacitance"); ok {
+			pin.Cap = v
+		}
+		if v, ok := pg.Float("max_capacitance"); ok {
+			pin.MaxCap = v
+		}
+		if s, ok := pg.Attr("clock"); ok && strings.EqualFold(s, "true") {
+			pin.IsClock = true
+		}
+		if pin.Name == clockedOn {
+			pin.IsClock = true
+		}
+		for _, tg := range pg.Sub("timing") {
+			if err := mergeTiming(tg, cell, pin); err != nil {
+				return err
+			}
+		}
+		for _, ipg := range pg.Sub("internal_power") {
+			if v, ok := ipg.Float("rise_power"); ok {
+				cell.InternalEnergy = v
+			}
+		}
+	}
+	return nil
+}
+
+func mergeTiming(tg *Group, cell *tech.Cell, pin *tech.Pin) error {
+	related, _ := tg.Attr("related_pin")
+	related = strings.Trim(related, "\" ")
+	ttype, _ := tg.Attr("timing_type")
+	intrinsic, _ := tg.Float("intrinsic_rise")
+	res, _ := tg.Float("rise_resistance")
+	switch ttype {
+	case "", "combinational":
+		if related == "" {
+			return fmt.Errorf("liberty: cell %s pin %s: timing without related_pin", cell.Name, pin.Name)
+		}
+		cell.Arcs = append(cell.Arcs, tech.TimingArc{
+			From: related, To: pin.Name, Intrinsic: intrinsic, DriveRes: res,
+		})
+	case "rising_edge", "falling_edge":
+		cell.ClkToQ = intrinsic
+		cell.Arcs = append(cell.Arcs, tech.TimingArc{
+			From: related, To: pin.Name, Intrinsic: intrinsic, DriveRes: res,
+		})
+	case "setup_rising", "setup_falling":
+		cell.Setup = intrinsic
+	case "hold_rising", "hold_falling":
+		// hold is modeled as zero in this flow; accept and ignore.
+	default:
+		return fmt.Errorf("liberty: cell %s pin %s: unsupported timing_type %q", cell.Name, pin.Name, ttype)
+	}
+	return nil
+}
+
+// scanner tokenizes Liberty text: identifiers/numbers, punctuation
+// ( ) { } : ; , as single-char tokens, quoted strings returned unquoted,
+// and /* */ plus // and \ line continuations handled.
+type scanner struct {
+	br      *bufio.Reader
+	line    int
+	pending []string
+}
+
+func newScanner(r io.Reader) *scanner {
+	return &scanner{br: bufio.NewReader(r), line: 1}
+}
+
+func (s *scanner) peek() (string, bool) {
+	tok, ok := s.next()
+	if !ok {
+		return "", false
+	}
+	s.pending = append(s.pending, tok)
+	return tok, true
+}
+
+func isPunct(c byte) bool {
+	switch c {
+	case '(', ')', '{', '}', ':', ';', ',':
+		return true
+	}
+	return false
+}
+
+func (s *scanner) next() (string, bool) {
+	if n := len(s.pending); n > 0 {
+		tok := s.pending[n-1]
+		s.pending = s.pending[:n-1]
+		return tok, true
+	}
+	var b strings.Builder
+	flush := func() (string, bool) {
+		if b.Len() > 0 {
+			return b.String(), true
+		}
+		return "", false
+	}
+	for {
+		c, err := s.br.ReadByte()
+		if err != nil {
+			return flush()
+		}
+		switch {
+		case c == '\n':
+			s.line++
+			if tok, ok := flush(); ok {
+				return tok, true
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			if tok, ok := flush(); ok {
+				return tok, true
+			}
+		case c == '\\':
+			// line continuation: swallow through EOL
+			for {
+				c2, err := s.br.ReadByte()
+				if err != nil {
+					break
+				}
+				if c2 == '\n' {
+					s.line++
+					break
+				}
+			}
+		case c == '/':
+			c2, err := s.br.ReadByte()
+			if err != nil {
+				b.WriteByte(c)
+				return flush()
+			}
+			switch c2 {
+			case '/':
+				for {
+					c3, err := s.br.ReadByte()
+					if err != nil {
+						break
+					}
+					if c3 == '\n' {
+						s.line++
+						break
+					}
+				}
+				if tok, ok := flush(); ok {
+					return tok, true
+				}
+			case '*':
+				var prev byte
+				for {
+					c3, err := s.br.ReadByte()
+					if err != nil {
+						break
+					}
+					if c3 == '\n' {
+						s.line++
+					}
+					if prev == '*' && c3 == '/' {
+						break
+					}
+					prev = c3
+				}
+				if tok, ok := flush(); ok {
+					return tok, true
+				}
+			default:
+				b.WriteByte(c)
+				b.WriteByte(c2)
+			}
+		case c == '"':
+			for {
+				c2, err := s.br.ReadByte()
+				if err != nil || c2 == '"' {
+					break
+				}
+				if c2 == '\n' {
+					s.line++
+				}
+				b.WriteByte(c2)
+			}
+			return b.String(), true
+		case isPunct(c):
+			if b.Len() > 0 {
+				s.pending = append(s.pending, string(c))
+				return b.String(), true
+			}
+			return string(c), true
+		default:
+			b.WriteByte(c)
+		}
+	}
+}

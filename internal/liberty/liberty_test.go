@@ -1,0 +1,304 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/lef"
+	"gdsiiguard/internal/tech"
+)
+
+const sampleLib = `
+/* OpenCell45 sample */
+library (OpenCell45) {
+  time_unit : "1ps" ;
+  capacitive_load_unit (1,ff) ;
+  nom_voltage : 1.1 ;
+
+  cell (NAND2_X1) {
+    cell_leakage_power : 12.5 ;
+    pin (A1) {
+      direction : input ;
+      capacitance : 1.6 ;
+    }
+    pin (A2) {
+      direction : input ;
+      capacitance : 1.6 ;
+    }
+    pin (ZN) {
+      direction : output ;
+      max_capacitance : 60 ;
+      timing () {
+        related_pin : "A1" ;
+        timing_type : combinational ;
+        intrinsic_rise : 12 ;
+        rise_resistance : 4.2 ;
+      }
+      timing () {
+        related_pin : "A2" ;
+        intrinsic_rise : 13 ;
+        rise_resistance : 4.2 ;
+      }
+      internal_power () {
+        rise_power : 1.1 ;
+      }
+    }
+  }
+
+  cell (DFF_X1) {
+    cell_leakage_power : 45 ;
+    ff (IQ,IQN) {
+      clocked_on : "CK" ;
+      next_state : "D" ;
+    }
+    pin (D) {
+      direction : input ;
+      capacitance : 1.8 ;
+      timing () {
+        related_pin : "CK" ;
+        timing_type : setup_rising ;
+        intrinsic_rise : 40 ;
+        rise_resistance : 0 ;
+      }
+    }
+    pin (CK) {
+      direction : input ;
+      capacitance : 1.2 ;
+      clock : true ;
+    }
+    pin (Q) {
+      direction : output ;
+      max_capacitance : 55 ;
+      timing () {
+        related_pin : "CK" ;
+        timing_type : rising_edge ;
+        intrinsic_rise : 95 ;
+        rise_resistance : 3.5 ;
+      }
+    }
+  }
+}
+`
+
+const sampleLEF = `
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+SITE core
+  SIZE 0.19 BY 1.4 ;
+END core
+MACRO NAND2_X1
+  CLASS CORE ;
+  SIZE 0.57 BY 1.4 ;
+  PIN A1
+    DIRECTION INPUT ;
+  END A1
+  PIN A2
+    DIRECTION INPUT ;
+  END A2
+  PIN ZN
+    DIRECTION OUTPUT ;
+  END ZN
+END NAND2_X1
+MACRO DFF_X1
+  CLASS CORE ;
+  SIZE 1.71 BY 1.4 ;
+  PIN D
+    DIRECTION INPUT ;
+  END D
+  PIN CK
+    DIRECTION INPUT ;
+  END CK
+  PIN Q
+    DIRECTION OUTPUT ;
+  END Q
+END DFF_X1
+END LIBRARY
+`
+
+func loadSample(t *testing.T) *tech.Library {
+	t.Helper()
+	lib, err := lef.ParseString(sampleLEF)
+	if err != nil {
+		t.Fatalf("lef: %v", err)
+	}
+	if err := MergeString(sampleLib, lib); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return lib
+}
+
+func TestMergeBasics(t *testing.T) {
+	lib := loadSample(t)
+	if lib.Name != "OpenCell45" {
+		t.Errorf("Name = %q", lib.Name)
+	}
+	if lib.Vdd != 1.1 {
+		t.Errorf("Vdd = %g", lib.Vdd)
+	}
+	nand := lib.Cell("NAND2_X1")
+	if nand.Leakage != 12.5 {
+		t.Errorf("leakage = %g", nand.Leakage)
+	}
+	if nand.Pin("A1").Cap != 1.6 {
+		t.Errorf("A1 cap = %g", nand.Pin("A1").Cap)
+	}
+	if nand.Pin("ZN").MaxCap != 60 {
+		t.Errorf("ZN maxcap = %g", nand.Pin("ZN").MaxCap)
+	}
+	if nand.InternalEnergy != 1.1 {
+		t.Errorf("internal energy = %g", nand.InternalEnergy)
+	}
+	if len(nand.Arcs) != 2 {
+		t.Fatalf("arcs = %d", len(nand.Arcs))
+	}
+	a := nand.Arc("A2", "ZN")
+	if a == nil || a.Intrinsic != 13 || a.DriveRes != 4.2 {
+		t.Errorf("arc A2->ZN = %+v", a)
+	}
+}
+
+func TestMergeSequential(t *testing.T) {
+	lib := loadSample(t)
+	dff := lib.Cell("DFF_X1")
+	if dff.Class != tech.Seq {
+		t.Fatalf("class = %v", dff.Class)
+	}
+	if !dff.Pin("CK").IsClock {
+		t.Error("CK not marked clock")
+	}
+	if dff.ClkToQ != 95 {
+		t.Errorf("ClkToQ = %g", dff.ClkToQ)
+	}
+	if dff.Setup != 40 {
+		t.Errorf("Setup = %g", dff.Setup)
+	}
+	if err := lib.Validate(); err != nil {
+		t.Errorf("merged library invalid: %v", err)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	lib, _ := lef.ParseString(sampleLEF)
+	if err := MergeString(`library (x) { cell (GHOST) { } }`, lib); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	lib, _ = lef.ParseString(sampleLEF)
+	if err := MergeString(`library (x) { cell (NAND2_X1) { pin (NOPE) { direction : input ; } } }`, lib); err == nil {
+		t.Error("unknown pin accepted")
+	}
+	lib, _ = lef.ParseString(sampleLEF)
+	if err := MergeString(`cellgroup (x) { }`, lib); err == nil {
+		t.Error("non-library top group accepted")
+	}
+	lib, _ = lef.ParseString(sampleLEF)
+	bad := `library (x) { cell (NAND2_X1) { pin (ZN) { direction : output ;
+		timing () { related_pin : "A1" ; timing_type : three_phase_commit ; } } } }`
+	if err := MergeString(bad, lib); err == nil {
+		t.Error("unsupported timing_type accepted")
+	}
+}
+
+func TestASTShape(t *testing.T) {
+	root, err := ParseAST(strings.NewReader(sampleLib))
+	if err != nil {
+		t.Fatalf("ParseAST: %v", err)
+	}
+	if root.Name != "library" || len(root.Args) != 1 || root.Args[0] != "OpenCell45" {
+		t.Fatalf("root = %s(%v)", root.Name, root.Args)
+	}
+	cells := root.Sub("cell")
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if v, ok := root.Attr("time_unit"); !ok || v != "1ps" {
+		t.Errorf("time_unit = %q, %v", v, ok)
+	}
+	// complex attribute captured
+	if v, ok := root.Attr("capacitive_load_unit"); !ok || v != "1,ff" {
+		t.Errorf("capacitive_load_unit = %q, %v", v, ok)
+	}
+	if _, ok := root.Float("nom_voltage"); !ok {
+		t.Error("nom_voltage not parsed as float")
+	}
+	if _, ok := root.Float("time_unit"); ok {
+		t.Error("non-numeric attr parsed as float")
+	}
+}
+
+func TestASTComments(t *testing.T) {
+	src := `
+// line comment
+library (x) { /* block
+comment */ nom_voltage : 1.0 ; }
+`
+	root, err := ParseAST(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseAST: %v", err)
+	}
+	if v, _ := root.Float("nom_voltage"); v != 1.0 {
+		t.Errorf("nom_voltage = %g", v)
+	}
+}
+
+func TestASTErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"library (x) {",
+		"library (x",
+		"library x) { }",
+		"library (x) { attr }",
+		"library (x) { pin (A) ",
+	}
+	for _, src := range cases {
+		if _, err := ParseAST(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := loadSample(t)
+	text := WriteString(lib)
+
+	lib2, err := lef.ParseString(sampleLEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeString(text, lib2); err != nil {
+		t.Fatalf("merge of written liberty: %v\n%s", err, text)
+	}
+	for _, c := range lib.Cells() {
+		c2 := lib2.Cell(c.Name)
+		if c2.Leakage != c.Leakage || c2.InternalEnergy != c.InternalEnergy ||
+			c2.ClkToQ != c.ClkToQ || c2.Setup != c.Setup || c2.Class != c.Class {
+			t.Errorf("cell %s scalar mismatch: %+v vs %+v", c.Name, c2, c)
+		}
+		if len(c2.Arcs) != len(c.Arcs) {
+			t.Errorf("cell %s arcs = %d vs %d", c.Name, len(c2.Arcs), len(c.Arcs))
+			continue
+		}
+		for i := range c.Arcs {
+			if c.Arcs[i] != c2.Arcs[i] {
+				t.Errorf("cell %s arc %d: %+v vs %+v", c.Name, i, c2.Arcs[i], c.Arcs[i])
+			}
+		}
+		for i := range c.Pins {
+			if c.Pins[i].Cap != c2.Pins[i].Cap || c.Pins[i].MaxCap != c2.Pins[i].MaxCap ||
+				c.Pins[i].IsClock != c2.Pins[i].IsClock {
+				t.Errorf("cell %s pin %s mismatch", c.Name, c.Pins[i].Name)
+			}
+		}
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	src := "library (x) { \\\n nom_voltage : 2.5 ; }"
+	root, err := ParseAST(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseAST: %v", err)
+	}
+	if v, _ := root.Float("nom_voltage"); v != 2.5 {
+		t.Errorf("nom_voltage = %g", v)
+	}
+}

@@ -1,0 +1,93 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gdsiiguard/internal/tech"
+)
+
+// Write emits the timing/power view of the library in the Liberty dialect
+// this package parses. Applying Merge of the output onto the same LEF
+// geometry reproduces the library exactly.
+func Write(w io.Writer, lib *tech.Library) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library (%s) {\n", lib.Name)
+	b.WriteString("  time_unit : \"1ps\" ;\n")
+	b.WriteString("  capacitive_load_unit (1,ff) ;\n")
+	fmt.Fprintf(&b, "  nom_voltage : %g ;\n\n", lib.Vdd)
+
+	for _, c := range lib.Cells() {
+		fmt.Fprintf(&b, "  cell (%s) {\n", c.Name)
+		fmt.Fprintf(&b, "    cell_leakage_power : %g ;\n", c.Leakage)
+		if c.Class == tech.Seq {
+			clk := "CK"
+			if p := c.ClockPin(); p != nil {
+				clk = p.Name
+			}
+			next := "D"
+			for _, in := range c.InputPins() {
+				next = in.Name
+				break
+			}
+			fmt.Fprintf(&b, "    ff (IQ,IQN) {\n      clocked_on : \"%s\" ;\n      next_state : \"%s\" ;\n    }\n", clk, next)
+		}
+		for _, p := range c.Pins {
+			fmt.Fprintf(&b, "    pin (%s) {\n", p.Name)
+			switch p.Dir {
+			case tech.Output:
+				b.WriteString("      direction : output ;\n")
+			case tech.Inout:
+				b.WriteString("      direction : inout ;\n")
+			default:
+				b.WriteString("      direction : input ;\n")
+			}
+			if p.Dir != tech.Output {
+				fmt.Fprintf(&b, "      capacitance : %g ;\n", p.Cap)
+			}
+			if p.MaxCap > 0 {
+				fmt.Fprintf(&b, "      max_capacitance : %g ;\n", p.MaxCap)
+			}
+			if p.IsClock {
+				b.WriteString("      clock : true ;\n")
+			}
+			if p.Dir == tech.Output {
+				for _, a := range c.Arcs {
+					if a.To != p.Name {
+						continue
+					}
+					ttype := "combinational"
+					if c.Class == tech.Seq && c.Pin(a.From) != nil && c.Pin(a.From).IsClock {
+						ttype = "rising_edge"
+					}
+					fmt.Fprintf(&b, "      timing () {\n        related_pin : \"%s\" ;\n        timing_type : %s ;\n        intrinsic_rise : %g ;\n        rise_resistance : %g ;\n      }\n",
+						a.From, ttype, a.Intrinsic, a.DriveRes)
+				}
+				if c.InternalEnergy > 0 {
+					fmt.Fprintf(&b, "      internal_power () {\n        rise_power : %g ;\n      }\n", c.InternalEnergy)
+				}
+			}
+			if p.Dir == tech.Input && !p.IsClock && c.Class == tech.Seq && c.Setup > 0 {
+				clk := "CK"
+				if cp := c.ClockPin(); cp != nil {
+					clk = cp.Name
+				}
+				fmt.Fprintf(&b, "      timing () {\n        related_pin : \"%s\" ;\n        timing_type : setup_rising ;\n        intrinsic_rise : %g ;\n        rise_resistance : 0 ;\n      }\n",
+					clk, c.Setup)
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("  }\n\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteString renders the library's Liberty view as a string.
+func WriteString(lib *tech.Library) string {
+	var b strings.Builder
+	_ = Write(&b, lib)
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package netlist
+
+// Clone returns a deep copy of the netlist: new Instance/Net/Port objects
+// with identical names, masters, connectivity, and flags. Master cells are
+// shared (the library is read-only).
+func (nl *Netlist) Clone() *Netlist {
+	out := New(nl.Name, nl.Lib)
+
+	for _, p := range nl.Ports {
+		np := &Port{Name: p.Name, Dir: p.Dir}
+		out.Ports = append(out.Ports, np)
+		out.portByName[np.Name] = np
+	}
+	for _, n := range nl.Nets {
+		nn := &Net{ID: n.ID, Name: n.Name, IsClock: n.IsClock}
+		out.Nets = append(out.Nets, nn)
+		out.netByName[nn.Name] = nn
+	}
+	for _, in := range nl.Insts {
+		ni := &Instance{
+			ID:               in.ID,
+			Name:             in.Name,
+			Master:           in.Master,
+			SecurityCritical: in.SecurityCritical,
+			Fixed:            in.Fixed,
+		}
+		out.Insts = append(out.Insts, ni)
+		out.instByName[ni.Name] = ni
+	}
+	// Rebuild terminals with the cloned objects.
+	for i, n := range nl.Nets {
+		nn := out.Nets[i]
+		nn.hasDriver = n.hasDriver
+		if n.hasDriver {
+			nn.Driver = out.cloneTerm(n.Driver)
+		}
+		nn.Sinks = make([]Terminal, len(n.Sinks))
+		for j, s := range n.Sinks {
+			nn.Sinks[j] = out.cloneTerm(s)
+		}
+	}
+	for i, in := range nl.Insts {
+		ni := out.Insts[i]
+		ni.Conns = make([]PinConn, len(in.Conns))
+		for j, c := range in.Conns {
+			ni.Conns[j] = PinConn{Pin: c.Pin, Net: out.netByName[c.Net.Name]}
+		}
+	}
+	return out
+}
+
+func (nl *Netlist) cloneTerm(t Terminal) Terminal {
+	if t.IsPort() {
+		return Terminal{Port: nl.portByName[t.Port.Name], Pin: t.Pin}
+	}
+	return Terminal{Inst: nl.instByName[t.Inst.Name], Pin: t.Pin}
+}

@@ -1,0 +1,66 @@
+package netlist
+
+import "testing"
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	nl := buildToy(t)
+	nl.Instance("u3").SecurityCritical = true
+	nl.Instance("u3").Fixed = true
+
+	c := nl.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if c.Stats() != nl.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", c.Stats(), nl.Stats())
+	}
+	// Flags preserved.
+	if !c.Instance("u3").SecurityCritical || !c.Instance("u3").Fixed {
+		t.Error("flags lost")
+	}
+	// Clock flag preserved.
+	if !c.Net("clk").IsClock {
+		t.Error("clock flag lost")
+	}
+	// Deep: objects are distinct.
+	if c.Instance("u1") == nl.Instance("u1") {
+		t.Error("instances aliased")
+	}
+	if c.Net("n1") == nl.Net("n1") {
+		t.Error("nets aliased")
+	}
+	// Terminals reference cloned objects, not originals.
+	if c.Net("n1").Driver.Inst != c.Instance("u1") {
+		t.Error("driver terminal references wrong instance")
+	}
+	for _, s := range c.Net("n1").Sinks {
+		if s.Inst != nil && s.Inst == nl.Instance("u2") {
+			t.Error("sink references original instance")
+		}
+	}
+	// Mutating the clone does not affect the original.
+	c.Instance("u1").SecurityCritical = true
+	if nl.Instance("u1").SecurityCritical {
+		t.Error("mutation leaked to original")
+	}
+	// Port terminal clone.
+	if d := c.Net("in0").Driver; !d.IsPort() || d.Port != c.Port("in0") {
+		t.Error("port terminal not re-pointed")
+	}
+}
+
+func TestCloneConnectionsMatch(t *testing.T) {
+	nl := buildToy(t)
+	c := nl.Clone()
+	for _, in := range nl.Insts {
+		ci := c.Instance(in.Name)
+		if len(ci.Conns) != len(in.Conns) {
+			t.Fatalf("%s conns = %d vs %d", in.Name, len(ci.Conns), len(in.Conns))
+		}
+		for i, conn := range in.Conns {
+			if ci.Conns[i].Pin != conn.Pin || ci.Conns[i].Net.Name != conn.Net.Name {
+				t.Errorf("%s conn %d mismatch", in.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package netlist
+
+import (
+	"fmt"
+	"testing"
+
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/tech"
+)
+
+// buildToy constructs:
+//
+//	in0 -> INV u1 -> n1 -> NAND2 u2 -> n2 -> DFF u3 -> q -> out0
+//	in1 ----------------->
+func buildToy(t *testing.T) *Netlist {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl := New("toy", lib)
+
+	in0, _ := nl.AddPort("in0", In)
+	in1, _ := nl.AddPort("in1", In)
+	clk, _ := nl.AddPort("clk", In)
+	out0, _ := nl.AddPort("out0", Out)
+
+	nIn0, _ := nl.AddNet("in0")
+	nIn1, _ := nl.AddNet("in1")
+	nClk, _ := nl.AddNet("clk")
+	nClk.IsClock = true
+	n1, _ := nl.AddNet("n1")
+	n2, _ := nl.AddNet("n2")
+	q, _ := nl.AddNet("q")
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(nl.ConnectPort(in0, nIn0))
+	must(nl.ConnectPort(in1, nIn1))
+	must(nl.ConnectPort(clk, nClk))
+	must(nl.ConnectPort(out0, q))
+
+	u1, err := nl.AddInstance("u1", "INV_X1")
+	must(err)
+	u2, err := nl.AddInstance("u2", "NAND2_X1")
+	must(err)
+	u3, err := nl.AddInstance("u3", "DFF_X1")
+	must(err)
+
+	must(nl.Connect(u1, "A", nIn0))
+	must(nl.Connect(u1, "ZN", n1))
+	must(nl.Connect(u2, "A1", n1))
+	must(nl.Connect(u2, "A2", nIn1))
+	must(nl.Connect(u2, "ZN", n2))
+	must(nl.Connect(u3, "D", n2))
+	must(nl.Connect(u3, "CK", nClk))
+	must(nl.Connect(u3, "Q", q))
+	return nl
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	nl := buildToy(t)
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := nl.Stats()
+	if s.Insts != 3 || s.Comb != 2 || s.Seq != 1 || s.Nets != 6 || s.Ports != 4 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestDriverSinkRoles(t *testing.T) {
+	nl := buildToy(t)
+	n1 := nl.Net("n1")
+	if !n1.HasDriver() || n1.Driver.Inst.Name != "u1" || n1.Driver.Pin != "ZN" {
+		t.Errorf("n1 driver = %v", n1.Driver)
+	}
+	if len(n1.Sinks) != 1 || n1.Sinks[0].Inst.Name != "u2" {
+		t.Errorf("n1 sinks = %v", n1.Sinks)
+	}
+	if n1.NumTerms() != 2 {
+		t.Errorf("NumTerms = %d", n1.NumTerms())
+	}
+	q := nl.Net("q")
+	if len(q.Sinks) != 1 || !q.Sinks[0].IsPort() {
+		t.Errorf("q sinks = %v", q.Sinks)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	nl := buildToy(t)
+	u1 := nl.Instance("u1")
+	n2 := nl.Net("n2")
+	if err := nl.Connect(u1, "NOPE", n2); err == nil {
+		t.Error("missing pin accepted")
+	}
+	if err := nl.Connect(u1, "A", n2); err == nil {
+		t.Error("double connection accepted")
+	}
+	// second driver on n2
+	u4, _ := nl.AddInstance("u4", "INV_X1")
+	if err := nl.Connect(u4, "ZN", n2); err == nil {
+		t.Error("second driver accepted")
+	}
+	if _, err := nl.AddInstance("u1", "INV_X1"); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+	if _, err := nl.AddInstance("u9", "UNOBTAINIUM"); err == nil {
+		t.Error("unknown master accepted")
+	}
+	if _, err := nl.AddNet("n1"); err == nil {
+		t.Error("duplicate net accepted")
+	}
+	if _, err := nl.AddPort("in0", In); err == nil {
+		t.Error("duplicate port accepted")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl := New("bad", lib)
+	_, _ = nl.AddNet("floating")
+	if err := nl.Validate(); err == nil {
+		t.Error("driverless net accepted")
+	}
+
+	nl2 := New("bad2", lib)
+	u, _ := nl2.AddInstance("u", "NAND2_X1")
+	n, _ := nl2.AddNet("n")
+	_ = nl2.Connect(u, "ZN", n)
+	// A1, A2 left dangling
+	if err := nl2.Validate(); err == nil {
+		t.Error("dangling input accepted")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	nl := buildToy(t)
+	order, err := nl.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := map[string]int{}
+	for i, in := range order {
+		pos[in.Name] = i
+	}
+	if len(order) != 3 {
+		t.Fatalf("order len = %d", len(order))
+	}
+	if pos["u1"] > pos["u2"] {
+		t.Error("u1 must precede u2")
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl := New("cyc", lib)
+	a, _ := nl.AddInstance("a", "INV_X1")
+	b, _ := nl.AddInstance("b", "INV_X1")
+	n1, _ := nl.AddNet("n1")
+	n2, _ := nl.AddNet("n2")
+	_ = nl.Connect(a, "ZN", n1)
+	_ = nl.Connect(b, "A", n1)
+	_ = nl.Connect(b, "ZN", n2)
+	_ = nl.Connect(a, "A", n2)
+	if _, err := nl.TopoOrder(); err == nil {
+		t.Error("combinational cycle accepted")
+	}
+}
+
+func TestTopoOrderSeqBreaksCycle(t *testing.T) {
+	// DFF in the loop: INV -> DFF -> INV -> (back). Legal.
+	lib := opencell45.MustLoad()
+	nl := New("seqcyc", lib)
+	inv, _ := nl.AddInstance("inv", "INV_X1")
+	dff, _ := nl.AddInstance("dff", "DFF_X1")
+	clk, _ := nl.AddNet("clk")
+	clk.IsClock = true
+	p, _ := nl.AddPort("clk", In)
+	_ = nl.ConnectPort(p, clk)
+	n1, _ := nl.AddNet("n1")
+	n2, _ := nl.AddNet("n2")
+	_ = nl.Connect(inv, "ZN", n1)
+	_ = nl.Connect(dff, "D", n1)
+	_ = nl.Connect(dff, "CK", clk)
+	_ = nl.Connect(dff, "Q", n2)
+	_ = nl.Connect(inv, "A", n2)
+	if _, err := nl.TopoOrder(); err != nil {
+		t.Errorf("sequential loop should be legal: %v", err)
+	}
+}
+
+func TestMarkCritical(t *testing.T) {
+	nl := buildToy(t)
+	n, err := nl.MarkCritical([]string{"u3", "u1"})
+	if err != nil || n != 2 {
+		t.Fatalf("MarkCritical = %d, %v", n, err)
+	}
+	if len(nl.CriticalInsts()) != 2 {
+		t.Errorf("CriticalInsts = %d", len(nl.CriticalInsts()))
+	}
+	n, err = nl.MarkCritical([]string{"u2", "ghost"})
+	if err == nil {
+		t.Error("unknown asset accepted")
+	}
+	if n != 1 {
+		t.Errorf("found = %d, want 1", n)
+	}
+}
+
+func TestRemoveFillers(t *testing.T) {
+	nl := buildToy(t)
+	for i := 0; i < 5; i++ {
+		if _, err := nl.AddInstance(fmt.Sprintf("fill%d", i), "FILLCELL_X2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nl.Stats().Filler; got != 5 {
+		t.Fatalf("fillers = %d", got)
+	}
+	removed := nl.RemoveFillers()
+	if removed != 5 {
+		t.Errorf("removed = %d", removed)
+	}
+	if nl.Instance("fill0") != nil {
+		t.Error("filler still findable by name")
+	}
+	// IDs re-packed
+	for i, in := range nl.Insts {
+		if in.ID != i {
+			t.Errorf("inst %s ID = %d, want %d", in.Name, in.ID, i)
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		t.Errorf("Validate after removal: %v", err)
+	}
+}
+
+func TestTerminalString(t *testing.T) {
+	nl := buildToy(t)
+	n1 := nl.Net("n1")
+	if s := n1.Driver.String(); s != "u1/ZN" {
+		t.Errorf("driver string = %q", s)
+	}
+	q := nl.Net("q")
+	if s := q.Sinks[0].String(); s != "port:out0" {
+		t.Errorf("port terminal string = %q", s)
+	}
+}
+
+func TestFunctionalInsts(t *testing.T) {
+	nl := buildToy(t)
+	_, _ = nl.AddInstance("f1", "FILLCELL_X4")
+	fn := nl.FunctionalInsts()
+	if len(fn) != 3 {
+		t.Errorf("functional = %d, want 3", len(fn))
+	}
+	for _, in := range fn {
+		if in.Master.Class == tech.Filler {
+			t.Error("filler in functional list")
+		}
+	}
+}

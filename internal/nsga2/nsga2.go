@@ -1,0 +1,494 @@
+// Package nsga2 implements the multi-objective flow-parameter optimizer of
+// §III-D: NSGA-II (Deb et al.) adapted to the GDSII-Guard parameter space.
+// Chromosomes are flow parameter vectors (Table I); the two objectives are
+// the security score and −TNS, both minimized; the power and DRC bounds of
+// §II-C enter through constraint domination (feasible solutions always beat
+// infeasible ones, matching "valid solutions should first meet hard
+// constraints"). Evaluations run on a bounded worker pool (the paper's
+// process-level parallelism) and are memoized by chromosome identity.
+package nsga2
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gdsiiguard/internal/core"
+)
+
+// Options configures the optimizer.
+type Options struct {
+	// PopSize is the population size (default 16).
+	PopSize int
+	// Generations is the maximum generation count (default 8).
+	Generations int
+	// Patience stops early after this many generations without a new
+	// non-dominated point (default 3; 0 disables).
+	Patience int
+	// NDRC and BetaPower are the hard constraints of §II-C
+	// (defaults 20 and 1.2).
+	NDRC      int
+	BetaPower float64
+	// CrossoverP and MutationP are per-gene probabilities
+	// (defaults 0.9 population-level crossover, 0.1 per-gene mutation).
+	CrossoverP, MutationP float64
+	// Parallelism bounds concurrent flow evaluations (default NumCPU).
+	Parallelism int
+	// Seed drives all stochastic choices.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PopSize <= 0 {
+		o.PopSize = 16
+	}
+	if o.PopSize%2 == 1 {
+		o.PopSize++
+	}
+	if o.Generations <= 0 {
+		o.Generations = 8
+	}
+	if o.Patience == 0 {
+		o.Patience = 3
+	}
+	if o.NDRC <= 0 {
+		o.NDRC = 20
+	}
+	if o.BetaPower <= 0 {
+		o.BetaPower = 1.2
+	}
+	if o.CrossoverP <= 0 {
+		o.CrossoverP = 0.9
+	}
+	if o.MutationP <= 0 {
+		o.MutationP = 0.1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// Individual is one evaluated chromosome.
+type Individual struct {
+	Params   core.Params
+	Metrics  core.Metrics
+	Feasible bool
+	// Violation is the aggregate constraint violation (0 when feasible).
+	Violation float64
+	// Generation the individual was first evaluated in.
+	Generation int
+
+	rank     int
+	crowding float64
+}
+
+// Objectives returns the two minimized objectives (security, −TNS).
+func (in *Individual) Objectives() [2]float64 {
+	return [2]float64{in.Metrics.Security, -in.Metrics.TNS}
+}
+
+// RunLog is the optimizer's full trace.
+type RunLog struct {
+	// Evaluations lists every distinct evaluated point in evaluation order
+	// (the scatter of Fig. 5).
+	Evaluations []Individual
+	// Front is the final feasible Pareto front, sorted by security.
+	Front []Individual
+	// Generations actually executed.
+	Generations int
+	// CacheHits counts chromosome re-evaluations avoided.
+	CacheHits int
+}
+
+// Optimize explores the flow parameter space for the given baseline design.
+func Optimize(base *core.Baseline, opt Options) (*RunLog, error) {
+	opt = opt.withDefaults()
+	k := base.Layout.Lib().NumLayers()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	log := &RunLog{}
+	ev := &evaluator{base: base, opt: opt, cache: map[string]*Individual{}, log: log}
+
+	// Initial population: random points plus the identity configuration.
+	var pop []*Individual
+	seen := map[string]bool{}
+	idty := core.DefaultParams(k)
+	pop = append(pop, &Individual{Params: idty})
+	seen[idty.Key()] = true
+	for len(pop) < opt.PopSize {
+		p := core.RandomParams(k, rng)
+		if seen[p.Key()] {
+			continue
+		}
+		seen[p.Key()] = true
+		pop = append(pop, &Individual{Params: p})
+	}
+	if err := ev.evalAll(pop, 0); err != nil {
+		return nil, err
+	}
+
+	stale := 0
+	frontSize := 0
+	gen := 0
+	for gen = 1; gen <= opt.Generations; gen++ {
+		rankAndCrowd(pop)
+		offspring := makeOffspring(pop, k, rng, opt)
+		if err := ev.evalAll(offspring, gen); err != nil {
+			return nil, err
+		}
+		pop = environmentalSelect(append(pop, offspring...), opt.PopSize)
+
+		// Convergence: population front stopped producing new points.
+		newSize := 0
+		for _, in := range pop {
+			if in.rank == 0 {
+				newSize++
+			}
+		}
+		if newSize == frontSize {
+			stale++
+		} else {
+			stale = 0
+			frontSize = newSize
+		}
+		if opt.Patience > 0 && stale >= opt.Patience {
+			break
+		}
+	}
+	if gen > opt.Generations {
+		gen = opt.Generations
+	}
+	log.Generations = gen
+	log.Front = paretoFront(log.Evaluations)
+	return log, nil
+}
+
+// evaluator memoizes flow runs and executes them in parallel.
+type evaluator struct {
+	base  *core.Baseline
+	opt   Options
+	cache map[string]*Individual
+	mu    sync.Mutex
+	log   *RunLog
+}
+
+// evalAll evaluates a batch: unique un-cached chromosomes run once each on
+// the worker pool (in deterministic key order for a reproducible trace),
+// then every individual is filled from the cache.
+func (ev *evaluator) evalAll(pop []*Individual, gen int) error {
+	var fresh []string
+	seen := map[string]core.Params{}
+	for _, in := range pop {
+		key := in.Params.Key()
+		if _, cached := ev.cache[key]; cached {
+			ev.log.CacheHits++
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			ev.log.CacheHits++
+			continue
+		}
+		seen[key] = in.Params
+		fresh = append(fresh, key)
+	}
+	sort.Strings(fresh)
+
+	// The jobs channel is buffered to the full batch so a worker that
+	// exits on error can never leave the producer blocked.
+	jobs := make(chan string, len(fresh))
+	errs := make(chan error, len(fresh))
+	var wg sync.WaitGroup
+	for w := 0; w < ev.opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range jobs {
+				if err := ev.evalFresh(seen[key], key, gen); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for _, key := range fresh {
+		jobs <- key
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	// Log fresh results in key order (deterministic trace) and fill the
+	// population.
+	for _, key := range fresh {
+		if hit, ok := ev.cache[key]; ok {
+			ev.log.Evaluations = append(ev.log.Evaluations, *hit)
+		}
+	}
+	for _, in := range pop {
+		hit := ev.cache[in.Params.Key()]
+		if hit == nil {
+			return fmt.Errorf("nsga2: missing evaluation for %s", in.Params.Key())
+		}
+		in.Metrics = hit.Metrics
+		in.Feasible = hit.Feasible
+		in.Violation = hit.Violation
+		in.Generation = hit.Generation
+	}
+	return nil
+}
+
+func (ev *evaluator) evalFresh(p core.Params, key string, gen int) error {
+	res, err := core.Run(ev.base, p)
+	if err != nil {
+		return fmt.Errorf("nsga2: evaluating %s: %w", key, err)
+	}
+	in := &Individual{
+		Params:     p.Clone(),
+		Metrics:    res.Metrics,
+		Generation: gen,
+		Feasible:   core.Feasible(res.Metrics, ev.base, ev.opt.NDRC, ev.opt.BetaPower),
+		Violation:  violation(res.Metrics, ev.base, ev.opt),
+	}
+	ev.mu.Lock()
+	ev.cache[key] = in
+	ev.mu.Unlock()
+	return nil
+}
+
+// violation aggregates normalized constraint excess.
+func violation(m core.Metrics, base *core.Baseline, opt Options) float64 {
+	v := 0.0
+	if m.DRC > opt.NDRC {
+		v += float64(m.DRC-opt.NDRC) / float64(opt.NDRC)
+	}
+	if cap := opt.BetaPower * base.Metrics.PowerMW; m.PowerMW > cap {
+		v += (m.PowerMW - cap) / cap
+	}
+	return v
+}
+
+// dominates implements constrained domination (Deb): feasible beats
+// infeasible; two infeasible compare by violation; two feasible compare by
+// Pareto dominance on (security, −TNS).
+func dominates(a, b *Individual) bool {
+	switch {
+	case a.Feasible && !b.Feasible:
+		return true
+	case !a.Feasible && b.Feasible:
+		return false
+	case !a.Feasible && !b.Feasible:
+		return a.Violation < b.Violation
+	}
+	ao, bo := a.Objectives(), b.Objectives()
+	notWorse := ao[0] <= bo[0] && ao[1] <= bo[1]
+	strictlyBetter := ao[0] < bo[0] || ao[1] < bo[1]
+	return notWorse && strictlyBetter
+}
+
+// rankAndCrowd assigns non-domination ranks and crowding distances.
+func rankAndCrowd(pop []*Individual) {
+	fronts := sortFronts(pop)
+	for _, front := range fronts {
+		crowd(front)
+	}
+}
+
+func sortFronts(pop []*Individual) [][]*Individual {
+	n := len(pop)
+	domCount := make([]int, n)
+	dominated := make([][]int, n)
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if dominates(pop[i], pop[j]) {
+				dominated[i] = append(dominated[i], j)
+			} else if dominates(pop[j], pop[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			pop[i].rank = 0
+			first = append(first, i)
+		}
+	}
+	var fronts [][]*Individual
+	cur := first
+	rank := 0
+	for len(cur) > 0 {
+		var front []*Individual
+		var next []int
+		for _, i := range cur {
+			front = append(front, pop[i])
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pop[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		fronts = append(fronts, front)
+		cur = next
+		rank++
+	}
+	return fronts
+}
+
+func crowd(front []*Individual) {
+	n := len(front)
+	for _, in := range front {
+		in.crowding = 0
+	}
+	if n <= 2 {
+		for _, in := range front {
+			in.crowding = math.Inf(1)
+		}
+		return
+	}
+	for obj := 0; obj < 2; obj++ {
+		sort.Slice(front, func(i, j int) bool {
+			return front[i].Objectives()[obj] < front[j].Objectives()[obj]
+		})
+		lo := front[0].Objectives()[obj]
+		hi := front[n-1].Objectives()[obj]
+		front[0].crowding = math.Inf(1)
+		front[n-1].crowding = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for i := 1; i < n-1; i++ {
+			front[i].crowding += (front[i+1].Objectives()[obj] - front[i-1].Objectives()[obj]) / (hi - lo)
+		}
+	}
+}
+
+// better implements the crowded-comparison operator.
+func better(a, b *Individual) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.crowding > b.crowding
+}
+
+// makeOffspring produces PopSize children via binary tournament, uniform
+// crossover and per-gene mutation.
+func makeOffspring(pop []*Individual, k int, rng *rand.Rand, opt Options) []*Individual {
+	tournament := func() *Individual {
+		a := pop[rng.Intn(len(pop))]
+		b := pop[rng.Intn(len(pop))]
+		if better(a, b) {
+			return a
+		}
+		return b
+	}
+	var out []*Individual
+	for len(out) < opt.PopSize {
+		p1, p2 := tournament(), tournament()
+		c1, c2 := p1.Params.Clone(), p2.Params.Clone()
+		if rng.Float64() < opt.CrossoverP {
+			crossover(&c1, &c2, rng)
+		}
+		mutate(&c1, k, rng, opt.MutationP)
+		mutate(&c2, k, rng, opt.MutationP)
+		out = append(out, &Individual{Params: c1}, &Individual{Params: c2})
+	}
+	return out[:opt.PopSize]
+}
+
+// crossover swaps genes uniformly between two chromosomes.
+func crossover(a, b *core.Params, rng *rand.Rand) {
+	if rng.Intn(2) == 0 {
+		a.Op, b.Op = b.Op, a.Op
+	}
+	if rng.Intn(2) == 0 {
+		a.LDAGridN, b.LDAGridN = b.LDAGridN, a.LDAGridN
+	}
+	if rng.Intn(2) == 0 {
+		a.LDAIters, b.LDAIters = b.LDAIters, a.LDAIters
+	}
+	for i := range a.ScaleM {
+		if rng.Intn(2) == 0 {
+			a.ScaleM[i], b.ScaleM[i] = b.ScaleM[i], a.ScaleM[i]
+		}
+	}
+}
+
+// mutate resets genes to random admissible values with probability p each.
+func mutate(p *core.Params, k int, rng *rand.Rand, prob float64) {
+	if rng.Float64() < prob {
+		if p.Op == core.CS {
+			p.Op = core.LDA
+		} else {
+			p.Op = core.CS
+		}
+	}
+	if rng.Float64() < prob {
+		p.LDAGridN = core.LDAGridValues[rng.Intn(len(core.LDAGridValues))]
+	}
+	if rng.Float64() < prob {
+		p.LDAIters = core.LDAIterValues[rng.Intn(len(core.LDAIterValues))]
+	}
+	for i := 0; i < k; i++ {
+		if rng.Float64() < prob {
+			p.ScaleM[i] = core.ScaleValues[rng.Intn(len(core.ScaleValues))]
+		}
+	}
+}
+
+// environmentalSelect keeps the best n individuals by rank then crowding.
+func environmentalSelect(pop []*Individual, n int) []*Individual {
+	rankAndCrowd(pop)
+	sort.SliceStable(pop, func(i, j int) bool { return better(pop[i], pop[j]) })
+	if len(pop) > n {
+		pop = pop[:n]
+	}
+	return pop
+}
+
+// paretoFront extracts the feasible non-dominated subset of the
+// evaluations, sorted by ascending security.
+func paretoFront(all []Individual) []Individual {
+	var feas []*Individual
+	for i := range all {
+		if all[i].Feasible {
+			feas = append(feas, &all[i])
+		}
+	}
+	var front []Individual
+	for _, a := range feas {
+		dominated := false
+		for _, b := range feas {
+			if a != b && dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, *a)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Metrics.Security != front[j].Metrics.Security {
+			return front[i].Metrics.Security < front[j].Metrics.Security
+		}
+		return front[i].Metrics.TNS > front[j].Metrics.TNS
+	})
+	// Collapse duplicate objective points.
+	out := front[:0]
+	for i, in := range front {
+		if i == 0 || in.Metrics.Security != front[i-1].Metrics.Security ||
+			in.Metrics.TNS != front[i-1].Metrics.TNS {
+			out = append(out, in)
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package opencell45 provides the embedded 45nm standard-cell library used
+// throughout the repository: a synthetic stand-in for the Nangate/FreePDK45
+// Open Cell Library the paper uses, with the same site geometry
+// (0.19µm × 1.4µm), ten routing metal layers (K = 10), and NLDM-style
+// linear timing/power parameters at 45nm magnitudes.
+//
+// The canonical definition is the compact table in this file; LEFText and
+// LibertyText render it through the real lef/liberty writers, and Load
+// parses those texts back through the real parsers, so the full LEF/Liberty
+// I/O path is exercised on every load.
+package opencell45
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"gdsiiguard/internal/lef"
+	"gdsiiguard/internal/liberty"
+	"gdsiiguard/internal/tech"
+)
+
+// LibraryName is the name of the embedded library.
+const LibraryName = "OpenCell45"
+
+// NumLayers is K, the routing metal layer count (matches the paper's K=10).
+const NumLayers = 10
+
+type combSpec struct {
+	name      string
+	width     int      // sites
+	inputs    []string // input pin names
+	outputs   []string // output pin names
+	intrinsic float64  // ps
+	res       float64  // kΩ
+	inCap     float64  // fF per input
+	maxCap    float64  // fF
+	leak      float64  // nW
+	energy    float64  // fJ per toggle
+}
+
+type seqSpec struct {
+	name   string
+	width  int
+	inputs []string // data inputs (D first)
+	clkToQ float64
+	res    float64
+	setup  float64
+	dCap   float64
+	ckCap  float64
+	maxCap float64
+	leak   float64
+	energy float64
+}
+
+// The combinational cell table. Drive-strength families share a prefix;
+// stronger variants have lower drive resistance and higher caps/leakage.
+var combCells = []combSpec{
+	{"INV_X1", 2, []string{"A"}, []string{"ZN"}, 8, 6.0, 1.0, 40, 8, 0.5},
+	{"INV_X2", 3, []string{"A"}, []string{"ZN"}, 8, 3.0, 2.0, 80, 16, 1.0},
+	{"INV_X4", 4, []string{"A"}, []string{"ZN"}, 8, 1.5, 4.0, 160, 32, 2.0},
+	{"INV_X8", 6, []string{"A"}, []string{"ZN"}, 8, 0.75, 8.0, 320, 64, 4.0},
+	{"BUF_X1", 3, []string{"A"}, []string{"Z"}, 16, 5.0, 1.0, 45, 12, 0.8},
+	{"BUF_X2", 4, []string{"A"}, []string{"Z"}, 16, 2.5, 1.8, 90, 24, 1.6},
+	{"BUF_X4", 5, []string{"A"}, []string{"Z"}, 16, 1.25, 3.6, 180, 48, 3.2},
+	{"CLKBUF_X1", 3, []string{"A"}, []string{"Z"}, 14, 4.5, 1.2, 50, 14, 0.9},
+	{"CLKBUF_X2", 4, []string{"A"}, []string{"Z"}, 14, 2.3, 2.2, 100, 28, 1.8},
+	{"CLKBUF_X3", 5, []string{"A"}, []string{"Z"}, 14, 1.5, 3.4, 150, 42, 2.7},
+	{"NAND2_X1", 3, []string{"A1", "A2"}, []string{"ZN"}, 12, 5.0, 1.6, 42, 12, 0.9},
+	{"NAND2_X2", 4, []string{"A1", "A2"}, []string{"ZN"}, 12, 2.5, 3.2, 84, 24, 1.8},
+	{"NAND3_X1", 4, []string{"A1", "A2", "A3"}, []string{"ZN"}, 16, 5.4, 1.7, 42, 16, 1.2},
+	{"NAND4_X1", 5, []string{"A1", "A2", "A3", "A4"}, []string{"ZN"}, 20, 5.8, 1.8, 42, 20, 1.5},
+	{"NOR2_X1", 3, []string{"A1", "A2"}, []string{"ZN"}, 14, 5.6, 1.6, 40, 12, 0.9},
+	{"NOR2_X2", 4, []string{"A1", "A2"}, []string{"ZN"}, 14, 2.8, 3.2, 80, 24, 1.8},
+	{"NOR3_X1", 4, []string{"A1", "A2", "A3"}, []string{"ZN"}, 19, 6.2, 1.7, 40, 16, 1.2},
+	{"AND2_X1", 4, []string{"A1", "A2"}, []string{"ZN"}, 20, 5.0, 1.4, 44, 14, 1.1},
+	{"OR2_X1", 4, []string{"A1", "A2"}, []string{"ZN"}, 21, 5.2, 1.4, 44, 14, 1.1},
+	{"XOR2_X1", 5, []string{"A", "B"}, []string{"Z"}, 26, 5.5, 2.2, 40, 20, 1.8},
+	{"XNOR2_X1", 5, []string{"A", "B"}, []string{"ZN"}, 26, 5.5, 2.2, 40, 20, 1.8},
+	{"AOI21_X1", 4, []string{"A", "B1", "B2"}, []string{"ZN"}, 18, 5.8, 1.7, 40, 15, 1.2},
+	{"AOI22_X1", 5, []string{"A1", "A2", "B1", "B2"}, []string{"ZN"}, 20, 6.0, 1.8, 40, 18, 1.4},
+	{"OAI21_X1", 4, []string{"A", "B1", "B2"}, []string{"ZN"}, 18, 5.8, 1.7, 40, 15, 1.2},
+	{"OAI22_X1", 5, []string{"A1", "A2", "B1", "B2"}, []string{"ZN"}, 20, 6.0, 1.8, 40, 18, 1.4},
+	{"MUX2_X1", 6, []string{"A", "B", "S"}, []string{"Z"}, 24, 5.2, 1.9, 44, 22, 1.7},
+	{"HA_X1", 7, []string{"A", "B"}, []string{"CO", "S"}, 28, 5.6, 2.4, 40, 26, 2.2},
+	{"FA_X1", 9, []string{"A", "B", "CI"}, []string{"CO", "S"}, 32, 5.8, 2.6, 40, 34, 2.8},
+}
+
+var seqCells = []seqSpec{
+	{"DFF_X1", 9, []string{"D"}, 95, 3.5, 35, 1.8, 1.0, 55, 45, 3.0},
+	{"DFF_X2", 10, []string{"D"}, 92, 1.8, 35, 3.4, 1.4, 110, 86, 5.6},
+	{"DFFR_X1", 11, []string{"D", "RN"}, 98, 3.6, 36, 1.8, 1.0, 55, 52, 3.3},
+	{"SDFF_X1", 12, []string{"D", "SI", "SE"}, 102, 3.7, 38, 1.9, 1.0, 55, 60, 3.8},
+}
+
+// FillerWidths are the available filler-cell widths in sites.
+var FillerWidths = []int{1, 2, 4, 8, 16, 32}
+
+// layer stack: pitch/width/spacing in µm, R in kΩ/µm, C in fF/µm.
+var layerSpecs = []struct {
+	pitch, width, spacing float64
+	r, c                  float64
+}{
+	{0.19, 0.07, 0.065, 0.00380, 0.180}, // metal1
+	{0.19, 0.07, 0.070, 0.00380, 0.180}, // metal2
+	{0.19, 0.07, 0.070, 0.00250, 0.175}, // metal3
+	{0.28, 0.14, 0.140, 0.00210, 0.170}, // metal4
+	{0.28, 0.14, 0.140, 0.00210, 0.170}, // metal5
+	{0.28, 0.14, 0.140, 0.00210, 0.170}, // metal6
+	{0.80, 0.40, 0.400, 0.00110, 0.160}, // metal7
+	{0.80, 0.40, 0.400, 0.00110, 0.160}, // metal8
+	{1.60, 0.80, 0.800, 0.00038, 0.150}, // metal9
+	{1.60, 0.80, 0.800, 0.00038, 0.150}, // metal10
+}
+
+// build constructs the library directly from the tables (the canonical
+// in-memory definition).
+func build() *tech.Library {
+	lib := tech.NewLibrary(LibraryName)
+	lib.DBUPerMicron = 1000
+	lib.Vdd = 1.1
+	lib.Site = tech.Site{Name: "FreePDK45_38x28", Width: 190, Height: 1400}
+
+	for i, s := range layerSpecs {
+		dir := tech.Horizontal
+		if i%2 == 1 {
+			dir = tech.Vertical
+		}
+		lib.Layers = append(lib.Layers, tech.Layer{
+			Name:    fmt.Sprintf("metal%d", i+1),
+			Index:   i + 1,
+			Dir:     dir,
+			Pitch:   lib.MicronsToDBU(s.pitch),
+			Width:   lib.MicronsToDBU(s.width),
+			Spacing: lib.MicronsToDBU(s.spacing),
+			RPerUM:  s.r,
+			CPerUM:  s.c,
+		})
+	}
+
+	for _, s := range combCells {
+		c := &tech.Cell{
+			Name:           s.name,
+			Class:          tech.Comb,
+			WidthSites:     s.width,
+			Leakage:        s.leak,
+			InternalEnergy: s.energy,
+		}
+		for _, in := range s.inputs {
+			c.Pins = append(c.Pins, tech.Pin{Name: in, Dir: tech.Input, Cap: s.inCap})
+		}
+		for _, out := range s.outputs {
+			c.Pins = append(c.Pins, tech.Pin{Name: out, Dir: tech.Output, MaxCap: s.maxCap})
+		}
+		for _, out := range s.outputs {
+			for i, in := range s.inputs {
+				// Later inputs are slightly slower, as in real libraries.
+				c.Arcs = append(c.Arcs, tech.TimingArc{
+					From:      in,
+					To:        out,
+					Intrinsic: s.intrinsic + float64(i),
+					DriveRes:  s.res,
+				})
+			}
+		}
+		lib.AddCell(c)
+	}
+
+	for _, s := range seqCells {
+		c := &tech.Cell{
+			Name:           s.name,
+			Class:          tech.Seq,
+			WidthSites:     s.width,
+			Leakage:        s.leak,
+			InternalEnergy: s.energy,
+			ClkToQ:         s.clkToQ,
+			Setup:          s.setup,
+		}
+		for _, in := range s.inputs {
+			c.Pins = append(c.Pins, tech.Pin{Name: in, Dir: tech.Input, Cap: s.dCap})
+		}
+		c.Pins = append(c.Pins, tech.Pin{Name: "CK", Dir: tech.Input, Cap: s.ckCap, IsClock: true})
+		c.Pins = append(c.Pins, tech.Pin{Name: "Q", Dir: tech.Output, MaxCap: s.maxCap})
+		c.Arcs = append(c.Arcs, tech.TimingArc{From: "CK", To: "Q", Intrinsic: s.clkToQ, DriveRes: s.res})
+		lib.AddCell(c)
+	}
+
+	for _, w := range FillerWidths {
+		lib.AddCell(&tech.Cell{
+			Name:       fmt.Sprintf("FILLCELL_X%d", w),
+			Class:      tech.Filler,
+			WidthSites: w,
+			Leakage:    0.4 * float64(w),
+		})
+	}
+	lib.AddCell(&tech.Cell{Name: "TAPCELL_X1", Class: tech.Tap, WidthSites: 2, Leakage: 0.2})
+
+	return lib
+}
+
+// LEFText renders the embedded library's LEF view.
+func LEFText() string { return lef.WriteString(build()) }
+
+// LibertyText renders the embedded library's Liberty view.
+func LibertyText() string { return liberty.WriteString(build()) }
+
+var (
+	once   sync.Once
+	loaded *tech.Library
+	loadEr error
+)
+
+// Load returns the embedded OpenCell45 library, parsed from its own
+// LEF/Liberty text through the real parsers. The returned library is shared
+// and must be treated as read-only; it is validated on first load.
+func Load() (*tech.Library, error) {
+	once.Do(func() {
+		canonical := build()
+		lib, err := lef.Parse(strings.NewReader(lef.WriteString(canonical)))
+		if err != nil {
+			loadEr = fmt.Errorf("opencell45: LEF self-parse: %w", err)
+			return
+		}
+		if err := liberty.Merge(strings.NewReader(liberty.WriteString(canonical)), lib); err != nil {
+			loadEr = fmt.Errorf("opencell45: Liberty self-merge: %w", err)
+			return
+		}
+		if err := lib.Validate(); err != nil {
+			loadEr = fmt.Errorf("opencell45: %w", err)
+			return
+		}
+		loaded = lib
+	})
+	return loaded, loadEr
+}
+
+// MustLoad is Load panicking on error; the embedded library is static, so a
+// failure is a programming bug.
+func MustLoad() *tech.Library {
+	lib, err := Load()
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}

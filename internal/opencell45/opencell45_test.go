@@ -1,0 +1,165 @@
+package opencell45
+
+import (
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/tech"
+)
+
+func TestLoadValidates(t *testing.T) {
+	lib, err := Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if lib.Name != LibraryName {
+		t.Errorf("Name = %q", lib.Name)
+	}
+	if err := lib.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLayerStack(t *testing.T) {
+	lib := MustLoad()
+	if lib.NumLayers() != NumLayers {
+		t.Fatalf("K = %d, want %d", lib.NumLayers(), NumLayers)
+	}
+	for i := 1; i <= NumLayers; i++ {
+		ly := lib.Layer(i)
+		wantDir := tech.Horizontal
+		if i%2 == 0 {
+			wantDir = tech.Vertical
+		}
+		if ly.Dir != wantDir {
+			t.Errorf("metal%d direction = %v", i, ly.Dir)
+		}
+		if ly.Pitch <= 0 || ly.Width <= 0 || ly.RPerUM <= 0 || ly.CPerUM <= 0 {
+			t.Errorf("metal%d has non-positive electricals: %+v", i, ly)
+		}
+	}
+	// Upper layers are wider and less resistive.
+	if lib.Layer(10).Pitch <= lib.Layer(1).Pitch {
+		t.Error("metal10 pitch should exceed metal1")
+	}
+	if lib.Layer(10).RPerUM >= lib.Layer(1).RPerUM {
+		t.Error("metal10 should be less resistive than metal1")
+	}
+}
+
+func TestSiteGeometry(t *testing.T) {
+	lib := MustLoad()
+	if lib.Site.Width != 190 || lib.Site.Height != 1400 {
+		t.Errorf("site = %+v, want 0.19x1.4um", lib.Site)
+	}
+	if lib.DBUPerMicron != 1000 {
+		t.Errorf("DBUPerMicron = %d", lib.DBUPerMicron)
+	}
+}
+
+func TestEssentialCellsPresent(t *testing.T) {
+	lib := MustLoad()
+	for _, name := range []string{
+		"INV_X1", "INV_X8", "BUF_X1", "NAND2_X1", "NAND4_X1", "NOR2_X1",
+		"XOR2_X1", "AOI21_X1", "OAI22_X1", "MUX2_X1", "FA_X1",
+		"DFF_X1", "DFFR_X1", "SDFF_X1",
+		"FILLCELL_X1", "FILLCELL_X32", "TAPCELL_X1",
+	} {
+		if lib.Cell(name) == nil {
+			t.Errorf("cell %s missing", name)
+		}
+	}
+	if n := lib.NumCells(); n < 30 {
+		t.Errorf("library has only %d cells", n)
+	}
+}
+
+func TestDriveStrengthScaling(t *testing.T) {
+	lib := MustLoad()
+	x1 := lib.Cell("INV_X1")
+	x4 := lib.Cell("INV_X4")
+	if x4.Arcs[0].DriveRes >= x1.Arcs[0].DriveRes {
+		t.Error("X4 should have lower drive resistance than X1")
+	}
+	if x4.Leakage <= x1.Leakage {
+		t.Error("X4 should leak more than X1")
+	}
+	if x4.Pins[0].Cap <= x1.Pins[0].Cap {
+		t.Error("X4 input cap should exceed X1")
+	}
+	if x4.WidthSites <= x1.WidthSites {
+		t.Error("X4 should be wider than X1")
+	}
+}
+
+func TestSequentialCells(t *testing.T) {
+	lib := MustLoad()
+	dff := lib.Cell("DFF_X1")
+	if dff.Class != tech.Seq {
+		t.Fatalf("DFF_X1 class = %v", dff.Class)
+	}
+	if dff.ClkToQ <= 0 || dff.Setup <= 0 {
+		t.Errorf("DFF_X1 timing: clk2q=%g setup=%g", dff.ClkToQ, dff.Setup)
+	}
+	if ck := dff.ClockPin(); ck == nil || ck.Name != "CK" {
+		t.Errorf("clock pin = %v", ck)
+	}
+	if dff.Arc("CK", "Q") == nil {
+		t.Error("CK->Q arc missing")
+	}
+}
+
+func TestMultiOutputCells(t *testing.T) {
+	lib := MustLoad()
+	fa := lib.Cell("FA_X1")
+	outs := 0
+	for _, p := range fa.Pins {
+		if p.Dir == tech.Output {
+			outs++
+		}
+	}
+	if outs != 2 {
+		t.Fatalf("FA_X1 outputs = %d, want 2", outs)
+	}
+	if fa.Arc("CI", "S") == nil || fa.Arc("A", "CO") == nil {
+		t.Error("FA_X1 missing arcs to one of its outputs")
+	}
+}
+
+func TestFillers(t *testing.T) {
+	lib := MustLoad()
+	fills := lib.FillersByWidth()
+	if len(fills) != len(FillerWidths) {
+		t.Fatalf("fillers = %d, want %d", len(fills), len(FillerWidths))
+	}
+	if fills[0].WidthSites != 32 {
+		t.Errorf("widest filler = %d", fills[0].WidthSites)
+	}
+	for _, f := range fills {
+		if f.IsFunctional() {
+			t.Errorf("filler %s reported functional", f.Name)
+		}
+		if f.OutputPin() != nil {
+			t.Errorf("filler %s has an output pin", f.Name)
+		}
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	lefText := LEFText()
+	libText := LibertyText()
+	if !strings.Contains(lefText, "MACRO INV_X1") || !strings.Contains(lefText, "DATABASE MICRONS 1000") {
+		t.Error("LEF text missing expected content")
+	}
+	if !strings.Contains(libText, "cell (DFF_X1)") || !strings.Contains(libText, "clocked_on") {
+		t.Error("Liberty text missing expected content")
+	}
+}
+
+func TestLoadIsStable(t *testing.T) {
+	a := MustLoad()
+	b := MustLoad()
+	if a != b {
+		t.Error("Load should return the cached instance")
+	}
+}

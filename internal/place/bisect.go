@@ -1,0 +1,259 @@
+package place
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+)
+
+// bisectPlace performs recursive min-cut placement: the cell set is
+// recursively split by connectivity-driven cluster growth, each half
+// assigned to one half of the region, until leaf regions hold few cells,
+// which are then filled row-wise with randomized gaps. This embeds the
+// netlist's 2-D structure far better than any linear ordering can.
+func bisectPlace(l *layout.Layout, cells []*netlist.Instance, rng *rand.Rand) error {
+	region := siteRegion{0, l.NumRows, 0, l.SitesPerRow}
+	return bisect(l, cells, region, rng)
+}
+
+// siteRegion is a rectangle in site coordinates [row0,row1) × [site0,site1).
+type siteRegion struct {
+	row0, row1, site0, site1 int
+}
+
+func (r siteRegion) rows() int  { return r.row1 - r.row0 }
+func (r siteRegion) width() int { return r.site1 - r.site0 }
+func (r siteRegion) sites() int { return r.rows() * r.width() }
+
+func bisect(l *layout.Layout, cells []*netlist.Instance, region siteRegion, rng *rand.Rand) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	var cellSites int
+	for _, in := range cells {
+		cellSites += in.Master.WidthSites
+	}
+	if cellSites > region.sites() {
+		return fmt.Errorf("place: region %+v overfull: %d cells sites in %d", region, cellSites, region.sites())
+	}
+	// Leaf: place row-wise with random gaps.
+	if len(cells) <= 24 || region.rows() <= 2 || region.width() <= 48 {
+		return fillLeaf(l, cells, region, rng)
+	}
+	// Split the physically longer dimension (DBU aspect).
+	siteW, siteH := l.Lib().Site.Width, l.Lib().Site.Height
+	horizontalCut := int64(region.rows())*siteH > int64(region.width())*siteW
+	var r1, r2 siteRegion
+	if horizontalCut {
+		mid := region.row0 + region.rows()/2
+		r1 = siteRegion{region.row0, mid, region.site0, region.site1}
+		r2 = siteRegion{mid, region.row1, region.site0, region.site1}
+	} else {
+		mid := region.site0 + region.width()/2
+		r1 = siteRegion{region.row0, region.row1, region.site0, mid}
+		r2 = siteRegion{region.row0, region.row1, mid, region.site1}
+	}
+	// Target: split cell width proportionally to sub-region capacity,
+	// capped so both halves keep slack.
+	target := cellSites * r1.sites() / region.sites()
+	if max := r1.sites() - 1; target > max {
+		target = max
+	}
+	g1, g2 := partitionByConnectivity(cells, target, r2.sites()-1)
+	if err := bisect(l, g1, r1, rng); err != nil {
+		return err
+	}
+	return bisect(l, g2, r2, rng)
+}
+
+// partitionByConnectivity grows cluster A from a seed, always absorbing the
+// unassigned cell with the most connections into A (lazy max-gain buckets),
+// until A's width reaches target. Cells left over go to B; if B would
+// overflow its capacity, trailing cells move back to A.
+func partitionByConnectivity(cells []*netlist.Instance, target, capB int) (a, b []*netlist.Instance) {
+	inSet := make(map[*netlist.Instance]int, len(cells)) // index into cells
+	for i, in := range cells {
+		inSet[in] = i
+	}
+	assigned := make([]bool, len(cells))
+	gain := make([]int, len(cells))
+	// Lazy max-heap of (gain, index): stale entries (whose recorded gain no
+	// longer matches) are discarded on pop.
+	h := &gainHeap{}
+	pushCand := func(idx int) {
+		heapPush(h, gainEntry{gain[idx], idx})
+	}
+	pop := func() (int, bool) {
+		for h.Len() > 0 {
+			e := heapPop(h)
+			if assigned[e.idx] || gain[e.idx] != e.g {
+				continue
+			}
+			return e.idx, true
+		}
+		return 0, false
+	}
+
+	widthA := 0
+	absorb := func(idx int) {
+		assigned[idx] = true
+		a = append(a, cells[idx])
+		widthA += cells[idx].Master.WidthSites
+		// raise neighbor gains
+		for _, c := range cells[idx].Conns {
+			n := c.Net
+			if n == nil || n.IsClock || n.NumTerms() > 24 {
+				continue
+			}
+			touch := func(in *netlist.Instance) {
+				if in == nil {
+					return
+				}
+				if j, ok := inSet[in]; ok && !assigned[j] {
+					gain[j]++
+					pushCand(j)
+				}
+			}
+			if n.HasDriver() && !n.Driver.IsPort() {
+				touch(n.Driver.Inst)
+			}
+			for _, s := range n.Sinks {
+				if !s.IsPort() {
+					touch(s.Inst)
+				}
+			}
+		}
+	}
+
+	next := 0 // deterministic fallback seed cursor
+	for widthA < target {
+		idx, ok := pop()
+		if !ok || gain[idx] == 0 {
+			// no connected candidate: seed a fresh cluster
+			for next < len(cells) && assigned[next] {
+				next++
+			}
+			if next >= len(cells) {
+				break
+			}
+			idx = next
+		}
+		if assigned[idx] {
+			continue
+		}
+		if widthA+cells[idx].Master.WidthSites > target+4 {
+			// would overshoot noticeably; try to finish with small cells
+			assigned[idx] = true
+			b = append(b, cells[idx])
+			continue
+		}
+		absorb(idx)
+	}
+	widthB := 0
+	for i, in := range cells {
+		if !assigned[i] {
+			b = append(b, in)
+			widthB += in.Master.WidthSites
+		}
+	}
+	// Rebalance if B overflows its capacity.
+	for widthB > capB && len(b) > 0 {
+		in := b[len(b)-1]
+		b = b[:len(b)-1]
+		a = append(a, in)
+		widthB -= in.Master.WidthSites
+	}
+	return a, b
+}
+
+// fillLeaf places the leaf's cells row-wise inside the region, spreading
+// the leftover space as randomized gaps.
+func fillLeaf(l *layout.Layout, cells []*netlist.Instance, region siteRegion, rng *rand.Rand) error {
+	// Sort by width descending for dense packing, then by ID for
+	// determinism.
+	sorted := append([]*netlist.Instance(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Master.WidthSites != sorted[j].Master.WidthSites {
+			return sorted[i].Master.WidthSites > sorted[j].Master.WidthSites
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	// Distribute cells to rows (first-fit decreasing).
+	type rowState struct {
+		cells []*netlist.Instance
+		used  int
+	}
+	rows := make([]rowState, region.rows())
+	capPerRow := region.width()
+	for _, in := range sorted {
+		// Balanced assignment: the least-used row takes the next cell, so
+		// leaf rows end at similar densities (real placers row-balance).
+		best := -1
+		for r := range rows {
+			if rows[r].used+in.Master.WidthSites > capPerRow {
+				continue
+			}
+			if best < 0 || rows[r].used < rows[best].used {
+				best = r
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("place: leaf %+v cannot fit cell %s", region, in.Name)
+		}
+		rows[best].cells = append(rows[best].cells, in)
+		rows[best].used += in.Master.WidthSites
+	}
+	for r := range rows {
+		free := capPerRow - rows[r].used
+		gaps := len(rows[r].cells) + 1
+		weights := make([]float64, gaps)
+		var wSum float64
+		for i := range weights {
+			weights[i] = rng.ExpFloat64()
+			wSum += weights[i]
+		}
+		site := region.site0
+		remFree := free
+		for i, in := range rows[r].cells {
+			gap := 0
+			if wSum > 0 {
+				gap = int(weights[i] / wSum * float64(free))
+			}
+			if gap > remFree {
+				gap = remFree
+			}
+			site += gap
+			remFree -= gap
+			if err := l.Place(in, region.row0+r, site); err != nil {
+				return err
+			}
+			site += in.Master.WidthSites
+		}
+	}
+	return nil
+}
+
+// gainEntry is a lazy max-heap element for cluster growth.
+type gainEntry struct{ g, idx int }
+
+// gainHeap orders entries by descending gain, breaking ties by ascending
+// index for determinism.
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].g != h[j].g {
+		return h[i].g > h[j].g
+	}
+	return h[i].idx < h[j].idx
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func heapPush(h *gainHeap, e gainEntry) { heap.Push(h, e) }
+func heapPop(h *gainHeap) gainEntry     { return heap.Pop(h).(gainEntry) }

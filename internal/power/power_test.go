@@ -1,0 +1,173 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/place"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/sdc"
+)
+
+func chain(t testing.TB, n int) *layout.Layout {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl := netlist.New("p", lib)
+	clkPort, _ := nl.AddPort("clk", netlist.In)
+	clkNet, _ := nl.AddNet("clk")
+	clkNet.IsClock = true
+	_ = nl.ConnectPort(clkPort, clkNet)
+	in, _ := nl.AddPort("a", netlist.In)
+	prev, _ := nl.AddNet("na")
+	_ = nl.ConnectPort(in, prev)
+	for i := 0; i < n; i++ {
+		g, err := nl.AddInstance(fmt.Sprintf("g%d", i), "INV_X1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nx, _ := nl.AddNet(fmt.Sprintf("n%d", i))
+		_ = nl.Connect(g, "A", prev)
+		_ = nl.Connect(g, "ZN", nx)
+		prev = nx
+	}
+	ff, _ := nl.AddInstance("ff", "DFF_X1")
+	q, _ := nl.AddNet("q")
+	_ = nl.Connect(ff, "D", prev)
+	_ = nl.Connect(ff, "CK", clkNet)
+	_ = nl.Connect(ff, "Q", q)
+	out, _ := nl.AddPort("y", netlist.Out)
+	_ = nl.ConnectPort(out, q)
+	l, err := place.Global(nl, place.GlobalOptions{TargetUtil: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func cons(periodNS float64) *sdc.Constraints {
+	c, _ := sdc.ParseString(fmt.Sprintf("create_clock -name clk -period %g [get_ports clk]\n", periodNS))
+	return c
+}
+
+func TestPowerComponents(t *testing.T) {
+	l := chain(t, 50)
+	r, err := Analyze(l, Options{Constraints: cons(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LeakageMW <= 0 || r.InternalMW <= 0 || r.SwitchingMW <= 0 {
+		t.Errorf("non-positive component: %+v", r)
+	}
+	if tot := r.LeakageMW + r.InternalMW + r.SwitchingMW; tot != r.TotalMW {
+		t.Errorf("total %g != sum %g", r.TotalMW, tot)
+	}
+}
+
+func TestPowerScalesWithFrequency(t *testing.T) {
+	l := chain(t, 50)
+	slow, err := Analyze(l, Options{Constraints: cons(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Analyze(l, Options{Constraints: cons(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.SwitchingMW <= slow.SwitchingMW {
+		t.Error("switching power should rise with frequency")
+	}
+	if fast.LeakageMW != slow.LeakageMW {
+		t.Error("leakage should not depend on frequency")
+	}
+}
+
+func TestFillersAddLeakageOnly(t *testing.T) {
+	l := chain(t, 30)
+	base, err := Analyze(l, Options{Constraints: cons(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f, err := l.Netlist.AddInstance(fmt.Sprintf("fill%d", i), "FILLCELL_X1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed := false
+		for r := 0; r < l.NumRows && !placed; r++ {
+			for _, run := range l.FreeRuns(r) {
+				if run.Len >= 1 {
+					if err := l.Place(f, r, run.Start); err == nil {
+						placed = true
+						break
+					}
+				}
+			}
+		}
+		if !placed {
+			t.Fatal("no space for filler")
+		}
+	}
+	with, err := Analyze(l, Options{Constraints: cons(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.LeakageMW <= base.LeakageMW {
+		t.Error("fillers should add leakage")
+	}
+	if with.InternalMW != base.InternalMW {
+		t.Error("fillers should not add internal power")
+	}
+}
+
+func TestNDRRaisesSwitching(t *testing.T) {
+	l := chain(t, 60)
+	routes, err := route.Route(l, route.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(l, Options{Constraints: cons(2), Routes: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := l.Clone()
+	for i := range wide.NDR.Scale {
+		wide.NDR.Scale[i] = 1.5
+	}
+	routesW, err := route.Route(wide, route.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Analyze(wide, Options{Constraints: cons(2), Routes: routesW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.SwitchingMW <= base.SwitchingMW {
+		t.Errorf("wider wires should raise switching power: %g vs %g",
+			scaled.SwitchingMW, base.SwitchingMW)
+	}
+}
+
+func TestActivityScaling(t *testing.T) {
+	l := chain(t, 40)
+	low, err := Analyze(l, Options{Constraints: cons(2), Activity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Analyze(l, Options{Constraints: cons(2), Activity: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.SwitchingMW <= low.SwitchingMW || high.InternalMW <= low.InternalMW {
+		t.Error("activity should scale dynamic power")
+	}
+}
+
+func TestPowerErrors(t *testing.T) {
+	l := chain(t, 5)
+	if _, err := Analyze(l, Options{}); err == nil {
+		t.Error("missing constraints accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package route
+
+import (
+	"gdsiiguard/internal/gdsii"
+	"gdsiiguard/internal/geom"
+	"gdsiiguard/internal/layout"
+)
+
+// GDSWires converts the routed segments into GDSII path descriptors, with
+// widths from the layer stack scaled by the layout's active NDR.
+func (res *Result) GDSWires(l *layout.Layout) []gdsii.Wire {
+	lib := l.Lib()
+	var wires []gdsii.Wire
+	for _, nr := range res.NetRoutes {
+		if nr == nil {
+			continue
+		}
+		for _, s := range nr.Segments {
+			layer := lib.Layer(s.Metal)
+			if layer == nil || s.A == s.B {
+				continue
+			}
+			wires = append(wires, gdsii.Wire{
+				Metal: s.Metal,
+				Width: int64(float64(layer.Width) * l.NDR.LayerScale(s.Metal)),
+				Pts:   []geom.Point{s.A, s.B},
+			})
+		}
+	}
+	return wires
+}

@@ -1,0 +1,591 @@
+// Package route is the global router: it decomposes every signal net into
+// two-pin connections, pattern-routes them over a GCell grid with per-layer
+// track capacities, and accounts track usage under the active non-default
+// rule (wire width scaling consumes proportionally more track resource —
+// the mechanism behind the Routing Width Scaling operator).
+//
+// The result exposes per-net routed length by layer (consumed by the timing
+// engine), per-GCell congestion (consumed by the DRC engine), and free-track
+// queries over arbitrary regions (consumed by the security metric).
+package route
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gdsiiguard/internal/geom"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/tech"
+)
+
+// Options configures the router.
+type Options struct {
+	// GCellSites and GCellRows set the GCell size (default 10 sites × 2
+	// rows).
+	GCellSites, GCellRows int
+	// RipupPasses is the number of rip-up-and-reroute passes over
+	// congested nets (default 1).
+	RipupPasses int
+	// Seed drives tie-breaking.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.GCellSites <= 0 {
+		o.GCellSites = 10
+	}
+	if o.GCellRows <= 0 {
+		o.GCellRows = 2
+	}
+	if o.RipupPasses < 0 {
+		o.RipupPasses = 0
+	} else if o.RipupPasses == 0 {
+		o.RipupPasses = 1
+	}
+	return o
+}
+
+// Grid describes the GCell tessellation of the core.
+type Grid struct {
+	Cols, Rows            int
+	GCellSites, GCellRows int
+	// CellW, CellH are the GCell dimensions in DBU.
+	CellW, CellH int64
+	Origin       geom.Point
+}
+
+// Index returns the linear index of GCell (c, r).
+func (g Grid) Index(c, r int) int { return r*g.Cols + c }
+
+// Clamp constrains (c, r) into the grid.
+func (g Grid) Clamp(c, r int) (int, int) {
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.Cols {
+		c = g.Cols - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.Rows {
+		r = g.Rows - 1
+	}
+	return c, r
+}
+
+// AtDBU returns the GCell containing the DBU point (clamped to the grid).
+func (g Grid) AtDBU(p geom.Point) (int, int) {
+	c := int((p.X - g.Origin.X) / g.CellW)
+	r := int((p.Y - g.Origin.Y) / g.CellH)
+	return g.Clamp(c, r)
+}
+
+// Center returns the DBU center of GCell (c, r).
+func (g Grid) Center(c, r int) geom.Point {
+	return geom.Pt(
+		g.Origin.X+int64(c)*g.CellW+g.CellW/2,
+		g.Origin.Y+int64(r)*g.CellH+g.CellH/2,
+	)
+}
+
+// Rect returns the DBU rectangle of GCell (c, r).
+func (g Grid) Rect(c, r int) geom.Rect {
+	lo := geom.Pt(g.Origin.X+int64(c)*g.CellW, g.Origin.Y+int64(r)*g.CellH)
+	return geom.Rect{Lo: lo, Hi: lo.Add(geom.Pt(g.CellW, g.CellH))}
+}
+
+// Segment is one axis-aligned routed segment on a metal layer.
+type Segment struct {
+	Metal int // 1-based metal index
+	A, B  geom.Point
+}
+
+// Len returns the segment length in DBU.
+func (s Segment) Len() int64 { return s.A.ManhattanDist(s.B) }
+
+// NetRoute is the routing of one net.
+type NetRoute struct {
+	Net      *netlist.Net
+	Segments []Segment
+	// LenByMetal is routed length in DBU per 1-based metal index
+	// (index 0 unused).
+	LenByMetal []int64
+}
+
+// TotalLen returns the net's total routed length in DBU.
+func (nr *NetRoute) TotalLen() int64 {
+	var t int64
+	for _, v := range nr.LenByMetal {
+		t += v
+	}
+	return t
+}
+
+// Result is the outcome of global routing.
+type Result struct {
+	Grid Grid
+	// Usage and Cap are track usage/capacity per layer (0-based metal-1)
+	// per GCell.
+	Usage [][]float64
+	Cap   [][]float64
+	// NetRoutes is indexed by net ID.
+	NetRoutes []*NetRoute
+	// Overflow is the total track over-subscription across all GCells.
+	Overflow float64
+	// OverflowGCells is the number of (layer, gcell) pairs over capacity.
+	OverflowGCells int
+	// TotalWL is the total routed wirelength in DBU.
+	TotalWL int64
+	// Core is the core rectangle capacities were clipped to.
+	Core geom.Rect
+}
+
+// Route globally routes every net of the layout under its current NDR.
+func Route(l *layout.Layout, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	lib := l.Lib()
+	if lib.NumLayers() < 2 {
+		return nil, fmt.Errorf("route: need at least 2 routing layers, have %d", lib.NumLayers())
+	}
+	grid := buildGrid(l, opt)
+	res := &Result{
+		Grid:      grid,
+		NetRoutes: make([]*NetRoute, len(l.Netlist.Nets)),
+		Core:      l.CoreRect(),
+	}
+	n := grid.Cols * grid.Rows
+	for li := 0; li < lib.NumLayers(); li++ {
+		res.Usage = append(res.Usage, make([]float64, n))
+		res.Cap = append(res.Cap, make([]float64, n))
+	}
+	fillCapacity(l, res)
+
+	r := &router{l: l, res: res, rng: rand.New(rand.NewSource(opt.Seed))}
+	nets := routableNets(l.Netlist)
+	// Long nets first: they need the scarce upper layers.
+	sort.SliceStable(nets, func(i, j int) bool {
+		return l.NetHPWL(nets[i]) > l.NetHPWL(nets[j])
+	})
+	for _, net := range nets {
+		r.routeNet(net)
+	}
+	for p := 0; p < opt.RipupPasses; p++ {
+		r.ripupAndReroute(nets)
+	}
+	res.finalize()
+	return res, nil
+}
+
+func buildGrid(l *layout.Layout, opt Options) Grid {
+	site := l.Lib().Site
+	g := Grid{
+		GCellSites: opt.GCellSites,
+		GCellRows:  opt.GCellRows,
+		CellW:      int64(opt.GCellSites) * site.Width,
+		CellH:      int64(opt.GCellRows) * site.Height,
+		Origin:     l.Origin,
+	}
+	g.Cols = (l.SitesPerRow + opt.GCellSites - 1) / opt.GCellSites
+	g.Rows = (l.NumRows + opt.GCellRows - 1) / opt.GCellRows
+	if g.Cols < 1 {
+		g.Cols = 1
+	}
+	if g.Rows < 1 {
+		g.Rows = 1
+	}
+	return g
+}
+
+// fillCapacity computes per-layer per-GCell track capacity: the number of
+// preferred-direction tracks crossing the GCell, scaled by the fraction of
+// the GCell inside the core (boundary GCells overhang the core). Metal1
+// capacity is halved: it is mostly consumed by intra-cell routing.
+func fillCapacity(l *layout.Layout, res *Result) {
+	lib := l.Lib()
+	g := res.Grid
+	core := l.CoreRect()
+	for li := 0; li < lib.NumLayers(); li++ {
+		layer := lib.Layer(li + 1)
+		var tracks float64
+		if layer.Dir == tech.Horizontal {
+			tracks = float64(g.CellH) / float64(layer.Pitch)
+		} else {
+			tracks = float64(g.CellW) / float64(layer.Pitch)
+		}
+		if li == 0 {
+			tracks /= 2
+		}
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				cell := g.Rect(c, r)
+				frac := float64(cell.Intersect(core).Area()) / float64(cell.Area())
+				res.Cap[li][g.Index(c, r)] = tracks * frac
+			}
+		}
+	}
+}
+
+// routableNets returns nets with at least two located terminals.
+func routableNets(nl *netlist.Netlist) []*netlist.Net {
+	var out []*netlist.Net
+	for _, n := range nl.Nets {
+		if n.NumTerms() >= 2 && n.HasDriver() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+type router struct {
+	l   *layout.Layout
+	res *Result
+	rng *rand.Rand
+}
+
+// routeNet decomposes the net into two-pin connections (nearest-terminal
+// spanning tree) and pattern-routes each.
+func (r *router) routeNet(net *netlist.Net) {
+	pts := r.l.NetTermPoints(net)
+	if len(pts) < 2 {
+		return
+	}
+	nr := &NetRoute{Net: net, LenByMetal: make([]int64, r.l.Lib().NumLayers()+1)}
+	// Prim-style: start from the driver (pts[0]), connect the nearest
+	// unconnected terminal to its nearest connected terminal.
+	connected := []geom.Point{pts[0]}
+	remaining := append([]geom.Point(nil), pts[1:]...)
+	for len(remaining) > 0 {
+		bi, bj, best := 0, 0, int64(1)<<62
+		for i, p := range remaining {
+			for j, q := range connected {
+				if d := p.ManhattanDist(q); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		r.routeTwoPin(nr, connected[bj], remaining[bi], net.IsClock)
+		connected = append(connected, remaining[bi])
+		remaining = append(remaining[:bi], remaining[bi+1:]...)
+	}
+	r.res.NetRoutes[net.ID] = nr
+}
+
+// layerPairs returns the candidate (hLayer, vLayer) metal pairs for a
+// connection of the given DBU length: the pair preferred by length class
+// plus the pairs above it, so congested low metal spills upward. Clock nets
+// start on the mid stack.
+func (r *router) layerPairs(lenDBU int64, clock bool) [][2]int {
+	k := r.l.Lib().NumLayers()
+	ladder := make([][2]int, 0, k/2)
+	for h := 1; h+1 <= k; h += 2 {
+		hh, vv := h, h+1
+		if r.l.Lib().Layer(hh).Dir != tech.Horizontal {
+			hh, vv = vv, hh
+		}
+		ladder = append(ladder, [2]int{hh, vv})
+	}
+	start := 0
+	switch {
+	case clock:
+		start = 2
+	case lenDBU < 20_000: // < 20 µm
+		start = 0
+	case lenDBU < 60_000:
+		start = 1
+	case lenDBU < 150_000:
+		start = 2
+	default:
+		start = 3
+	}
+	if start >= len(ladder) {
+		start = len(ladder) - 1
+	}
+	// Return the full ladder rotated so the preferred pair is first; the
+	// router taxes candidates by their distance from the preferred pair, so
+	// congested preferred layers spill in both directions.
+	out := make([][2]int, 0, len(ladder))
+	out = append(out, ladder[start])
+	for d := 1; d < len(ladder); d++ {
+		if start+d < len(ladder) {
+			out = append(out, ladder[start+d])
+		}
+		if start-d >= 0 {
+			out = append(out, ladder[start-d])
+		}
+	}
+	return out
+}
+
+// routeTwoPin routes an L- or Z-shaped connection between two DBU points,
+// choosing the pattern and layer pair with the lowest congestion cost.
+func (r *router) routeTwoPin(nr *NetRoute, a, b geom.Point, clock bool) {
+	pairs := r.layerPairs(a.ManhattanDist(b), clock)
+	mid := geom.Pt((a.X+b.X)/2, (a.Y+b.Y)/2)
+	// Candidate patterns as waypoint sequences: two Ls and two Zs.
+	candidates := [][]geom.Point{
+		{a, geom.Pt(b.X, a.Y), b},                        // L via (bx, ay)
+		{a, geom.Pt(a.X, b.Y), b},                        // L via (ax, by)
+		{a, geom.Pt(mid.X, a.Y), geom.Pt(mid.X, b.Y), b}, // HVH Z
+		{a, geom.Pt(a.X, mid.Y), geom.Pt(b.X, mid.Y), b}, // VHV Z
+	}
+	bestCost := math.Inf(1)
+	var bestPath []geom.Point
+	var bestPair [2]int
+	for i, p := range pairs {
+		// Non-preferred pairs pay a via/ascent tax so they are used only
+		// under congestion; the sparse top pair (metal9/10, in real stacks
+		// mostly power and clock) is strongly discouraged for signals.
+		tax := float64(i) * 2
+		if p[0] >= 9 || p[1] >= 9 {
+			tax += 10
+		}
+		for ci, path := range candidates {
+			cost := tax
+			if ci >= 2 {
+				cost += 1 // extra via pair for Z shapes
+			}
+			for j := 1; j < len(path); j++ {
+				cost += r.pathCost(path[j-1], path[j], r.segLayer(path[j-1], path[j], p))
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestPath = path
+				bestPair = p
+			}
+		}
+	}
+	for j := 1; j < len(bestPath); j++ {
+		r.commit(nr, bestPath[j-1], bestPath[j], r.segLayer(bestPath[j-1], bestPath[j], bestPair))
+	}
+}
+
+// segLayer picks the metal of an axis-aligned segment from the layer pair:
+// horizontal runs take the pair's horizontal layer, vertical runs the
+// vertical one (zero-length runs default to horizontal).
+func (r *router) segLayer(a, b geom.Point, pair [2]int) int {
+	if a.X == b.X && a.Y != b.Y {
+		return pair[1]
+	}
+	return pair[0]
+}
+
+// pathCost estimates congestion cost of an axis-aligned run on a metal
+// layer: 1 per GCell plus a quadratic penalty above 80% usage.
+func (r *router) pathCost(a, b geom.Point, metal int) float64 {
+	cost := 0.0
+	r.walk(a, b, func(idx int) {
+		u, c := r.res.Usage[metal-1][idx], r.res.Cap[metal-1][idx]
+		cost++
+		if c > 0 {
+			util := u / c
+			if util > 0.8 {
+				d := util - 0.8
+				cost += 25 * d * d * c
+			}
+			if u >= c {
+				// outright overflow: strongly repel additional wires
+				cost += 50 * (u - c + 1)
+			}
+		}
+	})
+	return cost
+}
+
+// walk visits the linear GCell indices crossed by the axis-aligned run a→b.
+func (r *router) walk(a, b geom.Point, f func(idx int)) {
+	g := r.res.Grid
+	c0, r0 := g.AtDBU(a)
+	c1, r1 := g.AtDBU(b)
+	if r0 == r1 {
+		if c1 < c0 {
+			c0, c1 = c1, c0
+		}
+		for c := c0; c <= c1; c++ {
+			f(g.Index(c, r0))
+		}
+		return
+	}
+	if r1 < r0 {
+		r0, r1 = r1, r0
+	}
+	for rr := r0; rr <= r1; rr++ {
+		f(g.Index(c0, rr))
+	}
+}
+
+// commit books track usage for the run and records the segment. Usage per
+// crossed GCell equals the NDR width scale of the layer: a 1.5× wide wire
+// consumes 1.5 tracks.
+func (r *router) commit(nr *NetRoute, a, b geom.Point, metal int) {
+	if a == b {
+		return
+	}
+	scale := r.l.NDR.LayerScale(metal)
+	r.walk(a, b, func(idx int) {
+		r.res.Usage[metal-1][idx] += scale
+	})
+	nr.Segments = append(nr.Segments, Segment{Metal: metal, A: a, B: b})
+	nr.LenByMetal[metal] += a.ManhattanDist(b)
+}
+
+// uncommit releases the usage of a routed net (for rip-up).
+func (r *router) uncommit(nr *NetRoute) {
+	for _, s := range nr.Segments {
+		scale := r.l.NDR.LayerScale(s.Metal)
+		r.walk(s.A, s.B, func(idx int) {
+			r.res.Usage[s.Metal-1][idx] -= scale
+		})
+	}
+	nr.Segments = nil
+	for i := range nr.LenByMetal {
+		nr.LenByMetal[i] = 0
+	}
+}
+
+// ripupAndReroute rips up nets that cross overflowed GCells and re-routes
+// them in a congestion-aware order.
+func (r *router) ripupAndReroute(nets []*netlist.Net) {
+	over := make([]bool, r.res.Grid.Cols*r.res.Grid.Rows)
+	any := false
+	for li := range r.res.Usage {
+		for i := range r.res.Usage[li] {
+			if r.res.Usage[li][i] > r.res.Cap[li][i] {
+				over[i] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	var victims []*netlist.Net
+	for _, net := range nets {
+		nr := r.res.NetRoutes[net.ID]
+		if nr == nil {
+			continue
+		}
+		hit := false
+		for _, s := range nr.Segments {
+			r.walk(s.A, s.B, func(idx int) {
+				if over[idx] {
+					hit = true
+				}
+			})
+			if hit {
+				break
+			}
+		}
+		if hit {
+			victims = append(victims, net)
+			r.uncommit(nr)
+		}
+	}
+	r.rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+	for _, net := range victims {
+		r.routeNet(net)
+	}
+}
+
+// finalize computes overflow and wirelength summaries.
+func (res *Result) finalize() {
+	res.Overflow, res.OverflowGCells, res.TotalWL = 0, 0, 0
+	for li := range res.Usage {
+		for i := range res.Usage[li] {
+			if d := res.Usage[li][i] - res.Cap[li][i]; d > 1e-9 {
+				res.Overflow += d
+				res.OverflowGCells++
+			}
+		}
+	}
+	for _, nr := range res.NetRoutes {
+		if nr != nil {
+			res.TotalWL += nr.TotalLen()
+		}
+	}
+}
+
+// FreeTracksInRect sums the unused track capacity of every layer over the
+// GCells intersecting the DBU rectangle, weighted by the overlapped area
+// fraction of each GCell.
+func (res *Result) FreeTracksInRect(rect geom.Rect) float64 {
+	if rect.Empty() {
+		return 0
+	}
+	g := res.Grid
+	c0, r0 := g.AtDBU(rect.Lo)
+	c1, r1 := g.AtDBU(geom.Pt(rect.Hi.X-1, rect.Hi.Y-1))
+	total := 0.0
+	for rr := r0; rr <= r1; rr++ {
+		for c := c0; c <= c1; c++ {
+			// Weight by the overlapped fraction of the GCell's *in-core*
+			// area, since capacity was clipped to the core.
+			cell := g.Rect(c, rr).Intersect(res.Core)
+			ov := cell.Intersect(rect)
+			if ov.Empty() || cell.Empty() {
+				continue
+			}
+			frac := float64(ov.Area()) / float64(cell.Area())
+			idx := g.Index(c, rr)
+			for li := range res.Usage {
+				free := res.Cap[li][idx] - res.Usage[li][idx]
+				if free > 0 {
+					total += free * frac
+				}
+			}
+		}
+	}
+	return total
+}
+
+// TotalFreeTracks sums unused track capacity over the entire grid.
+func (res *Result) TotalFreeTracks() float64 {
+	total := 0.0
+	for li := range res.Usage {
+		for i := range res.Usage[li] {
+			if free := res.Cap[li][i] - res.Usage[li][i]; free > 0 {
+				total += free
+			}
+		}
+	}
+	return total
+}
+
+// NetCongestion returns the average track utilization (usage/capacity) of
+// the GCells crossed by the net's route, or 0 for unrouted nets. The timing
+// engine uses it to model detour and coupling delay in congested areas.
+func (res *Result) NetCongestion(netID int) float64 {
+	if netID < 0 || netID >= len(res.NetRoutes) || res.NetRoutes[netID] == nil {
+		return 0
+	}
+	nr := res.NetRoutes[netID]
+	total, n := 0.0, 0
+	for _, s := range nr.Segments {
+		g := res.Grid
+		c0, r0 := g.AtDBU(s.A)
+		c1, r1 := g.AtDBU(s.B)
+		if r1 < r0 {
+			r0, r1 = r1, r0
+		}
+		if c1 < c0 {
+			c0, c1 = c1, c0
+		}
+		for rr := r0; rr <= r1; rr++ {
+			for c := c0; c <= c1; c++ {
+				idx := g.Index(c, rr)
+				u, cp := res.Usage[s.Metal-1][idx], res.Cap[s.Metal-1][idx]
+				if cp > 0 {
+					total += u / cp
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,217 @@
+// Package sdc reads and writes the subset of Synopsys Design Constraints
+// used by the flow: clock definitions, clock uncertainty, and I/O delays.
+// Values in SDC files are nanoseconds (the industry convention); the model
+// stores picoseconds to match the timing engine.
+package sdc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Clock is one created clock.
+type Clock struct {
+	Name string
+	// Port is the clock source port name.
+	Port string
+	// PeriodPS is the clock period in picoseconds.
+	PeriodPS float64
+	// UncertaintyPS is subtracted from the available period.
+	UncertaintyPS float64
+}
+
+// Constraints is a parsed SDC file.
+type Constraints struct {
+	Clocks []Clock
+	// InputDelayPS applies to all primary inputs; OutputDelayPS to all
+	// primary outputs.
+	InputDelayPS  float64
+	OutputDelayPS float64
+}
+
+// Clock returns the named clock, or nil.
+func (c *Constraints) Clock(name string) *Clock {
+	for i := range c.Clocks {
+		if c.Clocks[i].Name == name {
+			return &c.Clocks[i]
+		}
+	}
+	return nil
+}
+
+// PrimaryClock returns the first (usually only) clock, or nil.
+func (c *Constraints) PrimaryClock() *Clock {
+	if len(c.Clocks) == 0 {
+		return nil
+	}
+	return &c.Clocks[0]
+}
+
+// Parse reads SDC text.
+func Parse(r io.Reader) (*Constraints, error) {
+	c := &Constraints{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		toks := tokenize(line)
+		if len(toks) == 0 {
+			continue
+		}
+		var err error
+		switch toks[0] {
+		case "create_clock":
+			err = c.parseCreateClock(toks[1:])
+		case "set_clock_uncertainty":
+			err = c.parseUncertainty(toks[1:])
+		case "set_input_delay":
+			c.InputDelayPS, err = parseDelay(toks[1:])
+		case "set_output_delay":
+			c.OutputDelayPS, err = parseDelay(toks[1:])
+		case "set_false_path", "set_max_fanout", "set_max_transition", "set_load":
+			// accepted, not modeled
+		default:
+			err = fmt.Errorf("unsupported command %q", toks[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sdc: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sdc: %w", err)
+	}
+	return c, nil
+}
+
+// ParseString is a convenience wrapper over Parse.
+func ParseString(s string) (*Constraints, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func (c *Constraints) parseCreateClock(toks []string) error {
+	clk := Clock{}
+	for i := 0; i < len(toks); i++ {
+		switch toks[i] {
+		case "-name":
+			i++
+			if i >= len(toks) {
+				return fmt.Errorf("create_clock: -name needs a value")
+			}
+			clk.Name = toks[i]
+		case "-period":
+			i++
+			if i >= len(toks) {
+				return fmt.Errorf("create_clock: -period needs a value")
+			}
+			ns, err := strconv.ParseFloat(toks[i], 64)
+			if err != nil {
+				return fmt.Errorf("create_clock: bad period %q", toks[i])
+			}
+			clk.PeriodPS = ns * 1000
+		case "get_ports":
+			i++
+			if i >= len(toks) {
+				return fmt.Errorf("create_clock: get_ports needs a value")
+			}
+			clk.Port = toks[i]
+		default:
+			// bare port name form: create_clock -period 2 clkname
+			if !strings.HasPrefix(toks[i], "-") && clk.Port == "" {
+				clk.Port = toks[i]
+			}
+		}
+	}
+	if clk.PeriodPS <= 0 {
+		return fmt.Errorf("create_clock: missing or non-positive period")
+	}
+	if clk.Name == "" {
+		clk.Name = clk.Port
+	}
+	if clk.Name == "" {
+		return fmt.Errorf("create_clock: no name or port")
+	}
+	c.Clocks = append(c.Clocks, clk)
+	return nil
+}
+
+func (c *Constraints) parseUncertainty(toks []string) error {
+	if len(toks) == 0 {
+		return fmt.Errorf("set_clock_uncertainty: missing value")
+	}
+	ns, err := strconv.ParseFloat(toks[0], 64)
+	if err != nil {
+		return fmt.Errorf("set_clock_uncertainty: bad value %q", toks[0])
+	}
+	target := ""
+	for i := 1; i < len(toks); i++ {
+		if toks[i] == "get_clocks" && i+1 < len(toks) {
+			target = toks[i+1]
+		}
+	}
+	applied := false
+	for i := range c.Clocks {
+		if target == "" || c.Clocks[i].Name == target {
+			c.Clocks[i].UncertaintyPS = ns * 1000
+			applied = true
+		}
+	}
+	if !applied {
+		return fmt.Errorf("set_clock_uncertainty: no clock %q defined yet", target)
+	}
+	return nil
+}
+
+func parseDelay(toks []string) (float64, error) {
+	for _, t := range toks {
+		if v, err := strconv.ParseFloat(t, 64); err == nil {
+			return v * 1000, nil
+		}
+	}
+	return 0, fmt.Errorf("missing delay value")
+}
+
+// tokenize splits an SDC line, treating [ ] { } as separators so that
+// `[get_ports clk]` yields "get_ports", "clk".
+func tokenize(line string) []string {
+	f := func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '[' || r == ']' || r == '{' || r == '}'
+	}
+	return strings.FieldsFunc(line, f)
+}
+
+// Write emits the constraints as SDC text.
+func Write(w io.Writer, c *Constraints) error {
+	var b strings.Builder
+	for _, clk := range c.Clocks {
+		fmt.Fprintf(&b, "create_clock -name %s -period %g [get_ports %s]\n",
+			clk.Name, clk.PeriodPS/1000, clk.Port)
+		if clk.UncertaintyPS > 0 {
+			fmt.Fprintf(&b, "set_clock_uncertainty %g [get_clocks %s]\n",
+				clk.UncertaintyPS/1000, clk.Name)
+		}
+	}
+	if c.InputDelayPS > 0 && len(c.Clocks) > 0 {
+		fmt.Fprintf(&b, "set_input_delay %g -clock %s [all_inputs]\n",
+			c.InputDelayPS/1000, c.Clocks[0].Name)
+	}
+	if c.OutputDelayPS > 0 && len(c.Clocks) > 0 {
+		fmt.Fprintf(&b, "set_output_delay %g -clock %s [all_outputs]\n",
+			c.OutputDelayPS/1000, c.Clocks[0].Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteString renders the constraints as SDC text.
+func WriteString(c *Constraints) string {
+	var b strings.Builder
+	_ = Write(&b, c)
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package sdc
+
+import "testing"
+
+const sample = `
+# timing constraints for AES_1
+create_clock -name clk -period 2.5 [get_ports clk]
+set_clock_uncertainty 0.05 [get_clocks clk]
+set_input_delay 0.2 -clock clk [all_inputs]
+set_output_delay 0.25 -clock clk [all_outputs]
+set_false_path -from [get_ports rst]
+`
+
+func TestParse(t *testing.T) {
+	c, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(c.Clocks) != 1 {
+		t.Fatalf("clocks = %d", len(c.Clocks))
+	}
+	clk := c.Clock("clk")
+	if clk == nil {
+		t.Fatal("clk missing")
+	}
+	if clk.PeriodPS != 2500 {
+		t.Errorf("period = %g ps", clk.PeriodPS)
+	}
+	if clk.Port != "clk" {
+		t.Errorf("port = %q", clk.Port)
+	}
+	if clk.UncertaintyPS != 50 {
+		t.Errorf("uncertainty = %g ps", clk.UncertaintyPS)
+	}
+	if c.InputDelayPS != 200 || c.OutputDelayPS != 250 {
+		t.Errorf("io delays = %g/%g", c.InputDelayPS, c.OutputDelayPS)
+	}
+	if c.PrimaryClock() != clk {
+		t.Error("PrimaryClock mismatch")
+	}
+}
+
+func TestParseBarePortForm(t *testing.T) {
+	c, err := ParseString("create_clock -period 1.0 sysclk\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := c.PrimaryClock()
+	if clk.Name != "sysclk" || clk.Port != "sysclk" || clk.PeriodPS != 1000 {
+		t.Errorf("clock = %+v", clk)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"create_clock -name x [get_ports x]",             // no period
+		"create_clock -period -1 clk",                    // negative period treated as flag -> no period
+		"set_clock_uncertainty 0.05 [get_clocks ghost]",  // no such clock
+		"set_input_delay -clock clk [all_inputs]",        // no value
+		"delete_all_timing",                              // unsupported
+		"create_clock -period 2.0",                       // no name/port
+		"set_clock_uncertainty soon [get_clocks c]",      // bad value
+		"create_clock -name c -period xyz [get_ports c]", // bad period
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestEmptyAndComments(t *testing.T) {
+	c, err := ParseString("\n# nothing here\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PrimaryClock() != nil {
+		t.Error("phantom clock")
+	}
+	if c.Clock("x") != nil {
+		t.Error("Clock on empty should be nil")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(WriteString(c))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(c2.Clocks) != len(c.Clocks) || c2.Clocks[0] != c.Clocks[0] {
+		t.Errorf("clocks: %+v vs %+v", c2.Clocks, c.Clocks)
+	}
+	if c2.InputDelayPS != c.InputDelayPS || c2.OutputDelayPS != c.OutputDelayPS {
+		t.Error("io delays changed")
+	}
+}
+
+func TestMultipleClocks(t *testing.T) {
+	src := `
+create_clock -name fast -period 1.0 [get_ports clkf]
+create_clock -name slow -period 10.0 [get_ports clks]
+set_clock_uncertainty 0.1
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clocks) != 2 {
+		t.Fatalf("clocks = %d", len(c.Clocks))
+	}
+	// uncertainty without target applies to all
+	if c.Clocks[0].UncertaintyPS != 100 || c.Clocks[1].UncertaintyPS != 100 {
+		t.Errorf("uncertainties = %g/%g", c.Clocks[0].UncertaintyPS, c.Clocks[1].UncertaintyPS)
+	}
+}

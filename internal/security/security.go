@@ -1,0 +1,411 @@
+// Package security implements the layout-security metrics of Knechtel et
+// al. (ISPD 2022) as used by the paper:
+//
+//   - Exploitable distance: per security-critical cell, the maximal routing
+//     distance at which a smallest Trojan (one NAND gate) can still be
+//     attached to a positive-slack path through the cell without violating
+//     timing (Definition 2.2, prerequisite 2).
+//   - Exploitable sites: placement sites that are free for Trojan insertion
+//     (empty, or holding non-functional filler/tap cells) and lie within
+//     some asset's exploitable distance.
+//   - Exploitable regions: connected components of exploitable sites
+//     (vertical/horizontal adjacency) whose total weight reaches Thresh_ER.
+//   - ERsites / ERtracks: total free placement sites of all exploitable
+//     regions, and total unused routing tracks over them.
+//
+// The Security score of an optimized layout is the α-weighted sum of its
+// ERsites/ERtracks normalized by the baseline layout (§II-C).
+package security
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gdsiiguard/internal/geom"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/sta"
+	"gdsiiguard/internal/tech"
+)
+
+// Params configures the assessment.
+type Params struct {
+	// ThreshER is the minimal component weight (sites) for a region to be
+	// exploitable; the paper uses 20 (taken from the A2 Trojan).
+	ThreshER int
+	// TrojanCell names the library cell representing the smallest Trojan
+	// (default NAND2_X1).
+	TrojanCell string
+	// MaxRadiusDBU caps the exploitable distance (default: core diagonal).
+	MaxRadiusDBU int64
+	// TrojanWireFactor scales the attacker's effective wire capacitance:
+	// Trojan routing must detour through leftover tracks, stacks vias, and
+	// hangs off a minimum-size gate, so it sees far worse RC than the
+	// victim's optimized nets (default 8).
+	TrojanWireFactor float64
+}
+
+// DefaultParams returns the paper's configuration (Thresh_ER = 20, taken
+// from the A2 Trojan).
+func DefaultParams() Params {
+	return Params{ThreshER: 20, TrojanCell: "NAND2_X1", TrojanWireFactor: 3}
+}
+
+// Region is one exploitable region: a connected set of exploitable site
+// runs.
+type Region struct {
+	// Sites is the region weight (total exploitable sites).
+	Sites int
+	// Runs are the maximal horizontal runs making up the region.
+	Runs []layout.SiteRun
+}
+
+// Assessment is the security evaluation of one layout.
+type Assessment struct {
+	// Regions are the exploitable regions (weight ≥ ThreshER).
+	Regions []Region
+	// ERSites is Σ region weights — the paper's Free Placement Sites.
+	ERSites int
+	// ERTracks is the unused routing tracks over all exploitable regions —
+	// the paper's Free Routing Tracks.
+	ERTracks float64
+	// ExploitableSites counts all exploitable sites before thresholding.
+	ExploitableSites int
+	// FreeSites is the raw count of non-functional sites in the core.
+	FreeSites int
+	// Assets is the number of security-critical instances found.
+	Assets int
+}
+
+// Assess evaluates the layout. timing supplies per-asset slack for the
+// exploitable distance (nil means unconstrained: every free site within any
+// distance of an asset counts, i.e. the loose-timing worst case). routes
+// supplies track usage for ERtracks (nil leaves ERTracks at zero).
+func Assess(l *layout.Layout, routes *route.Result, timing *sta.Result, p Params) (*Assessment, error) {
+	if p.ThreshER <= 0 {
+		return nil, fmt.Errorf("security: ThreshER must be positive")
+	}
+	if p.TrojanCell == "" {
+		p.TrojanCell = "NAND2_X1"
+	}
+	a := &Assessment{}
+
+	exploitable := exploitableMask(l)
+	for _, row := range exploitable {
+		for _, e := range row {
+			if e {
+				a.FreeSites++
+			}
+		}
+	}
+
+	radius, nAssets, err := assetRadii(l, timing, p)
+	if err != nil {
+		return nil, err
+	}
+	a.Assets = nAssets
+	reach := reachMask(l, radius)
+
+	// Exploitable sites: free AND within reach.
+	for r := 0; r < l.NumRows; r++ {
+		for s := 0; s < l.SitesPerRow; s++ {
+			exploitable[r][s] = exploitable[r][s] && reach[r][s] >= 0
+			if exploitable[r][s] {
+				a.ExploitableSites++
+			}
+		}
+	}
+
+	a.Regions = components(l, exploitable, p.ThreshER)
+	for _, reg := range a.Regions {
+		a.ERSites += reg.Sites
+		if routes != nil {
+			for _, run := range reg.Runs {
+				lo := l.SiteDBU(run.Row, run.Start)
+				hi := l.SiteDBU(run.Row, run.Start+run.Len)
+				hi.Y += l.Lib().Site.Height
+				a.ERTracks += routes.FreeTracksInRect(geom.R(lo.X, lo.Y, hi.X, hi.Y))
+			}
+		}
+	}
+	return a, nil
+}
+
+// Score is the paper's security objective: the α-weighted normalized sum of
+// remaining free sites and tracks (§II-C). Lower is more secure. A baseline
+// with zero ERsites/ERtracks contributes zero for that term.
+func Score(opt, base *Assessment, alpha float64) float64 {
+	s := 0.0
+	if base.ERSites > 0 {
+		s += alpha * float64(opt.ERSites) / float64(base.ERSites)
+	}
+	if base.ERTracks > 0 {
+		s += (1 - alpha) * opt.ERTracks / base.ERTracks
+	}
+	return s
+}
+
+// exploitableMask marks sites that are free for Trojan insertion: empty,
+// held by non-functional cells (fillers, taps), or held by dangling
+// functional cells — cells none of whose outputs is observed, which an
+// attacker can remove or repurpose (Definition 2.2).
+func exploitableMask(l *layout.Layout) [][]bool {
+	mask := make([][]bool, l.NumRows)
+	for r := 0; r < l.NumRows; r++ {
+		mask[r] = make([]bool, l.SitesPerRow)
+		for s := 0; s < l.SitesPerRow; s++ {
+			in := l.At(r, s)
+			mask[r][s] = in == nil || !in.Master.IsFunctional() || isDangling(in)
+		}
+	}
+	return mask
+}
+
+// isDangling reports whether a functional cell has outputs but none of them
+// reaches any sink (instance pin or port).
+func isDangling(in *netlist.Instance) bool {
+	hasOutput, observed := false, false
+	for _, p := range in.Master.Pins {
+		if p.Dir != tech.Output {
+			continue
+		}
+		hasOutput = true
+		if n := in.NetConn(p.Name); n != nil && len(n.Sinks) > 0 {
+			observed = true
+		}
+	}
+	return hasOutput && !observed
+}
+
+// assetRadii computes each security-critical instance's exploitable
+// distance in DBU, per the paper's procedure: take the slack of paths
+// through the asset, subtract the inserted NAND's delay, and convert the
+// remaining slack into routing distance via the wire RC model.
+func assetRadii(l *layout.Layout, timing *sta.Result, p Params) (map[*netlist.Instance]int64, int, error) {
+	lib := l.Lib()
+	trojan := lib.Cell(p.TrojanCell)
+	if trojan == nil {
+		return nil, 0, fmt.Errorf("security: trojan cell %q not in library", p.TrojanCell)
+	}
+	maxRadius := p.MaxRadiusDBU
+	if maxRadius <= 0 {
+		core := l.CoreRect()
+		maxRadius = core.W() + core.H()
+	}
+	// Trojan attachment delay: the NAND drives a short stub; its input
+	// loads the victim net.
+	var nandIntrinsic, nandRes, nandInCap float64
+	if out := trojan.OutputPin(); out != nil && len(trojan.Arcs) > 0 {
+		nandIntrinsic = trojan.Arcs[0].Intrinsic
+		nandRes = trojan.Arcs[0].DriveRes
+	}
+	if ins := trojan.InputPins(); len(ins) > 0 {
+		nandInCap = ins[0].Cap
+	}
+	// Wire RC on the estimation layer (metal3), derated for the attacker's
+	// detoured, via-heavy routing.
+	layer := lib.Layer(3)
+	if layer == nil {
+		layer = lib.Layer(lib.NumLayers() / 2)
+	}
+	factor := p.TrojanWireFactor
+	if factor <= 0 {
+		factor = 3
+	}
+	rPerUM, cPerUM := layer.RPerUM, layer.CPerUM*factor
+
+	// The exploitable distance is a single design-wide figure (§II-A):
+	// the tightest positive-slack path through any asset bounds how far
+	// the Trojan may route, because timing must still close after
+	// insertion. Timing-tight designs therefore have short exploitable
+	// distances; loose designs let it spread across the whole core.
+	// Only paths with positive slack are extractable for Trojan insertion.
+	// The design-wide exploitable distance derives from the lower quartile
+	// of the assets' positive path slacks: representative of the tightly
+	// constrained asset paths while robust to a few off-path outliers.
+	var slacks []float64
+	n := 0
+	for _, in := range l.Netlist.CriticalInsts() {
+		n++
+		if timing == nil {
+			continue
+		}
+		s := timing.InstSlack(in)
+		if math.IsInf(s, 1) || s <= 0 {
+			continue
+		}
+		slacks = append(slacks, s)
+	}
+	slack := math.Inf(1)
+	if timing != nil {
+		if len(slacks) == 0 {
+			slack = 0
+		} else {
+			sort.Float64s(slacks)
+			slack = slacks[len(slacks)/4]
+		}
+	}
+	radius := maxRadius
+	if !math.IsInf(slack, 1) {
+		budget := slack - nandIntrinsic - nandRes*nandInCap
+		if budget <= 0 {
+			radius = 0
+		} else {
+			// Solve 0.5·r·c·L² + nandRes·c·L − budget = 0 for L (µm).
+			a := 0.5 * rPerUM * cPerUM
+			b := nandRes * cPerUM
+			var lUM float64
+			switch {
+			case a > 0:
+				lUM = (-b + math.Sqrt(b*b+4*a*budget)) / (2 * a)
+			case b > 0:
+				lUM = budget / b
+			default:
+				lUM = math.Inf(1)
+			}
+			radius = int64(lUM * float64(lib.DBUPerMicron))
+			if radius > maxRadius || math.IsInf(lUM, 1) {
+				radius = maxRadius
+			}
+		}
+	}
+	radii := make(map[*netlist.Instance]int64)
+	for _, in := range l.Netlist.CriticalInsts() {
+		radii[in] = radius
+	}
+	return radii, n, nil
+}
+
+// reachMask computes, for every site, the maximal remaining budget
+// max_a(radius_a − manhattanDist(site, a)) via a two-pass chamfer sweep;
+// a site is within exploitable distance iff its value is ≥ 0. Sites
+// unreachable from any asset hold a large negative value.
+func reachMask(l *layout.Layout, radius map[*netlist.Instance]int64) [][]int64 {
+	const negInf = int64(math.MinInt64 / 4)
+	w, h := l.SitesPerRow, l.NumRows
+	siteW, siteH := l.Lib().Site.Width, l.Lib().Site.Height
+	phi := make([][]int64, h)
+	for r := range phi {
+		phi[r] = make([]int64, w)
+		for s := range phi[r] {
+			phi[r][s] = negInf
+		}
+	}
+	for in, rad := range radius {
+		p := l.PlacementOf(in)
+		if !p.Placed {
+			continue
+		}
+		for s := p.Site; s < p.Site+in.Master.WidthSites && s < w; s++ {
+			if rad > phi[p.Row][s] {
+				phi[p.Row][s] = rad
+			}
+		}
+	}
+	// Forward sweep.
+	for r := 0; r < h; r++ {
+		for s := 0; s < w; s++ {
+			if s > 0 && phi[r][s-1]-siteW > phi[r][s] {
+				phi[r][s] = phi[r][s-1] - siteW
+			}
+			if r > 0 && phi[r-1][s]-siteH > phi[r][s] {
+				phi[r][s] = phi[r-1][s] - siteH
+			}
+		}
+	}
+	// Backward sweep.
+	for r := h - 1; r >= 0; r-- {
+		for s := w - 1; s >= 0; s-- {
+			if s < w-1 && phi[r][s+1]-siteW > phi[r][s] {
+				phi[r][s] = phi[r][s+1] - siteW
+			}
+			if r < h-1 && phi[r+1][s]-siteH > phi[r][s] {
+				phi[r][s] = phi[r+1][s] - siteH
+			}
+		}
+	}
+	return phi
+}
+
+// components finds connected components of marked sites (4-adjacency within
+// rows and across vertically aligned sites of adjacent rows), returning
+// those with weight ≥ thresh as Regions, using run-based union-find.
+func components(l *layout.Layout, mask [][]bool, thresh int) []Region {
+	type run struct {
+		row, start, length int
+	}
+	var runs []run
+	rowRuns := make([][]int, l.NumRows) // indices into runs, per row
+	for r := 0; r < l.NumRows; r++ {
+		start := -1
+		for s := 0; s <= l.SitesPerRow; s++ {
+			marked := s < l.SitesPerRow && mask[r][s]
+			if marked && start < 0 {
+				start = s
+			}
+			if !marked && start >= 0 {
+				rowRuns[r] = append(rowRuns[r], len(runs))
+				runs = append(runs, run{r, start, s - start})
+				start = -1
+			}
+		}
+	}
+	parent := make([]int, len(runs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// Connect vertically overlapping runs in adjacent rows.
+	for r := 1; r < l.NumRows; r++ {
+		for _, i := range rowRuns[r] {
+			for _, j := range rowRuns[r-1] {
+				a, b := runs[i], runs[j]
+				if a.start < b.start+b.length && b.start < a.start+a.length {
+					union(i, j)
+				}
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range runs {
+		root := find(i)
+		groups[root] = append(groups[root], i)
+	}
+	var out []Region
+	// Deterministic order: iterate runs, emit a region when visiting its
+	// root's first member.
+	emitted := make(map[int]bool)
+	for i := range runs {
+		root := find(i)
+		if emitted[root] {
+			continue
+		}
+		emitted[root] = true
+		var reg Region
+		for _, j := range groups[root] {
+			reg.Sites += runs[j].length
+			reg.Runs = append(reg.Runs, layout.SiteRun{
+				Row: runs[j].row, Start: runs[j].start, Len: runs[j].length,
+			})
+		}
+		if reg.Sites >= thresh {
+			out = append(out, reg)
+		}
+	}
+	return out
+}

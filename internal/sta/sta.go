@@ -1,0 +1,342 @@
+// Package sta is the graph-based static timing analysis engine: arrival and
+// required times propagate over the netlist in topological order using the
+// library's linear delay model (intrinsic + drive-resistance × load) plus a
+// distributed-Elmore wire delay from routed (or estimated) net lengths.
+//
+// Slack is reported per endpoint (TNS/WNS) and per instance — the
+// per-instance worst slack feeds the exploitable-distance computation of the
+// security metric, and TNS is one of the two objectives of the
+// multi-objective flow optimizer.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/sdc"
+	"gdsiiguard/internal/tech"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Constraints supplies the clock period and I/O delays (required).
+	Constraints *sdc.Constraints
+	// Routes supplies per-net routed lengths by layer; when nil, wire RC is
+	// estimated from HPWL on a mid-stack layer.
+	Routes *route.Result
+	// EstimateLayer is the 1-based metal index used for HPWL-based RC
+	// estimation when Routes is nil (default 3).
+	EstimateLayer int
+}
+
+// Result is the outcome of one STA run. All times are picoseconds.
+type Result struct {
+	// TNS is total negative slack (≤ 0; 0 is timing-clean).
+	TNS float64
+	// WNS is the worst endpoint slack (may be positive).
+	WNS float64
+	// Endpoints is the number of timing endpoints checked.
+	Endpoints int
+	// Violating is the number of endpoints with negative slack.
+	Violating int
+	// PeriodPS is the effective clock period used.
+	PeriodPS float64
+
+	instSlack []float64 // worst slack through each instance, by ID
+	netArr    []float64 // arrival at each net's driver pin, by net ID
+}
+
+// InstSlack returns the worst slack of any path through the instance, in
+// ps. Instances off the timing graph report +Inf.
+func (r *Result) InstSlack(in *netlist.Instance) float64 {
+	if in.ID >= len(r.instSlack) {
+		return math.Inf(1)
+	}
+	return r.instSlack[in.ID]
+}
+
+// NetArrival returns the arrival time at the net's driver pin.
+func (r *Result) NetArrival(n *netlist.Net) float64 {
+	if n.ID >= len(r.netArr) {
+		return 0
+	}
+	return r.netArr[n.ID]
+}
+
+// Analyze runs STA on the placed (and optionally routed) layout.
+func Analyze(l *layout.Layout, opt Options) (*Result, error) {
+	if opt.Constraints == nil || opt.Constraints.PrimaryClock() == nil {
+		return nil, fmt.Errorf("sta: no clock constraint")
+	}
+	if opt.EstimateLayer <= 0 {
+		opt.EstimateLayer = 3
+	}
+	clk := opt.Constraints.PrimaryClock()
+	period := clk.PeriodPS - clk.UncertaintyPS
+	if period <= 0 {
+		return nil, fmt.Errorf("sta: non-positive effective period %g ps", period)
+	}
+	nl := l.Netlist
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+
+	e := &engine{
+		l: l, opt: opt,
+		netArr:  make([]float64, len(nl.Nets)),
+		netWire: make([]float64, len(nl.Nets)),
+		netReq:  make([]float64, len(nl.Nets)),
+	}
+	for i := range e.netReq {
+		e.netReq[i] = math.Inf(1)
+	}
+
+	// Net electrical characterization.
+	for _, n := range nl.Nets {
+		e.characterize(n)
+	}
+
+	// Forward propagation.
+	for _, n := range nl.Nets {
+		if n.HasDriver() && n.Driver.IsPort() {
+			e.netArr[n.ID] = opt.Constraints.InputDelayPS
+		}
+	}
+	// Sequential outputs launch at clk->Q.
+	for _, in := range nl.Insts {
+		if in.Master.Class != tech.Seq {
+			continue
+		}
+		for _, c := range in.Conns {
+			p := in.Master.Pin(c.Pin)
+			if p == nil || p.Dir != tech.Output || c.Net == nil {
+				continue
+			}
+			arc := in.Master.Arc(clockPinName(in.Master), c.Pin)
+			res := 0.0
+			clk2q := in.Master.ClkToQ
+			if arc != nil {
+				res = arc.DriveRes
+				clk2q = arc.Intrinsic
+			}
+			e.netArr[c.Net.ID] = clk2q + res*e.netLoad(c.Net)
+		}
+	}
+	for _, in := range order {
+		if in.Master.Class == tech.Seq {
+			continue // already launched
+		}
+		e.evalComb(in)
+	}
+
+	// Endpoint required times & backward propagation.
+	res := &Result{PeriodPS: period, WNS: math.Inf(1)}
+	record := func(slack float64) {
+		res.Endpoints++
+		if slack < res.WNS {
+			res.WNS = slack
+		}
+		if slack < 0 {
+			res.TNS += slack
+			res.Violating++
+		}
+	}
+	for _, n := range nl.Nets {
+		arrAtSink := e.netArr[n.ID] + e.netWire[n.ID]
+		for _, s := range n.Sinks {
+			switch {
+			case s.IsPort():
+				req := period - opt.Constraints.OutputDelayPS
+				record(req - arrAtSink)
+				e.lowerReq(n, req)
+			case s.Inst.Master.Class == tech.Seq:
+				if p := s.Inst.Master.Pin(s.Pin); p != nil && !p.IsClock && p.Dir == tech.Input {
+					req := period - s.Inst.Master.Setup
+					record(req - arrAtSink)
+					e.lowerReq(n, req)
+				}
+			}
+		}
+	}
+	if math.IsInf(res.WNS, 1) {
+		res.WNS = 0 // no endpoints
+	}
+	// Backward pass in reverse topological order.
+	for i := len(order) - 1; i >= 0; i-- {
+		in := order[i]
+		if in.Master.Class == tech.Seq {
+			continue
+		}
+		e.backComb(in)
+	}
+
+	// Per-instance worst slack.
+	res.instSlack = make([]float64, len(nl.Insts))
+	for i := range res.instSlack {
+		res.instSlack[i] = math.Inf(1)
+	}
+	for _, in := range nl.Insts {
+		worst := math.Inf(1)
+		for _, c := range in.Conns {
+			if c.Net == nil {
+				continue
+			}
+			p := in.Master.Pin(c.Pin)
+			if p == nil || p.IsClock || c.Net.IsClock {
+				continue
+			}
+			s := e.netReq[c.Net.ID] - e.netArr[c.Net.ID]
+			if !math.IsInf(s, 1) && s < worst {
+				worst = s
+			}
+		}
+		res.instSlack[in.ID] = worst
+	}
+	res.netArr = e.netArr
+	return res, nil
+}
+
+type engine struct {
+	l   *layout.Layout
+	opt Options
+
+	netArr  []float64 // arrival at driver output pin
+	netWire []float64 // distributed wire delay driver->sink
+	netReq  []float64 // required time at driver output pin
+	netCap  []float64
+}
+
+// characterize computes the wire RC delay and caches the total load of a
+// net under the current NDR.
+func (e *engine) characterize(n *netlist.Net) {
+	lib := e.l.Lib()
+	var rw, cw float64 // total wire R (kΩ) and C (fF)
+	if e.opt.Routes != nil && n.ID < len(e.opt.Routes.NetRoutes) && e.opt.Routes.NetRoutes[n.ID] != nil {
+		nr := e.opt.Routes.NetRoutes[n.ID]
+		for metal := 1; metal < len(nr.LenByMetal); metal++ {
+			lenUM := lib.DBUToMicrons(nr.LenByMetal[metal])
+			if lenUM == 0 {
+				continue
+			}
+			layer := lib.Layer(metal)
+			scale := e.l.NDR.LayerScale(metal)
+			// Wider wires: resistance drops ∝ 1/scale; capacitance grows
+			// sub-linearly (area term scales, fringe does not).
+			rw += lenUM * layer.RPerUM / scale
+			cw += lenUM * layer.CPerUM * (0.7 + 0.3*scale)
+		}
+		// Congested areas force detours and add coupling: wire RC grows
+		// with the average track utilization along the route, bounded by
+		// the worst realistic detour factor.
+		if cg := e.opt.Routes.NetCongestion(n.ID); cg > 0.6 {
+			if cg > 1.3 {
+				cg = 1.3
+			}
+			f := 1 + 1.5*(cg-0.6)
+			rw *= f
+			cw *= f
+		}
+	} else {
+		layer := lib.Layer(e.opt.EstimateLayer)
+		if layer == nil {
+			layer = lib.Layer(lib.NumLayers() / 2)
+		}
+		lenUM := lib.DBUToMicrons(e.l.NetHPWL(n))
+		scale := e.l.NDR.LayerScale(layer.Index)
+		rw = lenUM * layer.RPerUM / scale
+		cw = lenUM * layer.CPerUM * (0.7 + 0.3*scale)
+	}
+	e.netWire[n.ID] = 0.5 * rw * cw
+	if e.netCap == nil {
+		e.netCap = make([]float64, len(e.l.Netlist.Nets))
+	}
+	pinCap := 0.0
+	for _, s := range n.Sinks {
+		if s.IsPort() {
+			pinCap += 2.0 // output pad load
+			continue
+		}
+		if p := s.Inst.Master.Pin(s.Pin); p != nil {
+			pinCap += p.Cap
+		}
+	}
+	e.netCap[n.ID] = pinCap + cw
+}
+
+func (e *engine) netLoad(n *netlist.Net) float64 { return e.netCap[n.ID] }
+
+// evalComb computes the arrival at each output net of a combinational cell.
+func (e *engine) evalComb(in *netlist.Instance) {
+	for _, oc := range in.Conns {
+		p := in.Master.Pin(oc.Pin)
+		if p == nil || p.Dir != tech.Output || oc.Net == nil {
+			continue
+		}
+		worst := 0.0
+		for _, ic := range in.Conns {
+			ip := in.Master.Pin(ic.Pin)
+			if ip == nil || ip.Dir != tech.Input || ip.IsClock || ic.Net == nil {
+				continue
+			}
+			arc := in.Master.Arc(ic.Pin, oc.Pin)
+			if arc == nil {
+				continue
+			}
+			arrIn := e.netArr[ic.Net.ID] + e.netWire[ic.Net.ID]
+			d := arrIn + arc.Intrinsic + arc.DriveRes*e.netLoad(oc.Net)
+			if d > worst {
+				worst = d
+			}
+		}
+		e.netArr[oc.Net.ID] = worst
+	}
+}
+
+// backComb propagates required times from a combinational cell's outputs to
+// its input nets.
+func (e *engine) backComb(in *netlist.Instance) {
+	for _, oc := range in.Conns {
+		p := in.Master.Pin(oc.Pin)
+		if p == nil || p.Dir != tech.Output || oc.Net == nil {
+			continue
+		}
+		reqOut := e.netReq[oc.Net.ID]
+		if math.IsInf(reqOut, 1) {
+			continue
+		}
+		for _, ic := range in.Conns {
+			ip := in.Master.Pin(ic.Pin)
+			if ip == nil || ip.Dir != tech.Input || ip.IsClock || ic.Net == nil {
+				continue
+			}
+			arc := in.Master.Arc(ic.Pin, oc.Pin)
+			if arc == nil {
+				continue
+			}
+			req := reqOut - arc.Intrinsic - arc.DriveRes*e.netLoad(oc.Net) - e.netWire[ic.Net.ID]
+			if req < e.netReq[ic.Net.ID] {
+				e.netReq[ic.Net.ID] = req
+			}
+		}
+	}
+}
+
+// lowerReq lowers the required time at a net's driver pin given a
+// requirement at its sink side.
+func (e *engine) lowerReq(n *netlist.Net, reqAtSink float64) {
+	req := reqAtSink - e.netWire[n.ID]
+	if req < e.netReq[n.ID] {
+		e.netReq[n.ID] = req
+	}
+}
+
+func clockPinName(c *tech.Cell) string {
+	if p := c.ClockPin(); p != nil {
+		return p.Name
+	}
+	return "CK"
+}

@@ -1,0 +1,331 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/place"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/sdc"
+)
+
+// pipeNetlist: input -> stages of INV -> DFF -> stages of INV -> DFF -> out.
+func pipeNetlist(t testing.TB, stagesPerSeg, segments int) *netlist.Netlist {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl := netlist.New("pipe", lib)
+	clkPort, _ := nl.AddPort("clk", netlist.In)
+	clkNet, _ := nl.AddNet("clk")
+	clkNet.IsClock = true
+	_ = nl.ConnectPort(clkPort, clkNet)
+	inPort, _ := nl.AddPort("din", netlist.In)
+	prev, _ := nl.AddNet("n_in")
+	_ = nl.ConnectPort(inPort, prev)
+	g := 0
+	for seg := 0; seg < segments; seg++ {
+		for s := 0; s < stagesPerSeg; s++ {
+			inv, err := nl.AddInstance(fmt.Sprintf("g%d", g), "INV_X1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, _ := nl.AddNet(fmt.Sprintf("n%d", g))
+			_ = nl.Connect(inv, "A", prev)
+			_ = nl.Connect(inv, "ZN", next)
+			prev = next
+			g++
+		}
+		dff, err := nl.AddInstance(fmt.Sprintf("ff%d", seg), "DFF_X1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _ := nl.AddNet(fmt.Sprintf("q%d", seg))
+		_ = nl.Connect(dff, "D", prev)
+		_ = nl.Connect(dff, "CK", clkNet)
+		_ = nl.Connect(dff, "Q", q)
+		prev = q
+	}
+	outPort, _ := nl.AddPort("dout", netlist.Out)
+	_ = nl.ConnectPort(outPort, prev)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func placedPipe(t testing.TB, stages, segs int) *layout.Layout {
+	t.Helper()
+	nl := pipeNetlist(t, stages, segs)
+	l, err := place.Global(nl, place.GlobalOptions{TargetUtil: 0.6, RefinePasses: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func cons(periodNS float64) *sdc.Constraints {
+	c, _ := sdc.ParseString(fmt.Sprintf(
+		"create_clock -name clk -period %g [get_ports clk]\nset_input_delay 0.05 -clock clk [all_inputs]\nset_output_delay 0.05 -clock clk [all_outputs]\n", periodNS))
+	return c
+}
+
+func TestLooseClockIsClean(t *testing.T) {
+	l := placedPipe(t, 10, 3)
+	r, err := Analyze(l, Options{Constraints: cons(100)}) // 100 ns
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if r.TNS != 0 {
+		t.Errorf("TNS = %g at 100ns clock", r.TNS)
+	}
+	if r.Violating != 0 {
+		t.Errorf("violating = %d", r.Violating)
+	}
+	if r.WNS <= 0 {
+		t.Errorf("WNS = %g, want positive", r.WNS)
+	}
+	if r.Endpoints == 0 {
+		t.Error("no endpoints found")
+	}
+}
+
+func TestTightClockViolates(t *testing.T) {
+	l := placedPipe(t, 30, 2)
+	r, err := Analyze(l, Options{Constraints: cons(0.2)}) // 200 ps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TNS >= 0 {
+		t.Errorf("TNS = %g at 200ps clock, want negative", r.TNS)
+	}
+	if r.Violating == 0 {
+		t.Error("no violating endpoints")
+	}
+	if r.WNS >= 0 {
+		t.Errorf("WNS = %g", r.WNS)
+	}
+	// TNS ≤ WNS (both negative, TNS accumulates).
+	if r.TNS > r.WNS {
+		t.Errorf("TNS %g > WNS %g", r.TNS, r.WNS)
+	}
+}
+
+func TestTNSMonotoneInPeriod(t *testing.T) {
+	l := placedPipe(t, 20, 3)
+	var prev float64 = math.Inf(-1)
+	for _, ns := range []float64{0.1, 0.3, 0.6, 1.2, 5} {
+		r, err := Analyze(l, Options{Constraints: cons(ns)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TNS < prev {
+			t.Errorf("TNS not monotone: %g after %g (period %gns)", r.TNS, prev, ns)
+		}
+		prev = r.TNS
+	}
+}
+
+func TestRoutedRCSlowerThanZeroWire(t *testing.T) {
+	l := placedPipe(t, 15, 2)
+	routes, err := route.Route(l, route.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rEst, err := Analyze(l, Options{Constraints: cons(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRoute, err := Analyze(l, Options{Constraints: cons(1), Routes: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both models must produce sane, comparable results.
+	if rEst.Endpoints != rRoute.Endpoints {
+		t.Errorf("endpoint count differs: %d vs %d", rEst.Endpoints, rRoute.Endpoints)
+	}
+	// Routed lengths ≥ HPWL, so routed arrival can only be slower or equal
+	// on the worst path (same layer assumption differs, so allow slack).
+	if rRoute.WNS > rEst.WNS+100 {
+		t.Errorf("routed WNS %g much better than estimated %g", rRoute.WNS, rEst.WNS)
+	}
+}
+
+// Width scaling trades lower wire resistance against higher load
+// capacitance; whether timing improves depends on the design (that is the
+// trade-off the GA explores). The model must respond, and stay bounded.
+func TestNDRTimingTradeoff(t *testing.T) {
+	l := placedPipe(t, 25, 2)
+	routes, err := route.Route(l, route.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(l, Options{Constraints: cons(0.5), Routes: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := l.Clone()
+	for i := range wide.NDR.Scale {
+		wide.NDR.Scale[i] = 1.5
+	}
+	routesW, err := route.Route(wide, route.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideRes, err := Analyze(wide, Options{Constraints: cons(0.5), Routes: routesW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wideRes.WNS == base.WNS {
+		t.Error("NDR scaling had no timing effect")
+	}
+	if d := math.Abs(wideRes.WNS - base.WNS); d > 100 {
+		t.Errorf("NDR effect implausibly large: ΔWNS = %g ps", d)
+	}
+}
+
+func TestInstSlack(t *testing.T) {
+	l := placedPipe(t, 10, 2)
+	r, err := Analyze(l, Options{Constraints: cons(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := l.Netlist
+	sawFinite := false
+	for _, in := range nl.FunctionalInsts() {
+		s := r.InstSlack(in)
+		if !math.IsInf(s, 1) {
+			sawFinite = true
+		}
+	}
+	if !sawFinite {
+		t.Fatal("no instance has finite slack")
+	}
+	// At a loose clock, slacks are positive.
+	for _, in := range nl.FunctionalInsts() {
+		if s := r.InstSlack(in); !math.IsInf(s, 1) && s < 0 {
+			t.Errorf("instance %s slack %g < 0 at loose clock", in.Name, s)
+		}
+	}
+}
+
+func TestInstSlackTightensWithClock(t *testing.T) {
+	l := placedPipe(t, 20, 2)
+	loose, err := Analyze(l, Options{Constraints: cons(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Analyze(l, Options{Constraints: cons(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := l.Netlist.Instance("g5")
+	if tight.InstSlack(in) >= loose.InstSlack(in) {
+		t.Errorf("slack should tighten: %g vs %g", tight.InstSlack(in), loose.InstSlack(in))
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	l := placedPipe(t, 2, 1)
+	if _, err := Analyze(l, Options{}); err == nil {
+		t.Error("missing constraints accepted")
+	}
+	c := cons(1)
+	c.Clocks[0].UncertaintyPS = 2000 // exceeds period
+	if _, err := Analyze(l, Options{Constraints: c}); err == nil {
+		t.Error("non-positive effective period accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	l := placedPipe(t, 12, 2)
+	r1, err := Analyze(l, Options{Constraints: cons(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(l, Options{Constraints: cons(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TNS != r2.TNS || r1.WNS != r2.WNS {
+		t.Errorf("nondeterministic: %g/%g vs %g/%g", r1.TNS, r1.WNS, r2.TNS, r2.WNS)
+	}
+}
+
+func TestNetArrivalIncreasesAlongChain(t *testing.T) {
+	l := placedPipe(t, 8, 1)
+	r, err := Analyze(l, Options{Constraints: cons(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for g := 0; g < 8; g++ {
+		n := l.Netlist.Net(fmt.Sprintf("n%d", g))
+		arr := r.NetArrival(n)
+		if arr <= prev {
+			t.Errorf("arrival at n%d = %g not increasing (prev %g)", g, arr, prev)
+		}
+		prev = arr
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	l := placedPipe(b, 40, 6)
+	c := cons(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(l, Options{Constraints: c}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMultiOutputCellTiming(t *testing.T) {
+	// A full adder has two outputs (S, CO) with distinct arcs; both must
+	// propagate arrivals.
+	lib := opencell45.MustLoad()
+	nl := netlist.New("fa", lib)
+	clkP, _ := nl.AddPort("clk", netlist.In)
+	clkN, _ := nl.AddNet("clk")
+	clkN.IsClock = true
+	_ = nl.ConnectPort(clkP, clkN)
+	for _, name := range []string{"a", "b", "ci"} {
+		p, _ := nl.AddPort(name, netlist.In)
+		n, _ := nl.AddNet(name)
+		_ = nl.ConnectPort(p, n)
+	}
+	fa, err := nl.AddInstance("fa0", "FA_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := nl.AddNet("s")
+	co, _ := nl.AddNet("co")
+	_ = nl.Connect(fa, "A", nl.Net("a"))
+	_ = nl.Connect(fa, "B", nl.Net("b"))
+	_ = nl.Connect(fa, "CI", nl.Net("ci"))
+	_ = nl.Connect(fa, "S", s)
+	_ = nl.Connect(fa, "CO", co)
+	for _, out := range []struct {
+		port string
+		net  *netlist.Net
+	}{{"so", s}, {"coo", co}} {
+		p, _ := nl.AddPort(out.port, netlist.Out)
+		_ = nl.ConnectPort(p, out.net)
+	}
+	l, err := place.Global(nl, place.GlobalOptions{TargetUtil: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(l, Options{Constraints: cons(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NetArrival(s) <= 0 || r.NetArrival(co) <= 0 {
+		t.Errorf("arrivals: S=%g CO=%g", r.NetArrival(s), r.NetArrival(co))
+	}
+	if r.Endpoints != 2 {
+		t.Errorf("endpoints = %d, want 2 output ports", r.Endpoints)
+	}
+}

@@ -1,0 +1,286 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleCell() *Cell {
+	return &Cell{
+		Name:       "NAND2_X1",
+		Class:      Comb,
+		WidthSites: 3,
+		Pins: []Pin{
+			{Name: "A1", Dir: Input, Cap: 1.6},
+			{Name: "A2", Dir: Input, Cap: 1.6},
+			{Name: "ZN", Dir: Output, MaxCap: 60},
+		},
+		Arcs: []TimingArc{
+			{From: "A1", To: "ZN", Intrinsic: 12, DriveRes: 4.0},
+			{From: "A2", To: "ZN", Intrinsic: 13, DriveRes: 4.0},
+		},
+		Leakage:        10,
+		InternalEnergy: 1.1,
+	}
+}
+
+func sampleDFF() *Cell {
+	return &Cell{
+		Name:       "DFF_X1",
+		Class:      Seq,
+		WidthSites: 6,
+		Pins: []Pin{
+			{Name: "D", Dir: Input, Cap: 1.8},
+			{Name: "CK", Dir: Input, Cap: 1.2, IsClock: true},
+			{Name: "Q", Dir: Output, MaxCap: 60},
+		},
+		ClkToQ: 95,
+		Setup:  40,
+	}
+}
+
+func sampleLibrary() *Library {
+	l := NewLibrary("test45")
+	l.DBUPerMicron = 1000
+	l.Vdd = 1.1
+	l.Site = Site{Name: "core", Width: 190, Height: 1400}
+	for i := 1; i <= 4; i++ {
+		dir := Horizontal
+		if i%2 == 0 {
+			dir = Vertical
+		}
+		l.Layers = append(l.Layers, Layer{
+			Name: "metal" + string(rune('0'+i)), Index: i, Dir: dir,
+			Pitch: 190, Width: 70, Spacing: 65, RPerUM: 0.00038, CPerUM: 0.16,
+		})
+	}
+	l.AddCell(sampleCell())
+	l.AddCell(sampleDFF())
+	l.AddCell(&Cell{Name: "FILLCELL_X2", Class: Filler, WidthSites: 2})
+	l.AddCell(&Cell{Name: "FILLCELL_X8", Class: Filler, WidthSites: 8})
+	return l
+}
+
+func TestCellPinLookup(t *testing.T) {
+	c := sampleCell()
+	if p := c.Pin("A1"); p == nil || p.Dir != Input {
+		t.Fatalf("Pin(A1) = %v", p)
+	}
+	if p := c.Pin("ZN"); p == nil || p.Dir != Output {
+		t.Fatalf("Pin(ZN) = %v", p)
+	}
+	if c.Pin("nope") != nil {
+		t.Error("missing pin should return nil")
+	}
+}
+
+func TestCellOutputAndInputs(t *testing.T) {
+	c := sampleCell()
+	if out := c.OutputPin(); out == nil || out.Name != "ZN" {
+		t.Fatalf("OutputPin = %v", out)
+	}
+	ins := c.InputPins()
+	if len(ins) != 2 {
+		t.Fatalf("InputPins = %d, want 2", len(ins))
+	}
+	d := sampleDFF()
+	if ck := d.ClockPin(); ck == nil || ck.Name != "CK" {
+		t.Fatalf("ClockPin = %v", ck)
+	}
+	// Clock pin excluded from InputPins.
+	if ins := d.InputPins(); len(ins) != 1 || ins[0].Name != "D" {
+		t.Fatalf("DFF InputPins = %v", ins)
+	}
+}
+
+func TestCellArc(t *testing.T) {
+	c := sampleCell()
+	a := c.Arc("A2", "ZN")
+	if a == nil || a.Intrinsic != 13 {
+		t.Fatalf("Arc(A2,ZN) = %v", a)
+	}
+	if c.Arc("ZN", "A1") != nil {
+		t.Error("reversed arc should not exist")
+	}
+}
+
+func TestCellClassPredicates(t *testing.T) {
+	if !sampleCell().IsFunctional() || !sampleDFF().IsFunctional() {
+		t.Error("comb/seq cells are functional")
+	}
+	f := &Cell{Name: "FILL", Class: Filler, WidthSites: 1}
+	if f.IsFunctional() {
+		t.Error("filler is not functional")
+	}
+	for c, want := range map[CellClass]string{Comb: "comb", Seq: "seq", Filler: "filler", Tap: "tap"} {
+		if c.String() != want {
+			t.Errorf("CellClass(%d).String = %q", int(c), c.String())
+		}
+	}
+}
+
+func TestLibraryCellRegistry(t *testing.T) {
+	l := sampleLibrary()
+	if l.NumCells() != 4 {
+		t.Fatalf("NumCells = %d, want 4", l.NumCells())
+	}
+	if l.Cell("DFF_X1") == nil {
+		t.Fatal("DFF_X1 missing")
+	}
+	if l.Cell("bogus") != nil {
+		t.Error("unknown cell should be nil")
+	}
+	// Deterministic sorted iteration.
+	cells := l.Cells()
+	for i := 1; i < len(cells); i++ {
+		if cells[i-1].Name >= cells[i].Name {
+			t.Fatalf("Cells() not sorted: %q before %q", cells[i-1].Name, cells[i].Name)
+		}
+	}
+	// Replacement keeps count stable.
+	repl := sampleCell()
+	repl.Leakage = 99
+	l.AddCell(repl)
+	if l.NumCells() != 4 {
+		t.Errorf("replace changed count to %d", l.NumCells())
+	}
+	if l.Cell("NAND2_X1").Leakage != 99 {
+		t.Error("replacement not visible")
+	}
+}
+
+func TestLibraryLayers(t *testing.T) {
+	l := sampleLibrary()
+	if l.NumLayers() != 4 {
+		t.Fatalf("NumLayers = %d", l.NumLayers())
+	}
+	if ly := l.Layer(1); ly == nil || ly.Dir != Horizontal {
+		t.Fatalf("Layer(1) = %v", ly)
+	}
+	if ly := l.Layer(2); ly == nil || ly.Dir != Vertical {
+		t.Fatalf("Layer(2) = %v", ly)
+	}
+	if l.Layer(0) != nil || l.Layer(5) != nil {
+		t.Error("out-of-range layers should be nil")
+	}
+	if ly := l.LayerByName("metal3"); ly == nil || ly.Index != 3 {
+		t.Fatalf("LayerByName = %v", ly)
+	}
+	if l.LayerByName("poly") != nil {
+		t.Error("unknown layer should be nil")
+	}
+}
+
+func TestUnitConversion(t *testing.T) {
+	l := sampleLibrary()
+	if got := l.MicronsToDBU(0.19); got != 190 {
+		t.Errorf("MicronsToDBU(0.19) = %d", got)
+	}
+	if got := l.DBUToMicrons(1400); got != 1.4 {
+		t.Errorf("DBUToMicrons(1400) = %g", got)
+	}
+}
+
+func TestFillersByWidth(t *testing.T) {
+	l := sampleLibrary()
+	fills := l.FillersByWidth()
+	if len(fills) != 2 {
+		t.Fatalf("fillers = %d, want 2", len(fills))
+	}
+	if fills[0].WidthSites != 8 || fills[1].WidthSites != 2 {
+		t.Errorf("fillers not sorted by decreasing width: %v,%v",
+			fills[0].WidthSites, fills[1].WidthSites)
+	}
+}
+
+func TestNDR(t *testing.T) {
+	n := DefaultNDR(10)
+	if len(n.Scale) != 10 {
+		t.Fatalf("scale len = %d", len(n.Scale))
+	}
+	for i := 1; i <= 10; i++ {
+		if n.LayerScale(i) != 1.0 {
+			t.Fatalf("default scale[%d] = %g", i, n.LayerScale(i))
+		}
+	}
+	n.Scale[4] = 1.5
+	if n.LayerScale(5) != 1.5 {
+		t.Error("LayerScale(5) should be 1.5")
+	}
+	if n.LayerScale(0) != 1.0 || n.LayerScale(11) != 1.0 {
+		t.Error("out-of-range scale should be 1.0")
+	}
+	c := n.Clone()
+	c.Scale[4] = 1.2
+	if n.LayerScale(5) != 1.5 {
+		t.Error("Clone should not alias")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleLibrary().Validate(); err != nil {
+		t.Fatalf("valid library rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadData(t *testing.T) {
+	l := sampleLibrary()
+	l.DBUPerMicron = 0
+	if err := l.Validate(); err == nil {
+		t.Error("zero DBU not rejected")
+	}
+
+	l = sampleLibrary()
+	l.Site.Width = 0
+	if err := l.Validate(); err == nil {
+		t.Error("zero-width site not rejected")
+	}
+
+	l = sampleLibrary()
+	l.Layers[2].Index = 7
+	if err := l.Validate(); err == nil {
+		t.Error("misindexed layer not rejected")
+	}
+
+	l = sampleLibrary()
+	l.Layers[0].Width = l.Layers[0].Pitch + 1
+	if err := l.Validate(); err == nil {
+		t.Error("width>pitch not rejected")
+	}
+
+	l = sampleLibrary()
+	bad := sampleCell()
+	bad.Name = "BADARC"
+	bad.Arcs = append(bad.Arcs, TimingArc{From: "NOPE", To: "ZN"})
+	l.AddCell(bad)
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "missing pin") {
+		t.Errorf("bad arc not rejected: %v", err)
+	}
+
+	l = sampleLibrary()
+	noClk := sampleDFF()
+	noClk.Name = "DFF_NOCLK"
+	noClk.Pins[1].IsClock = false
+	l.AddCell(noClk)
+	if err := l.Validate(); err == nil {
+		t.Error("clockless seq cell not rejected")
+	}
+
+	l = sampleLibrary()
+	l.AddCell(&Cell{Name: "ZEROW", Class: Comb, WidthSites: 0})
+	if err := l.Validate(); err == nil {
+		t.Error("zero-width cell not rejected")
+	}
+}
+
+func TestPinDirString(t *testing.T) {
+	if Input.String() != "input" || Output.String() != "output" || Inout.String() != "inout" {
+		t.Error("PinDir strings wrong")
+	}
+}
+
+func TestLayerDirString(t *testing.T) {
+	if Horizontal.String() != "HORIZONTAL" || Vertical.String() != "VERTICAL" {
+		t.Error("LayerDir strings wrong")
+	}
+}

@@ -1,0 +1,400 @@
+// Package verilog reads and writes flat gate-level structural Verilog:
+// one module, input/output/wire declarations, and named-port standard-cell
+// instantiations. This is the netlist hand-off format between synthesis and
+// P&R that the GDSII-Guard flow consumes and emits.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/tech"
+)
+
+// Parse reads a structural Verilog module and builds a netlist over lib.
+// Every port implicitly declares a net of the same name. Nets with a sink
+// on a clock pin are marked as clock nets.
+func Parse(r io.Reader, lib *tech.Library) (*netlist.Netlist, error) {
+	p := &parser{sc: newScanner(r), lib: lib}
+	return p.parseModule()
+}
+
+// ParseString is a convenience wrapper over Parse.
+func ParseString(s string, lib *tech.Library) (*netlist.Netlist, error) {
+	return Parse(strings.NewReader(s), lib)
+}
+
+type parser struct {
+	sc  *scanner
+	lib *tech.Library
+}
+
+func (p *parser) parseModule() (*netlist.Netlist, error) {
+	if err := p.expectWord("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.word()
+	if err != nil {
+		return nil, err
+	}
+	nl := netlist.New(name, p.lib)
+
+	// Port list: ( a, b, c ) ;  — directions come from declarations.
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var portNames []string
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return nil, p.errf("unterminated port list")
+		}
+		if tok == ")" {
+			break
+		}
+		if tok != "," {
+			portNames = append(portNames, tok)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	declared := make(map[string]bool)
+
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return nil, p.errf("missing endmodule")
+		}
+		switch tok {
+		case "endmodule":
+			if err := p.finish(nl); err != nil {
+				return nil, err
+			}
+			return nl, nil
+		case "input", "output":
+			dir := netlist.In
+			if tok == "output" {
+				dir = netlist.Out
+			}
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				port, err := nl.AddPort(n, dir)
+				if err != nil {
+					return nil, p.wrap(err)
+				}
+				net, err := nl.AddNet(n)
+				if err != nil {
+					return nil, p.wrap(err)
+				}
+				if err := nl.ConnectPort(port, net); err != nil {
+					return nil, p.wrap(err)
+				}
+				declared[n] = true
+			}
+		case "wire":
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				if declared[n] {
+					continue // wire re-declaration of a port net is legal
+				}
+				if _, err := nl.AddNet(n); err != nil {
+					return nil, p.wrap(err)
+				}
+				declared[n] = true
+			}
+		default:
+			// cell instantiation: MASTER instname ( .PIN(net), ... ) ;
+			if err := p.parseInstance(nl, tok); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// finish validates port coverage and marks clock nets.
+func (p *parser) finish(nl *netlist.Netlist) error {
+	for _, n := range nl.Nets {
+		for _, s := range n.Sinks {
+			if s.IsPort() {
+				continue
+			}
+			if pin := s.Inst.Master.Pin(s.Pin); pin != nil && pin.IsClock {
+				n.IsClock = true
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseInstance(nl *netlist.Netlist, master string) error {
+	instName, err := p.word()
+	if err != nil {
+		return err
+	}
+	in, err := nl.AddInstance(instName, master)
+	if err != nil {
+		return p.wrap(err)
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return p.errf("unterminated instance %s", instName)
+		}
+		if tok == ")" {
+			break
+		}
+		if tok == "," {
+			continue
+		}
+		if !strings.HasPrefix(tok, ".") {
+			return p.errf("expected .PIN in instance %s, got %q", instName, tok)
+		}
+		pin := tok[1:]
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		netName, err := p.word()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		net := nl.Net(netName)
+		if net == nil {
+			return p.errf("instance %s pin %s: undeclared net %q", instName, pin, netName)
+		}
+		if err := nl.Connect(in, pin, net); err != nil {
+			return p.wrap(err)
+		}
+	}
+	return p.expect(";")
+}
+
+// nameList parses "a, b, c ;".
+func (p *parser) nameList() ([]string, error) {
+	var names []string
+	for {
+		tok, ok := p.sc.next()
+		if !ok {
+			return nil, p.errf("unterminated declaration")
+		}
+		if tok == ";" {
+			return names, nil
+		}
+		if tok != "," {
+			names = append(names, tok)
+		}
+	}
+}
+
+func (p *parser) word() (string, error) {
+	tok, ok := p.sc.next()
+	if !ok {
+		return "", p.errf("unexpected EOF")
+	}
+	return tok, nil
+}
+
+func (p *parser) expect(want string) error {
+	tok, ok := p.sc.next()
+	if !ok {
+		return p.errf("unexpected EOF, wanted %q", want)
+	}
+	if tok != want {
+		return p.errf("expected %q, got %q", want, tok)
+	}
+	return nil
+}
+
+func (p *parser) expectWord(want string) error {
+	tok, ok := p.sc.next()
+	if !ok {
+		return p.errf("unexpected EOF, wanted %q", want)
+	}
+	if tok != want {
+		return p.errf("expected %q, got %q", want, tok)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("verilog: line %d: %s", p.sc.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) wrap(err error) error {
+	return fmt.Errorf("verilog: line %d: %w", p.sc.line, err)
+}
+
+// Write emits the netlist as flat structural Verilog that Parse round-trips.
+// Filler and tap instances are included as portless instantiations.
+func Write(w io.Writer, nl *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	var portNames []string
+	for _, p := range nl.Ports {
+		portNames = append(portNames, p.Name)
+	}
+	fmt.Fprintf(bw, "module %s ( %s );\n", nl.Name, strings.Join(portNames, ", "))
+
+	var ins, outs []string
+	for _, p := range nl.Ports {
+		if p.Dir == netlist.In {
+			ins = append(ins, p.Name)
+		} else {
+			outs = append(outs, p.Name)
+		}
+	}
+	if len(ins) > 0 {
+		fmt.Fprintf(bw, "  input %s ;\n", strings.Join(ins, ", "))
+	}
+	if len(outs) > 0 {
+		fmt.Fprintf(bw, "  output %s ;\n", strings.Join(outs, ", "))
+	}
+
+	isPort := make(map[string]bool, len(nl.Ports))
+	for _, p := range nl.Ports {
+		isPort[p.Name] = true
+	}
+	var wires []string
+	for _, n := range nl.Nets {
+		if !isPort[n.Name] {
+			wires = append(wires, n.Name)
+		}
+	}
+	sort.Strings(wires)
+	for i := 0; i < len(wires); i += 10 {
+		end := i + 10
+		if end > len(wires) {
+			end = len(wires)
+		}
+		fmt.Fprintf(bw, "  wire %s ;\n", strings.Join(wires[i:end], ", "))
+	}
+	bw.WriteString("\n")
+
+	for _, in := range nl.Insts {
+		var conns []string
+		for _, c := range in.Conns {
+			conns = append(conns, fmt.Sprintf(".%s(%s)", c.Pin, c.Net.Name))
+		}
+		fmt.Fprintf(bw, "  %s %s ( %s );\n", in.Master.Name, in.Name, strings.Join(conns, ", "))
+	}
+	bw.WriteString("endmodule\n")
+	return bw.Flush()
+}
+
+// WriteString renders the netlist as Verilog text.
+func WriteString(nl *netlist.Netlist) string {
+	var b strings.Builder
+	_ = Write(&b, nl)
+	return b.String()
+}
+
+// scanner tokenizes Verilog: identifiers (including leading '.'), and the
+// punctuation ( ) ; , as single tokens; // and /* */ comments skipped.
+type scanner struct {
+	br      *bufio.Reader
+	line    int
+	pending []string
+}
+
+func newScanner(r io.Reader) *scanner {
+	return &scanner{br: bufio.NewReader(r), line: 1}
+}
+
+func (s *scanner) next() (string, bool) {
+	if n := len(s.pending); n > 0 {
+		tok := s.pending[n-1]
+		s.pending = s.pending[:n-1]
+		return tok, true
+	}
+	var b strings.Builder
+	flush := func() (string, bool) {
+		if b.Len() > 0 {
+			return b.String(), true
+		}
+		return "", false
+	}
+	for {
+		c, err := s.br.ReadByte()
+		if err != nil {
+			return flush()
+		}
+		switch {
+		case c == '\n':
+			s.line++
+			if tok, ok := flush(); ok {
+				return tok, true
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			if tok, ok := flush(); ok {
+				return tok, true
+			}
+		case c == '/':
+			c2, err := s.br.ReadByte()
+			if err != nil {
+				b.WriteByte(c)
+				return flush()
+			}
+			switch c2 {
+			case '/':
+				for {
+					c3, err := s.br.ReadByte()
+					if err != nil {
+						break
+					}
+					if c3 == '\n' {
+						s.line++
+						break
+					}
+				}
+				if tok, ok := flush(); ok {
+					return tok, true
+				}
+			case '*':
+				var prev byte
+				for {
+					c3, err := s.br.ReadByte()
+					if err != nil {
+						break
+					}
+					if c3 == '\n' {
+						s.line++
+					}
+					if prev == '*' && c3 == '/' {
+						break
+					}
+					prev = c3
+				}
+				if tok, ok := flush(); ok {
+					return tok, true
+				}
+			default:
+				b.WriteByte(c)
+				b.WriteByte(c2)
+			}
+		case c == '(' || c == ')' || c == ';' || c == ',':
+			if b.Len() > 0 {
+				s.pending = append(s.pending, string(c))
+				return b.String(), true
+			}
+			return string(c), true
+		default:
+			b.WriteByte(c)
+		}
+	}
+}

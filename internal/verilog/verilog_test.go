@@ -1,0 +1,204 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/opencell45"
+)
+
+const toySrc = `
+// toy design
+module toy ( in0, in1, clk, out0 );
+  input in0, in1, clk ;
+  output out0 ;
+  wire n1, n2 ;
+
+  INV_X1 u1 ( .A(in0), .ZN(n1) );
+  NAND2_X1 u2 ( .A1(n1), .A2(in1), .ZN(n2) );
+  DFF_X1 u3 ( .D(n2), .CK(clk), .Q(out0) );
+endmodule
+`
+
+func TestParseBasics(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl, err := ParseString(toySrc, lib)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if nl.Name != "toy" {
+		t.Errorf("Name = %q", nl.Name)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := nl.Stats()
+	if s.Insts != 3 || s.Ports != 4 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if p := nl.Port("in0"); p == nil || p.Dir != netlist.In {
+		t.Errorf("in0 = %v", p)
+	}
+	if p := nl.Port("out0"); p == nil || p.Dir != netlist.Out {
+		t.Errorf("out0 = %v", p)
+	}
+}
+
+func TestClockDetection(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl, err := ParseString(toySrc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nl.Net("clk").IsClock {
+		t.Error("clk net not marked as clock")
+	}
+	if nl.Net("n1").IsClock {
+		t.Error("n1 wrongly marked as clock")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl, _ := ParseString(toySrc, lib)
+	n1 := nl.Net("n1")
+	if n1.Driver.Inst == nil || n1.Driver.Inst.Name != "u1" {
+		t.Errorf("n1 driver = %v", n1.Driver)
+	}
+	// port-driven net
+	if d := nl.Net("in0").Driver; !d.IsPort() {
+		t.Errorf("in0 driver = %v", d)
+	}
+	// port sink
+	out := nl.Net("out0")
+	foundPort := false
+	for _, s := range out.Sinks {
+		if s.IsPort() {
+			foundPort = true
+		}
+	}
+	if !foundPort {
+		t.Error("out0 has no port sink")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl, err := ParseString(toySrc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteString(nl)
+	nl2, err := ParseString(text, lib)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if err := nl2.Validate(); err != nil {
+		t.Fatalf("round-trip invalid: %v", err)
+	}
+	s1, s2 := nl.Stats(), nl2.Stats()
+	if s1 != s2 {
+		t.Errorf("stats changed: %+v vs %+v", s1, s2)
+	}
+	for _, in := range nl.Insts {
+		in2 := nl2.Instance(in.Name)
+		if in2 == nil || in2.Master.Name != in.Master.Name {
+			t.Errorf("instance %s mismatch", in.Name)
+			continue
+		}
+		for _, c := range in.Conns {
+			if n2 := in2.NetConn(c.Pin); n2 == nil || n2.Name != c.Net.Name {
+				t.Errorf("%s/%s connects %v, want %s", in.Name, c.Pin, n2, c.Net.Name)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	lib := opencell45.MustLoad()
+	cases := []struct{ name, src string }{
+		{"not a module", "wire x ;"},
+		{"missing semicolon after ports", "module m ( a ) input a ; endmodule"},
+		{"unknown master", "module m ( a );\ninput a ;\nFOO_X9 u1 ( .A(a) );\nendmodule"},
+		{"undeclared net", "module m ( a );\ninput a ;\nINV_X1 u1 ( .A(a), .ZN(ghost) );\nendmodule"},
+		{"unknown pin", "module m ( a );\ninput a ;\nwire z ;\nINV_X1 u1 ( .BOGUS(a), .ZN(z) );\nendmodule"},
+		{"positional conn", "module m ( a );\ninput a ;\nwire z ;\nINV_X1 u1 ( a, z );\nendmodule"},
+		{"missing endmodule", "module m ( a );\ninput a ;"},
+		{"double driver", "module m ( a );\ninput a ;\nwire z ;\nINV_X1 u1 ( .A(a), .ZN(z) );\nINV_X1 u2 ( .A(a), .ZN(z) );\nendmodule"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src, lib); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	lib := opencell45.MustLoad()
+	src := `
+/* block
+   comment */
+module m ( a, y ); // ports
+  input a ;
+  output y ;
+  INV_X1 u1 ( .A(a), .ZN(y) ); // inverter
+endmodule
+`
+	nl, err := ParseString(src, lib)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if nl.Stats().Insts != 1 {
+		t.Error("instance lost")
+	}
+}
+
+func TestWireRedeclarationOfPort(t *testing.T) {
+	lib := opencell45.MustLoad()
+	src := `
+module m ( a, y );
+  input a ;
+  output y ;
+  wire a, y ;
+  INV_X1 u1 ( .A(a), .ZN(y) );
+endmodule
+`
+	if _, err := ParseString(src, lib); err != nil {
+		t.Fatalf("port wire redeclaration should be legal: %v", err)
+	}
+}
+
+func TestWriteWrapsWireDecls(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl := netlist.New("wide", lib)
+	for i := 0; i < 25; i++ {
+		name := "n" + strings.Repeat("x", 1) + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if _, err := nl.AddNet(name + string(rune('0'+i%10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text := WriteString(nl)
+	if strings.Count(text, "wire ") < 3 {
+		t.Errorf("expected wrapped wire declarations, got:\n%s", text)
+	}
+}
+
+func TestFillerInstancesRoundTrip(t *testing.T) {
+	lib := opencell45.MustLoad()
+	nl, err := ParseString(toySrc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("fill0", "FILLCELL_X4"); err != nil {
+		t.Fatal(err)
+	}
+	text := WriteString(nl)
+	nl2, err := ParseString(text, lib)
+	if err != nil {
+		t.Fatalf("re-parse with filler: %v\n%s", err, text)
+	}
+	if nl2.Instance("fill0") == nil {
+		t.Error("filler lost in round trip")
+	}
+}
