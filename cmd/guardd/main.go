@@ -1,0 +1,103 @@
+// Command guardd serves the GDSII-Guard hardening flows as a long-running
+// HTTP service: clients submit harden/explore/attack jobs against built-in
+// benchmarks or uploaded DEF layouts, poll job status, and download the
+// hardened DEF/GDSII artifacts.
+//
+// Usage:
+//
+//	guardd [-addr :8477] [-workers N] [-queue 64] [-job-timeout 15m]
+//	       [-cache 8] [-retention 256]
+//
+// Endpoints (JSON unless noted):
+//
+//	POST   /v1/jobs             submit a job
+//	GET    /v1/jobs/{id}        job status + metrics
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/def    hardened DEF (text)
+//	GET    /v1/jobs/{id}/gdsii  hardened GDSII (binary)
+//	GET    /v1/benchmarks       built-in designs
+//	GET    /v1/stats            queue/worker/cache statistics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the server stops accepting
+// requests, queued and running jobs drain up to -drain-timeout, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gdsiiguard/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8477", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0: NumCPU)")
+		queue        = flag.Int("queue", 64, "submission queue depth")
+		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "default per-job timeout")
+		cacheSize    = flag.Int("cache", 8, "design cache capacity")
+		retention    = flag.Int("retention", 256, "finished jobs kept in the result store")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(*addr, service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		CacheSize:  *cacheSize,
+		Retention:  *retention,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "guardd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
+	mgr := service.New(cfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("guardd: listening on %s (%d workers, queue %d)",
+			addr, mgr.Stats().Workers, cfg.QueueDepth)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("guardd: shutting down, draining jobs (budget %v)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("guardd: http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		log.Printf("guardd: drain incomplete, running jobs cancelled: %v", err)
+	}
+	log.Printf("guardd: bye")
+	return <-errc
+}

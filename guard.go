@@ -19,6 +19,7 @@
 package gdsiiguard
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -32,7 +33,6 @@ import (
 	"gdsiiguard/internal/nsga2"
 	"gdsiiguard/internal/opencell45"
 	"gdsiiguard/internal/sdc"
-	"gdsiiguard/internal/security"
 )
 
 // Metrics reports the post-design evaluation of a layout (§II-C of the
@@ -94,6 +94,10 @@ func (p *FlowParams) toCore(k int) (core.Params, error) {
 		return out, nil
 	}
 	if p.Op != "" {
+		if p.Op != CellShift && p.Op != LocalDensityAdjust {
+			return out, fmt.Errorf("gdsiiguard: unknown operator %q (want %q or %q)",
+				p.Op, CellShift, LocalDensityAdjust)
+		}
 		out.Op = core.Operator(p.Op)
 	}
 	if p.LDAGridN != 0 {
@@ -182,11 +186,19 @@ type Hardened struct {
 // Harden applies one flow configuration (nil: the default Cell Shift flow
 // with unscaled routing) and returns the hardened layout.
 func (d *Design) Harden(p *FlowParams) (*Hardened, error) {
+	return d.HardenCtx(context.Background(), p)
+}
+
+// HardenCtx is Harden with cooperative cancellation: the flow observes ctx
+// between its stages and returns ctx.Err() promptly once ctx is cancelled
+// or its deadline passes. A Design is safe for concurrent HardenCtx calls;
+// the baseline is never modified.
+func (d *Design) HardenCtx(ctx context.Context, p *FlowParams) (*Hardened, error) {
 	cp, err := p.toCore(d.base.Layout.Lib().NumLayers())
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(d.base, cp)
+	res, err := core.RunCtx(ctx, d.base, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -236,11 +248,18 @@ type Exploration struct {
 
 // Explore runs the multi-objective flow-parameter exploration (§III-D).
 func (d *Design) Explore(opt ExploreOptions) (*Exploration, error) {
+	return d.ExploreCtx(context.Background(), opt)
+}
+
+// ExploreCtx is Explore with cooperative cancellation: the optimizer and
+// its evaluation workers observe ctx, so a cancelled exploration stops
+// within roughly one flow evaluation's latency.
+func (d *Design) ExploreCtx(ctx context.Context, opt ExploreOptions) (*Exploration, error) {
 	seed := opt.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	log, err := nsga2.Optimize(d.base, nsga2.Options{
+	log, err := nsga2.OptimizeCtx(ctx, d.base, nsga2.Options{
 		PopSize:     opt.PopSize,
 		Generations: opt.Generations,
 		Parallelism: opt.Parallelism,
@@ -309,10 +328,11 @@ func (d *Design) SimulateAttack() (*AttackResult, error) {
 }
 
 // SimulateAttack attempts an A2-style Trojan insertion on the hardened
-// layout.
+// layout, using the same security parameters the design was evaluated
+// under (so baseline and hardened attack simulations are comparable).
 func (h *Hardened) SimulateAttack() (*AttackResult, error) {
 	res, err := attack.Attempt(h.result.Layout, h.result.Routes, h.result.Timing,
-		attack.DefaultTrojan(), security.DefaultParams())
+		attack.DefaultTrojan(), h.result.Config.Security)
 	if err != nil {
 		return nil, err
 	}

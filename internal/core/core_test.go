@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -394,6 +396,37 @@ func TestRunRejectsInvalidParams(t *testing.T) {
 	bad.ScaleM[0] = 2.0
 	if _, err := Run(base, bad); err == nil {
 		t.Error("invalid params accepted")
+	}
+}
+
+func TestRunCtxObservesCancellation(t *testing.T) {
+	l := buildDesign(t, 3, 10, 0.55, 41)
+	base, err := EvalBaseline(l, flowConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, base, DefaultParams(l.Lib().NumLayers())); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCarriesBaselineConfig(t *testing.T) {
+	l := buildDesign(t, 3, 10, 0.55, 41)
+	cfg := flowConfig(2)
+	cfg.Security = security.DefaultParams()
+	cfg.Security.ThreshER = 25 // non-default, must survive into the result
+	base, err := EvalBaseline(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(base, DefaultParams(l.Lib().NumLayers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Config.Security.ThreshER; got != 25 {
+		t.Errorf("result security ThreshER = %d, want the baseline's 25", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -125,6 +126,10 @@ type Result struct {
 	Assessment *security.Assessment
 	Metrics    Metrics
 	Params     Params
+	// Config is the flow configuration the layout was evaluated under
+	// (copied from the baseline), so downstream consumers — notably attack
+	// simulation — use the same security parameters as the baseline.
+	Config FlowConfig
 	// CS / LDA operator telemetry (whichever ran).
 	CSResult  CellShiftResult
 	LDAResult LDAResult
@@ -148,8 +153,18 @@ func Preprocess(l *layout.Layout) int {
 // Routing Width Scaling, ECO routing, then metric extraction. The baseline
 // is never modified.
 func Run(base *Baseline, p Params) (*Result, error) {
+	return RunCtx(context.Background(), base, p)
+}
+
+// RunCtx is Run with cooperative cancellation: the flow observes ctx
+// between its stages (operator, routing, timing, power, security) and
+// returns ctx.Err() as soon as cancellation or deadline expiry is seen.
+func RunCtx(ctx context.Context, base *Baseline, p Params) (*Result, error) {
 	cfg := base.Config
 	if err := p.Validate(base.Layout.Lib().NumLayers()); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -168,11 +183,14 @@ func Run(base *Baseline, p Params) (*Result, error) {
 		res.LDAResult = LocalDensityAdjust(l, p.LDAGridN, p.LDAIters, cfg.Seed, base.Timing)
 	}
 	unpin()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Routing Width Scaling: install the NDR, then (re-)route everything
 	// under it.
 	copy(l.NDR.Scale, p.ScaleM)
-	if err := Evaluate(l, base, res); err != nil {
+	if err := EvaluateCtx(ctx, l, base, res); err != nil {
 		return nil, err
 	}
 	res.Metrics.Runtime = time.Since(start)
@@ -184,18 +202,33 @@ func Run(base *Baseline, p Params) (*Result, error) {
 // baseline. It is shared between the GDSII-Guard flow and the baseline
 // defenses so every scheme is measured identically.
 func Evaluate(l *layout.Layout, base *Baseline, res *Result) error {
+	return EvaluateCtx(context.Background(), l, base, res)
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation between analysis
+// stages.
+func EvaluateCtx(ctx context.Context, l *layout.Layout, base *Baseline, res *Result) error {
 	cfg := base.Config
 	routes, err := route.Route(l, cfg.RouteOpts)
 	if err != nil {
 		return fmt.Errorf("core: routing: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	timing, err := sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
 	if err != nil {
 		return fmt.Errorf("core: timing: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	pw, err := power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
 	if err != nil {
 		return fmt.Errorf("core: power: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	assess, err := security.Assess(l, routes, timing, cfg.Security)
 	if err != nil {
@@ -204,6 +237,7 @@ func Evaluate(l *layout.Layout, base *Baseline, res *Result) error {
 	checks := drc.Check(l, routes)
 
 	res.Layout = l
+	res.Config = cfg
 	res.Routes = routes
 	res.Timing = timing
 	res.Assessment = assess

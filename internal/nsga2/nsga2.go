@@ -9,6 +9,7 @@
 package nsga2
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -106,6 +107,14 @@ type RunLog struct {
 
 // Optimize explores the flow parameter space for the given baseline design.
 func Optimize(base *core.Baseline, opt Options) (*RunLog, error) {
+	return OptimizeCtx(context.Background(), base, opt)
+}
+
+// OptimizeCtx is Optimize with cooperative cancellation: the optimizer
+// observes ctx between generations and the evaluation workers observe it
+// between (and inside, via core.RunCtx) flow evaluations, so a cancelled
+// exploration stops within roughly one evaluation's latency.
+func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog, error) {
 	opt = opt.withDefaults()
 	k := base.Layout.Lib().NumLayers()
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -126,7 +135,7 @@ func Optimize(base *core.Baseline, opt Options) (*RunLog, error) {
 		seen[p.Key()] = true
 		pop = append(pop, &Individual{Params: p})
 	}
-	if err := ev.evalAll(pop, 0); err != nil {
+	if err := ev.evalAll(ctx, pop, 0); err != nil {
 		return nil, err
 	}
 
@@ -134,9 +143,12 @@ func Optimize(base *core.Baseline, opt Options) (*RunLog, error) {
 	frontSize := 0
 	gen := 0
 	for gen = 1; gen <= opt.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rankAndCrowd(pop)
 		offspring := makeOffspring(pop, k, rng, opt)
-		if err := ev.evalAll(offspring, gen); err != nil {
+		if err := ev.evalAll(ctx, offspring, gen); err != nil {
 			return nil, err
 		}
 		pop = environmentalSelect(append(pop, offspring...), opt.PopSize)
@@ -178,7 +190,7 @@ type evaluator struct {
 // evalAll evaluates a batch: unique un-cached chromosomes run once each on
 // the worker pool (in deterministic key order for a reproducible trace),
 // then every individual is filled from the cache.
-func (ev *evaluator) evalAll(pop []*Individual, gen int) error {
+func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) error {
 	var fresh []string
 	seen := map[string]core.Params{}
 	for _, in := range pop {
@@ -206,7 +218,11 @@ func (ev *evaluator) evalAll(pop []*Individual, gen int) error {
 		go func() {
 			defer wg.Done()
 			for key := range jobs {
-				if err := ev.evalFresh(seen[key], key, gen); err != nil {
+				if err := ctx.Err(); err != nil {
+					errs <- err
+					return
+				}
+				if err := ev.evalFresh(ctx, seen[key], key, gen); err != nil {
 					errs <- err
 					return
 				}
@@ -243,9 +259,12 @@ func (ev *evaluator) evalAll(pop []*Individual, gen int) error {
 	return nil
 }
 
-func (ev *evaluator) evalFresh(p core.Params, key string, gen int) error {
-	res, err := core.Run(ev.base, p)
+func (ev *evaluator) evalFresh(ctx context.Context, p core.Params, key string, gen int) error {
+	res, err := core.RunCtx(ctx, ev.base, p)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("nsga2: evaluating %s: %w", key, err)
 	}
 	in := &Individual{

@@ -1,9 +1,12 @@
 package nsga2
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"gdsiiguard/internal/core"
 	"gdsiiguard/internal/netlist"
@@ -235,6 +238,37 @@ func TestGenerationsAndPatience(t *testing.T) {
 	}
 	if log.Generations > 10 || log.Generations < 1 {
 		t.Errorf("generations = %d", log.Generations)
+	}
+}
+
+func TestOptimizeCtxObservesCancellation(t *testing.T) {
+	base := buildBase(t, 3, 8, 3)
+
+	// Pre-cancelled: fails before any evaluation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeCtx(ctx, base, smallOpts(7)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled OptimizeCtx = %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-run: workers stop within roughly one evaluation. The
+	// run is sized (and early-stopping disabled via negative patience) so
+	// it would take tens of seconds if ctx were ignored.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := OptimizeCtx(ctx2, base, Options{PopSize: 16, Generations: 500, Patience: -1, Seed: 9, Parallelism: 1})
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("mid-run cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("optimizer did not stop after cancellation")
 	}
 }
 

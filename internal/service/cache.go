@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"gdsiiguard"
+)
+
+// DesignCache is an LRU cache of loaded, baseline-evaluated designs.
+// LoadBenchmark/EvalBaseline dominate short-job latency, and a *Design is
+// immutable under Harden/Explore (the flow clones the baseline layout), so
+// one cached instance safely serves any number of concurrent jobs.
+//
+// Concurrent loads of the same key are collapsed into a single load
+// (singleflight): latecomers wait for the first loader and count as hits.
+type DesignCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key → *cacheEntry element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key    string
+	design *gdsiiguard.Design
+	err    error
+	ready  chan struct{} // closed when design/err are set
+}
+
+// NewDesignCache creates a cache holding at most capacity designs
+// (minimum 1).
+func NewDesignCache(capacity int) *DesignCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DesignCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// BenchmarkKey is the cache key for a built-in benchmark design.
+func BenchmarkKey(name string) string { return "bench:" + name }
+
+// DEFKey is the cache key for an uploaded DEF layout: a content hash of
+// the DEF bytes plus the evaluation parameters, so identical uploads hit
+// and any change to the layout or its constraints misses.
+func DEFKey(def []byte, clockPS float64, assets []string) string {
+	h := sha256.New()
+	h.Write(def)
+	fmt.Fprintf(h, "|clock=%g", clockPS)
+	for _, a := range assets {
+		fmt.Fprintf(h, "|asset=%s", a)
+	}
+	return "def:" + hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Get returns the design for key, loading it with load on a miss. The
+// second return reports whether the call was served from cache (including
+// waiting on a concurrent loader). Failed loads are not cached.
+func (c *DesignCache) Get(key string, load func() (*gdsiiguard.Design, error)) (*gdsiiguard.Design, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		ent := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-ent.ready
+		return ent.design, true, ent.err
+	}
+	ent := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(ent)
+	c.entries[key] = el
+	c.misses++
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		if oldest == el {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	ent.design, ent.err = load()
+	close(ent.ready)
+	if ent.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return ent.design, false, ent.err
+}
+
+// Load resolves a job spec's design through the cache.
+func (c *DesignCache) Load(spec Spec) (*gdsiiguard.Design, bool, error) {
+	if spec.Benchmark != "" {
+		return c.Get(BenchmarkKey(spec.Benchmark), func() (*gdsiiguard.Design, error) {
+			return gdsiiguard.LoadBenchmark(spec.Benchmark)
+		})
+	}
+	return c.Get(DEFKey(spec.DEF, spec.ClockPS, spec.Assets), func() (*gdsiiguard.Design, error) {
+		return gdsiiguard.LoadDEF(bytes.NewReader(spec.DEF), spec.ClockPS, spec.Assets)
+	})
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// HitRate is hits / (hits + misses), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the cache's counters.
+func (c *DesignCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.order.Len(), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gdsiiguard"
+)
+
+func TestDesignCacheLRUAndCounters(t *testing.T) {
+	c := NewDesignCache(2)
+	loads := map[string]int{}
+	get := func(key string) {
+		t.Helper()
+		_, _, err := c.Get(key, func() (*gdsiiguard.Design, error) {
+			loads[key]++
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // hit, refreshes a
+	get("c") // evicts b (LRU)
+	get("b") // reload
+	if loads["a"] != 1 || loads["b"] != 2 || loads["c"] != 1 {
+		t.Errorf("loads = %v, want a:1 b:2 c:1", loads)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 4 {
+		t.Errorf("stats = %+v, want 1 hit / 4 misses", s)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+	if got := s.HitRate(); got != 0.2 {
+		t.Errorf("hit rate = %g, want 0.2", got)
+	}
+}
+
+func TestDesignCacheSingleflight(t *testing.T) {
+	c := NewDesignCache(4)
+	var calls atomic.Int32
+	load := func() (*gdsiiguard.Design, error) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		return nil, nil
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.Get("shared", load); err != nil {
+				t.Errorf("Get: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("loader ran %d times, want 1 (singleflight)", got)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != n-1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits", s, n-1)
+	}
+}
+
+func TestDesignCacheFailedLoadNotCached(t *testing.T) {
+	c := NewDesignCache(2)
+	calls := 0
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_, cached, err := c.Get("bad", func() (*gdsiiguard.Design, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("Get err = %v, want boom", err)
+		}
+		if cached {
+			t.Error("failed load reported as cache hit")
+		}
+	}
+	if calls != 2 {
+		t.Errorf("loader ran %d times, want 2 (errors are not cached)", calls)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("entries = %d after failed loads, want 0", s.Entries)
+	}
+}
+
+func TestDEFKeyDistinguishesInputs(t *testing.T) {
+	base := DEFKey([]byte("DESIGN X ;"), 2000, []string{"k0"})
+	same := DEFKey([]byte("DESIGN X ;"), 2000, []string{"k0"})
+	if base != same {
+		t.Error("identical inputs produced different keys")
+	}
+	for name, other := range map[string]string{
+		"content": DEFKey([]byte("DESIGN Y ;"), 2000, []string{"k0"}),
+		"clock":   DEFKey([]byte("DESIGN X ;"), 2500, []string{"k0"}),
+		"assets":  DEFKey([]byte("DESIGN X ;"), 2000, []string{"k1"}),
+	} {
+		if other == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+	if bk := BenchmarkKey("AES_1"); bk == base || bk != "bench:AES_1" {
+		t.Errorf("BenchmarkKey = %q", bk)
+	}
+}

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gdsiiguard"
+)
+
+// Config sizes the manager. Zero values take defaults.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the FIFO submission queue (default 64); Submit
+	// fails with ErrQueueFull beyond it instead of buffering unboundedly.
+	QueueDepth int
+	// JobTimeout is the default per-job execution timeout
+	// (default 15 minutes); Spec.Timeout overrides it per job.
+	JobTimeout time.Duration
+	// CacheSize is the design-cache capacity in designs (default 8).
+	CacheSize int
+	// Retention bounds how many finished jobs the result store keeps
+	// (default 256); the oldest finished jobs are evicted first.
+	Retention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 8
+	}
+	if c.Retention <= 0 {
+		c.Retention = 256
+	}
+	return c
+}
+
+// Submission and lookup errors.
+var (
+	ErrQueueFull    = errors.New("service: job queue full")
+	ErrShuttingDown = errors.New("service: manager is shutting down")
+	ErrNotFound     = errors.New("service: no such job")
+)
+
+// Manager owns the job queue, the worker pool, the design cache and the
+// result store. All methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	cache *DesignCache
+	queue chan *Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // terminal job IDs in retirement order
+	seq      uint64
+	busy     int
+	peakBusy int
+	closed   bool
+}
+
+// New starts a manager with cfg's worker pool running.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      NewDesignCache(cfg.CacheSize),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates and enqueues a job, returning it in StateQueued. It
+// fails fast with ErrQueueFull when the queue is at capacity and with
+// ErrShuttingDown after Shutdown has begun.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	m.seq++
+	job := newJob(fmt.Sprintf("job-%d", m.seq), spec, time.Now())
+	select {
+	case m.queue <- job:
+		m.jobs[job.ID] = job
+		return job, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return job, nil
+}
+
+// Cancel requests cancellation of a job: a queued job is cancelled
+// immediately, a running job's context is cancelled (it stops at the
+// flow's next cancellation point), and a terminal job is left untouched.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	job, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	job.requestCancel(time.Now())
+	return job, nil
+}
+
+// Benchmarks lists the built-in designs the service can harden.
+func (m *Manager) Benchmarks() []string { return gdsiiguard.Benchmarks() }
+
+// Shutdown stops accepting submissions, lets workers drain queued and
+// running jobs, and returns once the pool has exited. If ctx expires
+// first, running jobs are hard-cancelled via their contexts and Shutdown
+// returns ctx.Err() after the pool exits.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time view of the service.
+type Stats struct {
+	Workers       int
+	WorkersBusy   int
+	PeakBusy      int
+	QueueDepth    int
+	QueueCapacity int
+	JobsByState   map[State]int
+	Cache         CacheStats
+}
+
+// Stats reports queue depth, worker occupancy, job-state counts and cache
+// effectiveness.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Workers:       m.cfg.Workers,
+		WorkersBusy:   m.busy,
+		PeakBusy:      m.peakBusy,
+		QueueDepth:    len(m.queue),
+		QueueCapacity: m.cfg.QueueDepth,
+		JobsByState:   make(map[State]int),
+	}
+	for _, job := range m.jobs {
+		s.JobsByState[job.State()]++
+	}
+	m.mu.Unlock()
+	s.Cache = m.cache.Stats()
+	return s
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+		m.retire(job)
+	}
+}
+
+func (m *Manager) runJob(job *Job) {
+	timeout := job.Spec.Timeout
+	if timeout <= 0 {
+		timeout = m.cfg.JobTimeout
+	}
+	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
+	defer cancel()
+	if !job.start(cancel, time.Now()) {
+		return // cancelled while queued
+	}
+	m.mu.Lock()
+	m.busy++
+	if m.busy > m.peakBusy {
+		m.peakBusy = m.busy
+	}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.busy--
+		m.mu.Unlock()
+	}()
+
+	res, hardened, err := m.execute(ctx, job)
+	now := time.Now()
+	switch {
+	case err == nil:
+		job.finish(StateDone, res, hardened, nil, now)
+	case errors.Is(err, context.DeadlineExceeded):
+		job.finish(StateFailed, nil, nil,
+			fmt.Errorf("service: job timed out after %v", timeout), now)
+	case errors.Is(err, context.Canceled):
+		job.finish(StateCancelled, nil, nil, nil, now)
+	default:
+		job.finish(StateFailed, nil, nil, err, now)
+	}
+}
+
+func (m *Manager) execute(ctx context.Context, job *Job) (*Result, *gdsiiguard.Hardened, error) {
+	d, hit, err := m.cache.Load(job.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{Baseline: d.Baseline(), CacheHit: hit}
+	switch job.Spec.Kind {
+	case KindHarden:
+		h, err := d.HardenCtx(ctx, job.Spec.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Hardened = &h.Metrics
+		return res, h, nil
+	case KindExplore:
+		ex, err := d.ExploreCtx(ctx, job.Spec.Explore)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Exploration = ex
+		return res, nil, nil
+	case KindAttack:
+		a, err := d.SimulateAttack()
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Attack = a
+		return res, nil, nil
+	}
+	return nil, nil, fmt.Errorf("service: unknown job kind %q", job.Spec.Kind)
+}
+
+// retire enforces the result store's retention limit after a job reaches
+// a terminal state.
+func (m *Manager) retire(job *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished = append(m.finished, job.ID)
+	for len(m.finished) > m.cfg.Retention {
+		delete(m.jobs, m.finished[0])
+		m.finished = m.finished[1:]
+	}
+}
