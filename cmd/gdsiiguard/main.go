@@ -104,6 +104,9 @@ func run(design, defIn string, clockPS float64, assets string, explore bool, op,
 		}
 		fmt.Printf("explored %d configurations, %d on the Pareto front\n",
 			len(log.Evaluations), len(log.Front))
+		if n := len(log.Failures); n > 0 {
+			fmt.Printf("degraded: %d evaluations failed and were marked infeasible\n", n)
+		}
 		sel := experiments.SelectKnee(log.Front)
 		if sel == nil {
 			return fmt.Errorf("no feasible Pareto solution found")

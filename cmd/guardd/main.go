@@ -47,14 +47,18 @@ func main() {
 		cacheSize    = flag.Int("cache", 8, "design cache capacity")
 		retention    = flag.Int("retention", 256, "finished jobs kept in the result store")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget")
+		maxAttempts  = flag.Int("max-attempts", 2, "execution attempts per job (transient failures only)")
+		retryBackoff = flag.Duration("retry-backoff", 250*time.Millisecond, "base delay before a transient-failure retry")
 	)
 	flag.Parse()
 	if err := run(*addr, service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		CacheSize:  *cacheSize,
-		Retention:  *retention,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobTimeout,
+		CacheSize:    *cacheSize,
+		Retention:    *retention,
+		MaxAttempts:  *maxAttempts,
+		RetryBackoff: *retryBackoff,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "guardd:", err)
 		os.Exit(1)

@@ -115,6 +115,18 @@ func (p *FlowParams) toCore(k int) (core.Params, error) {
 	return out, out.Validate(k)
 }
 
+// ErrorClass reports how a flow failure is classified: "transient"
+// failures are safe to retry, "permanent" ones are deterministic for the
+// input, "panic" marks a panic contained inside a flow stage, and
+// "canceled" marks context cancellation or deadline expiry. It returns ""
+// for nil. Callers can use it to decide between retrying a Harden/Explore
+// call and giving up.
+func ErrorClass(err error) string { return string(core.Classify(err)) }
+
+// IsTransient reports whether err classifies as a transient failure, i.e.
+// retrying the same call can succeed.
+func IsTransient(err error) bool { return core.IsTransient(err) }
+
 // Design is a placed, constrained benchmark design with its evaluated
 // baseline.
 type Design struct {
@@ -244,6 +256,9 @@ type Exploration struct {
 	Evaluations int
 	// Knee indexes the knee-point solution in Front (-1 if empty).
 	Knee int
+	// Failures counts evaluations that failed after retries and were
+	// degraded to infeasible points instead of aborting the exploration.
+	Failures int
 }
 
 // Explore runs the multi-objective flow-parameter exploration (§III-D).
@@ -268,7 +283,11 @@ func (d *Design) ExploreCtx(ctx context.Context, opt ExploreOptions) (*Explorati
 	if err != nil {
 		return nil, err
 	}
-	out := &Exploration{Evaluations: len(log.Evaluations), Knee: -1}
+	out := &Exploration{
+		Evaluations: len(log.Evaluations),
+		Knee:        -1,
+		Failures:    len(log.Failures),
+	}
 	for _, in := range log.Front {
 		out.Front = append(out.Front, ParetoPoint{
 			Params: FlowParams{

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gdsiiguard/internal/fault"
+)
+
+func armFaults(t *testing.T, rules map[fault.Point]fault.Rule) {
+	t.Helper()
+	fault.Arm(rules)
+	t.Cleanup(fault.Disarm)
+}
+
+func testBaseline(t *testing.T) *Baseline {
+	t.Helper()
+	l := buildDesign(t, 3, 10, 0.55, 41)
+	base, err := EvalBaseline(l, flowConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestRunTagsInjectedRouteError(t *testing.T) {
+	base := testBaseline(t)
+	armFaults(t, map[fault.Point]fault.Rule{fault.Route: {Every: 1}})
+
+	_, err := Run(base, DefaultParams(base.Layout.Lib().NumLayers()))
+	if err == nil {
+		t.Fatal("Run succeeded under an always-failing router")
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %T is not a *FlowError: %v", err, err)
+	}
+	if fe.Stage != StageRoute || fe.Class != ClassPermanent {
+		t.Errorf("tag = %s/%s, want %s/%s", fe.Stage, fe.Class, StageRoute, ClassPermanent)
+	}
+	if StageOf(err) != StageRoute || Classify(err) != ClassPermanent {
+		t.Errorf("StageOf/Classify = %s/%s", StageOf(err), Classify(err))
+	}
+}
+
+func TestRunContainsInjectedPanicWithStack(t *testing.T) {
+	base := testBaseline(t)
+	armFaults(t, map[fault.Point]fault.Rule{fault.STA: {Every: 1, Panic: true}})
+
+	_, err := Run(base, DefaultParams(base.Layout.Lib().NumLayers()))
+	if err == nil {
+		t.Fatal("Run succeeded under a panicking STA engine")
+	}
+	var pe *FlowPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *FlowPanicError: %v", err, err)
+	}
+	if pe.Stage != StageTiming {
+		t.Errorf("panic stage = %s, want %s", pe.Stage, StageTiming)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no captured stack")
+	}
+	if Classify(err) != ClassPanic {
+		t.Errorf("Classify = %s, want %s", Classify(err), ClassPanic)
+	}
+	// The injected error panic value must stay reachable for errors.As.
+	var ie *fault.Error
+	if !errors.As(err, &ie) {
+		t.Error("panic value not reachable through the error chain")
+	}
+}
+
+func TestEvalBaselineContainsPanics(t *testing.T) {
+	l := buildDesign(t, 3, 10, 0.55, 41)
+	armFaults(t, map[fault.Point]fault.Rule{fault.Route: {Every: 1, Panic: true}})
+
+	_, err := EvalBaseline(l, flowConfig(2))
+	var pe *FlowPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("EvalBaseline error %T is not a *FlowPanicError: %v", err, err)
+	}
+	if pe.Stage != StageRoute {
+		t.Errorf("stage = %s, want %s", pe.Stage, StageRoute)
+	}
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"nil", nil, ""},
+		{"plain", errors.New("boom"), ClassPermanent},
+		{"canceled", context.Canceled, ClassCanceled},
+		{"wrapped deadline", fmt.Errorf("job: %w", context.DeadlineExceeded), ClassCanceled},
+		{"transient marker", &fakeTransient{}, ClassTransient},
+		{"flow error keeps class", &FlowError{Stage: StageRoute, Class: ClassTransient, Err: errors.New("x")}, ClassTransient},
+		{"panic", &FlowPanicError{Stage: StageTiming, Value: "v"}, ClassPanic},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %q, want %q", c.name, got, c.want)
+		}
+	}
+	if IsTransient(&fakeTransient{}) != true {
+		t.Error("IsTransient(transient marker) = false")
+	}
+	if IsTransient(errors.New("boom")) {
+		t.Error("IsTransient(plain error) = true")
+	}
+}
+
+type fakeTransient struct{}
+
+func (*fakeTransient) Error() string   { return "fake transient" }
+func (*fakeTransient) Transient() bool { return true }
+
+func TestValidateErrorIsStageTagged(t *testing.T) {
+	base := testBaseline(t)
+	bad := DefaultParams(base.Layout.Lib().NumLayers())
+	bad.ScaleM[0] = 2.0
+	_, err := Run(base, bad)
+	if StageOf(err) != StageValidate || Classify(err) != ClassPermanent {
+		t.Errorf("validate error tagged %s/%s, want %s/%s",
+			StageOf(err), Classify(err), StageValidate, ClassPermanent)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"time"
 
@@ -76,27 +75,49 @@ type Baseline struct {
 }
 
 // EvalBaseline routes and analyzes the baseline layout and computes its
-// security assessment. The baseline layout itself is not modified.
+// security assessment. The baseline layout itself is not modified. Stage
+// failures (including recovered panics) come back stage-tagged and
+// classified (see FlowError / FlowPanicError).
 func EvalBaseline(l *layout.Layout, cfg FlowConfig) (*Baseline, error) {
 	cfg = cfg.normalized()
 	start := time.Now()
-	routes, err := route.Route(l, cfg.RouteOpts)
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline routing: %w", err)
+	var (
+		routes *route.Result
+		timing *sta.Result
+		pw     power.Result
+		assess *security.Assessment
+		checks drc.Result
+	)
+	stages := []struct {
+		stage Stage
+		f     func() (err error)
+	}{
+		{StageRoute, func() (err error) {
+			routes, err = route.Route(l, cfg.RouteOpts)
+			return err
+		}},
+		{StageTiming, func() (err error) {
+			timing, err = sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
+			return err
+		}},
+		{StagePower, func() (err error) {
+			pw, err = power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
+			return err
+		}},
+		{StageSecurity, func() (err error) {
+			assess, err = security.Assess(l, routes, timing, cfg.Security)
+			return err
+		}},
+		{StageDRC, func() error {
+			checks = drc.Check(l, routes)
+			return nil
+		}},
 	}
-	timing, err := sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline timing: %w", err)
+	for _, s := range stages {
+		if err := runStage(s.stage, s.f); err != nil {
+			return nil, err
+		}
 	}
-	pw, err := power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline power: %w", err)
-	}
-	assess, err := security.Assess(l, routes, timing, cfg.Security)
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline security: %w", err)
-	}
-	checks := drc.Check(l, routes)
 	b := &Baseline{
 		Layout:     l,
 		Routes:     routes,
@@ -159,10 +180,14 @@ func Run(base *Baseline, p Params) (*Result, error) {
 // RunCtx is Run with cooperative cancellation: the flow observes ctx
 // between its stages (operator, routing, timing, power, security) and
 // returns ctx.Err() as soon as cancellation or deadline expiry is seen.
+// Stage failures — including panics recovered inside a stage — come back
+// as stage-tagged, classified errors (FlowError / FlowPanicError), so one
+// bad evaluation can be retried or degraded by callers instead of taking
+// down a whole exploration.
 func RunCtx(ctx context.Context, base *Baseline, p Params) (*Result, error) {
 	cfg := base.Config
 	if err := p.Validate(base.Layout.Lib().NumLayers()); err != nil {
-		return nil, err
+		return nil, &FlowError{Stage: StageValidate, Class: ClassPermanent, Err: err}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -172,17 +197,22 @@ func RunCtx(ctx context.Context, base *Baseline, p Params) (*Result, error) {
 	Preprocess(l)
 
 	res := &Result{Layout: l, Params: p.Clone()}
-	// Pin near-critical cells for the duration of the operator so neither
-	// ECO placement nor cell shifting disturbs the critical paths (the
-	// operators are timing-driven).
-	unpin := pinCritical(l, base.Timing, slackMarginPS)
-	switch p.Op {
-	case CS:
-		res.CSResult = CellShift(l, cfg.Security.ThreshER)
-	case LDA:
-		res.LDAResult = LocalDensityAdjust(l, p.LDAGridN, p.LDAIters, cfg.Seed, base.Timing)
+	if err := runStage(StageOperator, func() error {
+		// Pin near-critical cells for the duration of the operator so
+		// neither ECO placement nor cell shifting disturbs the critical
+		// paths (the operators are timing-driven).
+		unpin := pinCritical(l, base.Timing, slackMarginPS)
+		defer unpin()
+		switch p.Op {
+		case CS:
+			res.CSResult = CellShift(l, cfg.Security.ThreshER)
+		case LDA:
+			res.LDAResult = LocalDensityAdjust(l, p.LDAGridN, p.LDAIters, cfg.Seed, base.Timing)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	unpin()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -206,35 +236,50 @@ func Evaluate(l *layout.Layout, base *Baseline, res *Result) error {
 }
 
 // EvaluateCtx is Evaluate with cooperative cancellation between analysis
-// stages.
+// stages. Each stage runs under panic containment and failures come back
+// stage-tagged and classified.
 func EvaluateCtx(ctx context.Context, l *layout.Layout, base *Baseline, res *Result) error {
 	cfg := base.Config
-	routes, err := route.Route(l, cfg.RouteOpts)
-	if err != nil {
-		return fmt.Errorf("core: routing: %w", err)
+	var (
+		routes *route.Result
+		timing *sta.Result
+		pw     power.Result
+		assess *security.Assessment
+		checks drc.Result
+	)
+	stages := []struct {
+		stage Stage
+		f     func() (err error)
+	}{
+		{StageRoute, func() (err error) {
+			routes, err = route.Route(l, cfg.RouteOpts)
+			return err
+		}},
+		{StageTiming, func() (err error) {
+			timing, err = sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
+			return err
+		}},
+		{StagePower, func() (err error) {
+			pw, err = power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
+			return err
+		}},
+		{StageSecurity, func() (err error) {
+			assess, err = security.Assess(l, routes, timing, cfg.Security)
+			return err
+		}},
+		{StageDRC, func() error {
+			checks = drc.Check(l, routes)
+			return nil
+		}},
 	}
-	if err := ctx.Err(); err != nil {
-		return err
+	for _, s := range stages {
+		if err := runStage(s.stage, s.f); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
-	timing, err := sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
-	if err != nil {
-		return fmt.Errorf("core: timing: %w", err)
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	pw, err := power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
-	if err != nil {
-		return fmt.Errorf("core: power: %w", err)
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	assess, err := security.Assess(l, routes, timing, cfg.Security)
-	if err != nil {
-		return fmt.Errorf("core: security: %w", err)
-	}
-	checks := drc.Check(l, routes)
 
 	res.Layout = l
 	res.Config = cfg

@@ -1,0 +1,28 @@
+// Fuzz target for the LEF parser. External test package: opencell45
+// (the seed-corpus source) itself imports lef.
+package lef_test
+
+import (
+	"testing"
+
+	"gdsiiguard/internal/lef"
+	"gdsiiguard/internal/opencell45"
+)
+
+// FuzzParse asserts the LEF parser never panics: any input either parses
+// into a library or returns an error.
+func FuzzParse(f *testing.F) {
+	f.Add(opencell45.LEFText())
+	f.Add("")
+	f.Add("VERSION 5.8 ;\nEND LIBRARY\n")
+	f.Add("MACRO INV_X1\n  SIZE 0.76 BY 1.4 ;\nEND INV_X1\n")
+	f.Add("LAYER metal1\n  TYPE ROUTING ;\nEND metal1")
+	f.Add("MACRO broken\n  PIN A\n")      // unterminated blocks
+	f.Add("SIZE nan BY -1e309 ;\x00\xff") // bad numbers, binary junk
+	f.Fuzz(func(t *testing.T, s string) {
+		lib, err := lef.ParseString(s)
+		if err == nil && lib == nil {
+			t.Error("ParseString returned nil library and nil error")
+		}
+	})
+}

@@ -1,0 +1,48 @@
+// Fuzz targets for the Liberty parser and merger. External test package:
+// opencell45 (the seed-corpus source) imports liberty.
+package liberty_test
+
+import (
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/lef"
+	"gdsiiguard/internal/liberty"
+	"gdsiiguard/internal/opencell45"
+)
+
+// FuzzParseAST asserts the Liberty tokenizer/AST builder never panics.
+func FuzzParseAST(f *testing.F) {
+	f.Add(opencell45.LibertyText())
+	f.Add("")
+	f.Add("library (open_cell_45) { }")
+	f.Add(`library (l) { cell (INV_X1) { area : 1.06; pin (A) { direction : input; } } }`)
+	f.Add("library (l) { cell (x) {")           // unbalanced braces
+	f.Add("library (l) { a : \"unterminated")   // unterminated string
+	f.Add("/* comment */ library(l){k:1e309;}") // overflowing literal
+	f.Add("library (l) { \x00\xff : ; }")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := liberty.ParseAST(strings.NewReader(s))
+		if err == nil && g == nil {
+			t.Error("ParseAST returned nil group and nil error")
+		}
+	})
+}
+
+// FuzzMerge asserts merging arbitrary Liberty text into a real technology
+// library never panics. Merge mutates the library, so each iteration gets
+// a fresh parse of the embedded OpenCell45 LEF.
+func FuzzMerge(f *testing.F) {
+	lefText := opencell45.LEFText()
+	f.Add(opencell45.LibertyText())
+	f.Add("library (l) { cell (INV_X1) { pin (A) { capacitance : -1; } } }")
+	f.Add("library (l) { cell (NOSUCH) { } }")
+	f.Add("library (l) { cell (INV_X1) { pin (A) { timing () { cell_rise (x) { values (\"\"); } } } } }")
+	f.Fuzz(func(t *testing.T, s string) {
+		lib, err := lef.ParseString(lefText)
+		if err != nil {
+			t.Fatalf("embedded LEF no longer parses: %v", err)
+		}
+		_ = liberty.MergeString(s, lib)
+	})
+}

@@ -1,0 +1,146 @@
+package nsga2
+
+import (
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/fault"
+)
+
+// armFaults installs a fault plan for the test and guarantees it is
+// removed afterwards. Fault plans are process-global, so these tests must
+// not use t.Parallel.
+func armFaults(t *testing.T, rules map[fault.Point]fault.Rule) {
+	t.Helper()
+	fault.Arm(rules)
+	t.Cleanup(fault.Disarm)
+}
+
+// TestDegradesUnderInjectedRouteFailures is the end-to-end degradation
+// scenario: with permanent errors injected into ~10% of routing calls, the
+// exploration must complete every generation, record the failures in
+// RunLog.Failures, and still produce a non-empty Pareto front.
+func TestDegradesUnderInjectedRouteFailures(t *testing.T) {
+	base := buildBase(t, 5, 20, 5)
+	armFaults(t, map[fault.Point]fault.Rule{fault.Route: {Every: 10}})
+
+	log, err := Optimize(base, smallOpts(1))
+	if err != nil {
+		t.Fatalf("Optimize under 10%% injected failures: %v", err)
+	}
+	if log.Generations != 4 {
+		t.Errorf("Generations = %d, want all 4", log.Generations)
+	}
+	if len(log.Failures) == 0 {
+		t.Fatal("no failures recorded despite injection")
+	}
+	if len(log.Front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for _, f := range log.Failures {
+		if f.Stage != core.StageRoute {
+			t.Errorf("failure stage = %q, want %q", f.Stage, core.StageRoute)
+		}
+		if f.Class != core.ClassPermanent {
+			t.Errorf("failure class = %q, want %q", f.Class, core.ClassPermanent)
+		}
+		if f.Key == "" || f.Err == "" {
+			t.Errorf("failure record incomplete: %+v", f)
+		}
+	}
+	// Degraded evaluations must not leak into the evaluation trace or the
+	// front.
+	for _, in := range log.Evaluations {
+		if in.Failed {
+			t.Error("failed individual recorded in Evaluations")
+		}
+	}
+}
+
+// TestTransientFailuresAreRetried: a transient fault that fires exactly
+// once must be absorbed by the retry, leaving no recorded failures.
+func TestTransientFailuresAreRetried(t *testing.T) {
+	base := buildBase(t, 5, 20, 5)
+	armFaults(t, map[fault.Point]fault.Rule{
+		fault.Route: {Every: 1, Limit: 1, Transient: true},
+	})
+
+	opts := smallOpts(1)
+	opts.Generations = 2
+	log, err := Optimize(base, opts)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(log.Failures) != 0 {
+		t.Errorf("transient one-shot fault was not absorbed by retry: %+v", log.Failures)
+	}
+	if got := fault.Fired(fault.Route); got != 1 {
+		t.Errorf("fault fired %d times, want 1", got)
+	}
+	if len(log.Front) == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+// TestPermanentFailuresAreNotRetried: a permanent failure must consume a
+// single attempt per chromosome.
+func TestPermanentFailuresAreNotRetried(t *testing.T) {
+	base := buildBase(t, 5, 20, 5)
+	armFaults(t, map[fault.Point]fault.Rule{fault.Route: {Every: 7}})
+
+	log, err := Optimize(base, smallOpts(3))
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	for _, f := range log.Failures {
+		if f.Attempts != 1 {
+			t.Errorf("permanent failure used %d attempts, want 1", f.Attempts)
+		}
+	}
+}
+
+// TestFailureRateCapAborts: when every evaluation fails, the run must stop
+// with a failure-rate error instead of grinding through all generations.
+func TestFailureRateCapAborts(t *testing.T) {
+	base := buildBase(t, 5, 20, 5)
+	armFaults(t, map[fault.Point]fault.Rule{fault.Route: {Every: 1}})
+
+	_, err := Optimize(base, smallOpts(1))
+	if err == nil {
+		t.Fatal("Optimize succeeded with 100% evaluation failures")
+	}
+	if !strings.Contains(err.Error(), "rate") {
+		t.Errorf("abort error does not mention the failure rate: %v", err)
+	}
+}
+
+// TestPanicInOperatorDegrades: a panic inside the LDA operator's ECO
+// placement must be contained as a classified failure, not crash the
+// optimizer process.
+func TestPanicInOperatorDegrades(t *testing.T) {
+	base := buildBase(t, 5, 20, 5)
+	armFaults(t, map[fault.Point]fault.Rule{
+		fault.PlaceECO: {Every: 4, Panic: true},
+	})
+
+	log, err := Optimize(base, smallOpts(2))
+	if err != nil {
+		t.Fatalf("Optimize under injected operator panics: %v", err)
+	}
+	sawPanic := false
+	for _, f := range log.Failures {
+		if f.Class == core.ClassPanic {
+			sawPanic = true
+			if f.Stage != core.StageOperator {
+				t.Errorf("panic failure stage = %q, want %q", f.Stage, core.StageOperator)
+			}
+		}
+	}
+	if !sawPanic && len(log.Failures) > 0 {
+		t.Errorf("failures recorded but none classified as panic: %+v", log.Failures)
+	}
+	if len(log.Front) == 0 {
+		t.Error("empty Pareto front")
+	}
+}

@@ -10,6 +10,7 @@ package nsga2
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -40,6 +41,17 @@ type Options struct {
 	Parallelism int
 	// Seed drives all stochastic choices.
 	Seed int64
+	// EvalRetries is how many times a transient evaluation failure
+	// (core.ClassTransient) is retried before the individual degrades to
+	// an infeasible marker (default 1; negative disables retries).
+	EvalRetries int
+	// MaxFailureRate aborts the run when more than this fraction of all
+	// fresh evaluations have failed after retries, checked once at least
+	// PopSize evaluations were attempted (default 0.5; values ≥ 1 never
+	// abort). Failures below the threshold degrade: the individual is
+	// marked infeasible with maximal constraint violation and recorded in
+	// RunLog.Failures, and the exploration continues.
+	MaxFailureRate float64
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +82,14 @@ func (o Options) withDefaults() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
 	}
+	if o.EvalRetries == 0 {
+		o.EvalRetries = 1
+	} else if o.EvalRetries < 0 {
+		o.EvalRetries = 0
+	}
+	if o.MaxFailureRate == 0 {
+		o.MaxFailureRate = 0.5
+	}
 	return o
 }
 
@@ -82,6 +102,10 @@ type Individual struct {
 	Violation float64
 	// Generation the individual was first evaluated in.
 	Generation int
+	// Failed marks an individual whose evaluation failed after retries:
+	// it carries no metrics, is infeasible with maximal violation (so
+	// selection breeds it out), and is excluded from RunLog.Evaluations.
+	Failed bool
 
 	rank     int
 	crowding float64
@@ -103,6 +127,25 @@ type RunLog struct {
 	Generations int
 	// CacheHits counts chromosome re-evaluations avoided.
 	CacheHits int
+	// Failures records evaluations that failed after retries and degraded
+	// to infeasible individuals instead of aborting the run.
+	Failures []EvalFailure
+}
+
+// EvalFailure is one degraded (failed) evaluation of the run.
+type EvalFailure struct {
+	// Key and Params identify the failed chromosome.
+	Key    string
+	Params core.Params
+	// Generation the failure happened in.
+	Generation int
+	// Stage and Class locate and classify the failure (core taxonomy).
+	Stage core.Stage
+	Class core.ErrClass
+	// Err is the failure message; Attempts counts evaluation attempts
+	// including retries.
+	Err      string
+	Attempts int
 }
 
 // Optimize explores the flow parameter space for the given baseline design.
@@ -114,6 +157,14 @@ func Optimize(base *core.Baseline, opt Options) (*RunLog, error) {
 // observes ctx between generations and the evaluation workers observe it
 // between (and inside, via core.RunCtx) flow evaluations, so a cancelled
 // exploration stops within roughly one evaluation's latency.
+//
+// Evaluation failures degrade instead of aborting: a transient failure is
+// retried (Options.EvalRetries), anything that still fails is recorded in
+// RunLog.Failures and enters selection as an infeasible individual with
+// maximal violation, and the exploration continues. The run errors out
+// only when ctx is cancelled or the failure rate crosses
+// Options.MaxFailureRate (an unevaluable baseline surfaces earlier, from
+// core.EvalBaseline, before an optimizer ever starts).
 func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog, error) {
 	opt = opt.withDefaults()
 	k := base.Layout.Lib().NumLayers()
@@ -185,6 +236,9 @@ type evaluator struct {
 	cache map[string]*Individual
 	mu    sync.Mutex
 	log   *RunLog
+	// succeeded/failed count fresh evaluations for the failure-rate cap.
+	succeeded int
+	failed    int
 }
 
 // evalAll evaluates a batch: unique un-cached chromosomes run once each on
@@ -234,15 +288,22 @@ func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) er
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
+	// Drain and join every worker error instead of dropping all but the
+	// first: a multi-worker batch can fail for several distinct reasons
+	// (rate cap, cancellation) and the caller deserves all of them.
+	close(errs)
+	var all []error
+	for err := range errs {
+		all = append(all, err)
+	}
+	if len(all) > 0 {
+		return errors.Join(all...)
 	}
 	// Log fresh results in key order (deterministic trace) and fill the
-	// population.
+	// population. Degraded (failed) evaluations stay out of the trace —
+	// they are recorded in log.Failures instead.
 	for _, key := range fresh {
-		if hit, ok := ev.cache[key]; ok {
+		if hit, ok := ev.cache[key]; ok && !hit.Failed {
 			ev.log.Evaluations = append(ev.log.Evaluations, *hit)
 		}
 	}
@@ -255,17 +316,33 @@ func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) er
 		in.Feasible = hit.Feasible
 		in.Violation = hit.Violation
 		in.Generation = hit.Generation
+		in.Failed = hit.Failed
 	}
 	return nil
 }
 
+// evalFresh runs one chromosome through the flow. Transient failures are
+// retried up to Options.EvalRetries times; a failure that survives the
+// retries degrades the individual instead of aborting the run (see
+// degrade). Only context cancellation and the aggregate failure-rate cap
+// abort the batch.
 func (ev *evaluator) evalFresh(ctx context.Context, p core.Params, key string, gen int) error {
-	res, err := core.RunCtx(ctx, ev.base, p)
-	if err != nil {
+	var res *core.Result
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		res, err = core.RunCtx(ctx, ev.base, p)
+		if err == nil {
+			break
+		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		return fmt.Errorf("nsga2: evaluating %s: %w", key, err)
+		if attempts <= ev.opt.EvalRetries && core.IsTransient(err) {
+			continue
+		}
+		return ev.degrade(p, key, gen, err, attempts)
 	}
 	in := &Individual{
 		Params:     p.Clone(),
@@ -276,7 +353,42 @@ func (ev *evaluator) evalFresh(ctx context.Context, p core.Params, key string, g
 	}
 	ev.mu.Lock()
 	ev.cache[key] = in
+	ev.succeeded++
 	ev.mu.Unlock()
+	return nil
+}
+
+// degrade records a failed evaluation: the chromosome is cached as an
+// infeasible individual with maximal constraint violation (so constrained
+// domination breeds it out) and the failure lands in RunLog.Failures. The
+// run aborts only when the aggregate failure rate crosses
+// Options.MaxFailureRate over at least PopSize attempted evaluations.
+func (ev *evaluator) degrade(p core.Params, key string, gen int, cause error, attempts int) error {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	ev.cache[key] = &Individual{
+		Params:     p.Clone(),
+		Generation: gen,
+		Feasible:   false,
+		Violation:  math.Inf(1),
+		Failed:     true,
+	}
+	ev.failed++
+	ev.log.Failures = append(ev.log.Failures, EvalFailure{
+		Key:        key,
+		Params:     p.Clone(),
+		Generation: gen,
+		Stage:      core.StageOf(cause),
+		Class:      core.Classify(cause),
+		Err:        cause.Error(),
+		Attempts:   attempts,
+	})
+	total := ev.failed + ev.succeeded
+	rate := float64(ev.failed) / float64(total)
+	if ev.opt.MaxFailureRate < 1 && total >= ev.opt.PopSize && rate > ev.opt.MaxFailureRate {
+		return fmt.Errorf("nsga2: aborting exploration: %d/%d evaluations failed (rate %.2f > cap %.2f), last: %w",
+			ev.failed, total, rate, ev.opt.MaxFailureRate, cause)
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/layout"
 	"gdsiiguard/internal/netlist"
 )
@@ -109,6 +110,11 @@ type ECOResult struct {
 // free positions that increase wirelength least. Fixed cells never move.
 // This is the "Run ECO placement" step of the LDA operator (Algorithm 2).
 func ECO(l *layout.Layout, seed int64) ECOResult {
+	// ECO has no error return, so an armed fault here surfaces as a panic
+	// and is contained by the flow's operator-stage recovery.
+	if err := fault.Hit(fault.PlaceECO); err != nil {
+		panic(err)
+	}
 	dens := newDensityTracker(l)
 	rng := rand.New(rand.NewSource(seed))
 	res := ECOResult{}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/geom"
 	"gdsiiguard/internal/layout"
 	"gdsiiguard/internal/netlist"
@@ -146,6 +147,9 @@ type Result struct {
 
 // Route globally routes every net of the layout under its current NDR.
 func Route(l *layout.Layout, opt Options) (*Result, error) {
+	if err := fault.Hit(fault.Route); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	lib := l.Lib()
 	if lib.NumLayers() < 2 {

@@ -114,20 +114,37 @@ func (r *submitRequest) toSpec() Spec {
 	return spec
 }
 
+// maxRequestBody bounds POST bodies; DEF uploads dominate legitimate
+// request size, so the cap is generous but finite. A variable so tests can
+// shrink it.
+var maxRequestBody int64 = 32 << 20 // 32 MiB
+
+// retryAfterSeconds is the client back-off hint sent with 503 responses.
+const retryAfterSeconds = "5"
+
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: json.Decoder would otherwise read
+	// an unbounded stream into memory.
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	var req submitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
 		return
 	}
 	job, err := m.Submit(req.toSpec())
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		// Tell well-behaved clients when to come back instead of letting
+		// them hammer a full queue or a draining server.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -211,6 +228,9 @@ type explorationJSON struct {
 	Front       []paretoPointJSON `json:"front"`
 	Evaluations int               `json:"evaluations"`
 	Knee        int               `json:"knee"`
+	// Failures counts evaluations that failed and were degraded during
+	// the exploration (see RunLog.Failures).
+	Failures int `json:"failures,omitempty"`
 }
 
 type attackJSON struct {
@@ -222,27 +242,31 @@ type attackJSON struct {
 }
 
 type jobResponse struct {
-	ID        string           `json:"id"`
-	Kind      string           `json:"kind"`
-	State     string           `json:"state"`
-	Error     string           `json:"error,omitempty"`
-	Submitted string           `json:"submitted"`
-	Started   string           `json:"started,omitempty"`
-	Finished  string           `json:"finished,omitempty"`
-	CacheHit  bool             `json:"cache_hit,omitempty"`
-	Baseline  *metricsJSON     `json:"baseline,omitempty"`
-	Hardened  *metricsJSON     `json:"hardened,omitempty"`
-	Explore   *explorationJSON `json:"exploration,omitempty"`
-	Attack    *attackJSON      `json:"attack,omitempty"`
+	ID         string           `json:"id"`
+	Kind       string           `json:"kind"`
+	State      string           `json:"state"`
+	Error      string           `json:"error,omitempty"`
+	ErrorClass string           `json:"error_class,omitempty"`
+	Attempts   int              `json:"attempts,omitempty"`
+	Submitted  string           `json:"submitted"`
+	Started    string           `json:"started,omitempty"`
+	Finished   string           `json:"finished,omitempty"`
+	CacheHit   bool             `json:"cache_hit,omitempty"`
+	Baseline   *metricsJSON     `json:"baseline,omitempty"`
+	Hardened   *metricsJSON     `json:"hardened,omitempty"`
+	Explore    *explorationJSON `json:"exploration,omitempty"`
+	Attack     *attackJSON      `json:"attack,omitempty"`
 }
 
 func jobJSON(s Snapshot) jobResponse {
 	out := jobResponse{
-		ID:        s.ID,
-		Kind:      string(s.Kind),
-		State:     string(s.State),
-		Error:     s.Error,
-		Submitted: s.Submitted.UTC().Format(time.RFC3339Nano),
+		ID:         s.ID,
+		Kind:       string(s.Kind),
+		State:      string(s.State),
+		Error:      s.Error,
+		ErrorClass: s.ErrorClass,
+		Attempts:   s.Attempts,
+		Submitted:  s.Submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if !s.Started.IsZero() {
 		out.Started = s.Started.UTC().Format(time.RFC3339Nano)
@@ -265,6 +289,7 @@ func jobJSON(s Snapshot) jobResponse {
 		ex := &explorationJSON{
 			Evaluations: res.Exploration.Evaluations,
 			Knee:        res.Exploration.Knee,
+			Failures:    res.Exploration.Failures,
 			Front:       []paretoPointJSON{},
 		}
 		for _, pt := range res.Exploration.Front {
@@ -293,30 +318,34 @@ func jobJSON(s Snapshot) jobResponse {
 }
 
 type statsResponse struct {
-	Workers       int            `json:"workers"`
-	WorkersBusy   int            `json:"workers_busy"`
-	PeakBusy      int            `json:"peak_busy"`
-	QueueDepth    int            `json:"queue_depth"`
-	QueueCapacity int            `json:"queue_capacity"`
-	JobsByState   map[string]int `json:"jobs_by_state"`
-	CacheEntries  int            `json:"cache_entries"`
-	CacheHits     uint64         `json:"cache_hits"`
-	CacheMisses   uint64         `json:"cache_misses"`
-	CacheHitRate  float64        `json:"cache_hit_rate"`
+	Workers         int            `json:"workers"`
+	WorkersBusy     int            `json:"workers_busy"`
+	PeakBusy        int            `json:"peak_busy"`
+	QueueDepth      int            `json:"queue_depth"`
+	QueueCapacity   int            `json:"queue_capacity"`
+	JobsByState     map[string]int `json:"jobs_by_state"`
+	Retries         uint64         `json:"retries"`
+	PanicsRecovered uint64         `json:"panics_recovered"`
+	CacheEntries    int            `json:"cache_entries"`
+	CacheHits       uint64         `json:"cache_hits"`
+	CacheMisses     uint64         `json:"cache_misses"`
+	CacheHitRate    float64        `json:"cache_hit_rate"`
 }
 
 func statsJSON(s Stats) statsResponse {
 	out := statsResponse{
-		Workers:       s.Workers,
-		WorkersBusy:   s.WorkersBusy,
-		PeakBusy:      s.PeakBusy,
-		QueueDepth:    s.QueueDepth,
-		QueueCapacity: s.QueueCapacity,
-		JobsByState:   make(map[string]int),
-		CacheEntries:  s.Cache.Entries,
-		CacheHits:     s.Cache.Hits,
-		CacheMisses:   s.Cache.Misses,
-		CacheHitRate:  s.Cache.HitRate(),
+		Workers:         s.Workers,
+		WorkersBusy:     s.WorkersBusy,
+		PeakBusy:        s.PeakBusy,
+		QueueDepth:      s.QueueDepth,
+		QueueCapacity:   s.QueueCapacity,
+		JobsByState:     make(map[string]int),
+		Retries:         s.Retries,
+		PanicsRecovered: s.PanicsRecovered,
+		CacheEntries:    s.Cache.Entries,
+		CacheHits:       s.Cache.Hits,
+		CacheMisses:     s.Cache.Misses,
+		CacheHitRate:    s.Cache.HitRate(),
 	}
 	for state, n := range s.JobsByState {
 		out.JobsByState[string(state)] = n

@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"gdsiiguard"
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/fault"
 )
 
 // Config sizes the manager. Zero values take defaults.
@@ -26,6 +30,15 @@ type Config struct {
 	// Retention bounds how many finished jobs the result store keeps
 	// (default 256); the oldest finished jobs are evicted first.
 	Retention int
+	// MaxAttempts caps execution attempts per job (default 2, i.e. one
+	// retry). Only failures the core taxonomy classifies as transient are
+	// retried; permanent failures, panics, timeouts and cancellations
+	// fail the job on the first attempt.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// further attempt with ±50% jitter and is cut short by job
+	// cancellation (default 250ms).
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +56,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retention <= 0 {
 		c.Retention = 256
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
 	}
 	return c
 }
@@ -72,6 +91,10 @@ type Manager struct {
 	busy     int
 	peakBusy int
 	closed   bool
+	// Robustness telemetry: transient-failure retries performed and
+	// panics recovered by workers since start.
+	retries         uint64
+	panicsRecovered uint64
 }
 
 // New starts a manager with cfg's worker pool running.
@@ -177,7 +200,12 @@ type Stats struct {
 	QueueDepth    int
 	QueueCapacity int
 	JobsByState   map[State]int
-	Cache         CacheStats
+	// Retries counts transient-failure retries performed;
+	// PanicsRecovered counts worker-level panics contained. Both since
+	// manager start.
+	Retries         uint64
+	PanicsRecovered uint64
+	Cache           CacheStats
 }
 
 // Stats reports queue depth, worker occupancy, job-state counts and cache
@@ -185,12 +213,14 @@ type Stats struct {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	s := Stats{
-		Workers:       m.cfg.Workers,
-		WorkersBusy:   m.busy,
-		PeakBusy:      m.peakBusy,
-		QueueDepth:    len(m.queue),
-		QueueCapacity: m.cfg.QueueDepth,
-		JobsByState:   make(map[State]int),
+		Workers:         m.cfg.Workers,
+		WorkersBusy:     m.busy,
+		PeakBusy:        m.peakBusy,
+		QueueDepth:      len(m.queue),
+		QueueCapacity:   m.cfg.QueueDepth,
+		JobsByState:     make(map[State]int),
+		Retries:         m.retries,
+		PanicsRecovered: m.panicsRecovered,
 	}
 	for _, job := range m.jobs {
 		s.JobsByState[job.State()]++
@@ -230,7 +260,28 @@ func (m *Manager) runJob(job *Job) {
 		m.mu.Unlock()
 	}()
 
-	res, hardened, err := m.execute(ctx, job)
+	// Transient failures are retried with exponential backoff and jitter
+	// up to MaxAttempts; anything else terminates the job on the spot. A
+	// retry never outlives the job's context: cancellation or deadline
+	// expiry cuts the backoff sleep short.
+	var res *Result
+	var hardened *gdsiiguard.Hardened
+	var err error
+	for {
+		job.noteAttempt()
+		res, hardened, err = m.executeSafe(ctx, job)
+		if err == nil || ctx.Err() != nil ||
+			job.Attempts() >= m.cfg.MaxAttempts || !core.IsTransient(err) {
+			break
+		}
+		if !sleepBackoff(ctx, m.cfg.RetryBackoff, job.Attempts()) {
+			err = ctx.Err()
+			break
+		}
+		m.mu.Lock()
+		m.retries++
+		m.mu.Unlock()
+	}
 	now := time.Now()
 	switch {
 	case err == nil:
@@ -243,6 +294,48 @@ func (m *Manager) runJob(job *Job) {
 	default:
 		job.finish(StateFailed, nil, nil, err, now)
 	}
+}
+
+// sleepBackoff waits out the backoff delay before retry attempt+1: the
+// base delay doubled per completed attempt, with ±50% jitter, capped at
+// 30s. It returns false immediately when ctx is done first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
+	d := base
+	for i := 1; i < attempt && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	// Jitter to d/2 + rand(d): desynchronizes retry storms across workers.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// executeSafe runs one execution attempt with worker-level panic
+// containment: a panic anywhere outside the flow's own stage recovery
+// (cache loading, result assembly, the executor itself) fails the job —
+// never the process — as a core.ClassPanic error.
+func (m *Manager) executeSafe(ctx context.Context, job *Job) (res *Result, h *gdsiiguard.Hardened, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.mu.Lock()
+			m.panicsRecovered++
+			m.mu.Unlock()
+			err = &core.FlowPanicError{Stage: "service", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := fault.Hit(fault.Service); err != nil {
+		return nil, nil, err
+	}
+	return m.execute(ctx, job)
 }
 
 func (m *Manager) execute(ctx context.Context, job *Job) (*Result, *gdsiiguard.Hardened, error) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"gdsiiguard"
+	"gdsiiguard/internal/core"
 )
 
 // Kind selects what a job runs.
@@ -116,6 +117,7 @@ type Job struct {
 	result    *Result
 	hardened  *gdsiiguard.Hardened
 	cancel    func()
+	attempts  int
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -146,6 +148,21 @@ func (j *Job) Err() error {
 	return j.err
 }
 
+// Attempts returns how many execution attempts the job has consumed
+// (0 while queued; >1 after transient-failure retries).
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// noteAttempt records the start of one execution attempt.
+func (j *Job) noteAttempt() {
+	j.mu.Lock()
+	j.attempts++
+	j.mu.Unlock()
+}
+
 // Result returns the finished job's payload (nil until done).
 func (j *Job) Result() *Result {
 	j.mu.Lock()
@@ -173,10 +190,15 @@ func (j *Job) Wait() State {
 // Snapshot is a consistent copy of the job's observable state, used by the
 // HTTP layer.
 type Snapshot struct {
-	ID        string
-	Kind      Kind
-	State     State
-	Error     string
+	ID    string
+	Kind  Kind
+	State State
+	Error string
+	// ErrorClass is the core error taxonomy class of a failed job
+	// ("transient", "permanent" or "panic"; empty otherwise).
+	ErrorClass string
+	// Attempts counts execution attempts, including transient retries.
+	Attempts  int
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
@@ -191,6 +213,7 @@ func (j *Job) Snapshot() Snapshot {
 		ID:        j.ID,
 		Kind:      j.Spec.Kind,
 		State:     j.state,
+		Attempts:  j.attempts,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
@@ -198,6 +221,7 @@ func (j *Job) Snapshot() Snapshot {
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
+		s.ErrorClass = string(core.Classify(j.err))
 	}
 	return s
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/layout"
 	"gdsiiguard/internal/netlist"
 	"gdsiiguard/internal/route"
@@ -68,6 +69,9 @@ func (r *Result) NetArrival(n *netlist.Net) float64 {
 
 // Analyze runs STA on the placed (and optionally routed) layout.
 func Analyze(l *layout.Layout, opt Options) (*Result, error) {
+	if err := fault.Hit(fault.STA); err != nil {
+		return nil, err
+	}
 	if opt.Constraints == nil || opt.Constraints.PrimaryClock() == nil {
 		return nil, fmt.Errorf("sta: no clock constraint")
 	}
