@@ -1,0 +1,176 @@
+// Command guardbench runs built-in benchmark designs through the three
+// core operations — baseline evaluation, a default-parameter hardening
+// pass, and a short NSGA-II exploration — and writes the measured
+// latencies to a machine-readable JSON file (default BENCH_baseline.json).
+// Per-design end-to-end wall times come from direct measurement; the
+// per-stage breakdown (route, timing, power, security, drc) is read from
+// the flow's own gdsiiguard_flow_stage_seconds histogram, so the report
+// and the /metrics endpoint of guardd can never disagree about what was
+// measured.
+//
+// Usage:
+//
+//	guardbench [-designs PRESENT,openMSP430_1] [-short] [-pop 8] [-gens 3]
+//	           [-seed 1] [-out BENCH_baseline.json]
+//
+// -short shrinks the exploration (pop 6, 2 generations) for CI smoke runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"gdsiiguard"
+	"gdsiiguard/internal/obs"
+)
+
+// StageLatency is the aggregated latency of one flow stage over a phase.
+type StageLatency struct {
+	Count       uint64  `json:"count"`
+	TotalSecs   float64 `json:"total_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+}
+
+// DesignBench is the measured result for one design.
+type DesignBench struct {
+	Design          string                  `json:"design"`
+	BaselineSeconds float64                 `json:"baseline_seconds"`
+	HardenSeconds   float64                 `json:"harden_seconds"`
+	ExploreSeconds  float64                 `json:"explore_seconds"`
+	TotalSeconds    float64                 `json:"total_seconds"`
+	Evaluations     int                     `json:"explore_evaluations"`
+	FrontSize       int                     `json:"explore_front_size"`
+	Stages          map[string]StageLatency `json:"stages"`
+}
+
+// Report is the full benchmark output.
+type Report struct {
+	GeneratedBy  string        `json:"generated_by"`
+	Timestamp    string        `json:"timestamp"`
+	GoVersion    string        `json:"go_version"`
+	NumCPU       int           `json:"num_cpu"`
+	Short        bool          `json:"short"`
+	PopSize      int           `json:"pop_size"`
+	Generations  int           `json:"generations"`
+	Seed         int64         `json:"seed"`
+	Designs      []DesignBench `json:"designs"`
+	SuiteSeconds float64       `json:"suite_seconds"`
+}
+
+func main() {
+	var (
+		designs = flag.String("designs", "PRESENT,openMSP430_1", "comma-separated benchmark designs")
+		short   = flag.Bool("short", false, "shrink the exploration for smoke runs")
+		pop     = flag.Int("pop", 8, "exploration population size")
+		gens    = flag.Int("gens", 3, "exploration generations")
+		seed    = flag.Int64("seed", 1, "exploration seed")
+		out     = flag.String("out", "BENCH_baseline.json", "output JSON path")
+	)
+	flag.Parse()
+	if *short {
+		*pop, *gens = 6, 2
+	}
+	names := strings.Split(*designs, ",")
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "guardbench: no designs")
+		os.Exit(2)
+	}
+
+	rep := Report{
+		GeneratedBy: "guardbench",
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Short:       *short,
+		PopSize:     *pop,
+		Generations: *gens,
+		Seed:        *seed,
+	}
+	t0 := time.Now()
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		db, err := benchDesign(name, *pop, *gens, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "guardbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.Designs = append(rep.Designs, *db)
+		fmt.Printf("%-16s baseline %6.2fs  harden %6.2fs  explore %7.2fs (%d evals, front %d)\n",
+			name, db.BaselineSeconds, db.HardenSeconds, db.ExploreSeconds,
+			db.Evaluations, db.FrontSize)
+	}
+	rep.SuiteSeconds = time.Since(t0).Seconds()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "guardbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "guardbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d designs, %.1fs)\n", *out, len(rep.Designs), rep.SuiteSeconds)
+}
+
+// benchDesign measures one design's baseline, harden and explore phases.
+func benchDesign(name string, pop, gens int, seed int64) (*DesignBench, error) {
+	before := stageTotals()
+	t0 := time.Now()
+	d, err := gdsiiguard.LoadBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	db := &DesignBench{Design: name, BaselineSeconds: time.Since(t0).Seconds()}
+
+	t1 := time.Now()
+	if _, err := d.Harden(nil); err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	db.HardenSeconds = time.Since(t1).Seconds()
+
+	t2 := time.Now()
+	ex, err := d.Explore(gdsiiguard.ExploreOptions{PopSize: pop, Generations: gens, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	db.ExploreSeconds = time.Since(t2).Seconds()
+	db.Evaluations = ex.Evaluations
+	db.FrontSize = len(ex.Front)
+	db.TotalSeconds = time.Since(t0).Seconds()
+	db.Stages = stageDelta(before, stageTotals())
+	return db, nil
+}
+
+// stageTotals reads the per-stage flow histogram from the process registry.
+func stageTotals() map[string]StageLatency {
+	out := map[string]StageLatency{}
+	for _, fam := range obs.Default().Snapshot() {
+		if fam.Name != "gdsiiguard_flow_stage_seconds" {
+			continue
+		}
+		for _, s := range fam.Series {
+			out[s.Labels["stage"]] = StageLatency{Count: s.Count, TotalSecs: s.Sum}
+		}
+	}
+	return out
+}
+
+// stageDelta subtracts two stageTotals snapshots and fills per-stage means.
+func stageDelta(before, after map[string]StageLatency) map[string]StageLatency {
+	out := map[string]StageLatency{}
+	for stage, b := range after {
+		d := StageLatency{Count: b.Count - before[stage].Count, TotalSecs: b.TotalSecs - before[stage].TotalSecs}
+		if d.Count > 0 {
+			d.MeanSeconds = d.TotalSecs / float64(d.Count)
+			out[stage] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestBenchDesignMeasuresAllPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full design benchmark")
+	}
+	db, err := benchDesign("PRESENT", 6, 2, 1)
+	if err != nil {
+		t.Fatalf("benchDesign: %v", err)
+	}
+	if db.BaselineSeconds <= 0 || db.HardenSeconds <= 0 || db.ExploreSeconds <= 0 {
+		t.Errorf("unmeasured phase: %+v", db)
+	}
+	if db.TotalSeconds < db.BaselineSeconds+db.HardenSeconds+db.ExploreSeconds-0.01 {
+		t.Errorf("total %.3fs below the sum of its phases", db.TotalSeconds)
+	}
+	if db.Evaluations == 0 {
+		t.Error("exploration reported zero evaluations")
+	}
+	for _, stage := range []string{"route", "timing", "power", "security", "drc"} {
+		s, ok := db.Stages[stage]
+		if !ok || s.Count == 0 {
+			t.Errorf("stage %q missing from the breakdown", stage)
+			continue
+		}
+		if s.MeanSeconds <= 0 {
+			t.Errorf("stage %q mean = %g", stage, s.MeanSeconds)
+		}
+	}
+}
+
+func TestStageDelta(t *testing.T) {
+	before := map[string]StageLatency{"route": {Count: 2, TotalSecs: 1.0}}
+	after := map[string]StageLatency{
+		"route":  {Count: 6, TotalSecs: 3.0},
+		"timing": {Count: 4, TotalSecs: 0.4},
+	}
+	d := stageDelta(before, after)
+	if d["route"].Count != 4 || d["route"].TotalSecs != 2.0 || d["route"].MeanSeconds != 0.5 {
+		t.Errorf("route delta = %+v", d["route"])
+	}
+	if d["timing"].Count != 4 || d["timing"].MeanSeconds != 0.1 {
+		t.Errorf("timing delta = %+v", d["timing"])
+	}
+}

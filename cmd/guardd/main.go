@@ -6,7 +6,7 @@
 // Usage:
 //
 //	guardd [-addr :8477] [-workers N] [-queue 64] [-job-timeout 15m]
-//	       [-cache 8] [-retention 256]
+//	       [-cache 8] [-retention 256] [-pprof] [-log-level info]
 //
 // Endpoints (JSON unless noted):
 //
@@ -17,6 +17,11 @@
 //	GET    /v1/jobs/{id}/gdsii  hardened GDSII (binary)
 //	GET    /v1/benchmarks       built-in designs
 //	GET    /v1/stats            queue/worker/cache statistics
+//	GET    /metrics             Prometheus text-format process metrics
+//
+// With -pprof, the net/http/pprof profiling handlers are additionally
+// served under /debug/pprof/. Structured logs (job lifecycle, optimizer
+// generations at -log-level debug) go to stderr in logfmt.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the server stops accepting
 // requests, queued and running jobs drain up to -drain-timeout, then the
@@ -29,12 +34,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"gdsiiguard/internal/obs"
 	"gdsiiguard/internal/service"
 )
 
@@ -49,9 +57,15 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget")
 		maxAttempts  = flag.Int("max-attempts", 2, "execution attempts per job (transient failures only)")
 		retryBackoff = flag.Duration("retry-backoff", 250*time.Millisecond, "base delay before a transient-failure retry")
+		withPprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		logLevel     = flag.String("log-level", "info", "structured log level (debug, info, warn, error)")
 	)
 	flag.Parse()
-	if err := run(*addr, service.Config{
+	if err := setupLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "guardd:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *withPprof, service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		JobTimeout:   *jobTimeout,
@@ -65,11 +79,38 @@ func main() {
 	}
 }
 
-func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
+// setupLogging routes the library's structured logs (discarded by default)
+// to stderr at the requested level.
+func setupLogging(level string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	obs.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	return nil
+}
+
+// newMux wraps the service API with the operational endpoints: Prometheus
+// metrics at /metrics and, opt-in, the pprof handlers.
+func newMux(mgr *service.Manager, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(mgr))
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func run(addr string, withPprof bool, cfg service.Config, drainTimeout time.Duration) error {
 	mgr := service.New(cfg)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           service.NewHandler(mgr),
+		Handler:           newMux(mgr, withPprof),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

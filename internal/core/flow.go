@@ -19,11 +19,16 @@ import (
 type FlowConfig struct {
 	// Constraints are the design's timing constraints (required).
 	Constraints *sdc.Constraints
-	// Security holds Thresh_ER and the Trojan model (default:
-	// security.DefaultParams).
+	// Security holds Thresh_ER and the Trojan model. Unset (zero) fields
+	// are filled individually from security.DefaultParams, so configuring
+	// one field never discards the others.
 	Security security.Params
 	// Alpha weighs ERsites vs ERtracks in the security score (paper: 0.5).
+	// Zero means "unset" and normalizes to 0.5; a true α = 0 (pure
+	// ERtracks scoring) is expressed by setting AlphaZero.
 	Alpha float64
+	// AlphaZero marks Alpha == 0 as intentional rather than unset.
+	AlphaZero bool
 	// RouteOpts configures the global router.
 	RouteOpts route.Options
 	// Activity is the switching activity for power analysis.
@@ -32,12 +37,23 @@ type FlowConfig struct {
 	Seed int64
 }
 
-// normalized fills defaults.
+// normalized fills defaults field by field: an unset security parameter
+// takes its default without clobbering the user-configured ones, and an
+// unset Alpha becomes the paper's 0.5 unless AlphaZero marks an explicit
+// zero weighting.
 func (c FlowConfig) normalized() FlowConfig {
+	def := security.DefaultParams()
 	if c.Security.ThreshER == 0 {
-		c.Security = security.DefaultParams()
+		c.Security.ThreshER = def.ThreshER
 	}
-	if c.Alpha == 0 {
+	if c.Security.TrojanCell == "" {
+		c.Security.TrojanCell = def.TrojanCell
+	}
+	if c.Security.TrojanWireFactor == 0 {
+		c.Security.TrojanWireFactor = def.TrojanWireFactor
+	}
+	// Security.MaxRadiusDBU: zero already means "core diagonal" downstream.
+	if c.Alpha == 0 && !c.AlphaZero {
 		c.Alpha = 0.5
 	}
 	return c
@@ -78,9 +94,11 @@ type Baseline struct {
 // security assessment. The baseline layout itself is not modified. Stage
 // failures (including recovered panics) come back stage-tagged and
 // classified (see FlowError / FlowPanicError).
-func EvalBaseline(l *layout.Layout, cfg FlowConfig) (*Baseline, error) {
+func EvalBaseline(l *layout.Layout, cfg FlowConfig) (b *Baseline, err error) {
 	cfg = cfg.normalized()
 	start := time.Now()
+	end := beginEval()
+	defer func() { end(err) }()
 	var (
 		routes *route.Result
 		timing *sta.Result
@@ -114,11 +132,11 @@ func EvalBaseline(l *layout.Layout, cfg FlowConfig) (*Baseline, error) {
 		}},
 	}
 	for _, s := range stages {
-		if err := runStage(s.stage, s.f); err != nil {
+		if err := timedStage(s.stage, s.f); err != nil {
 			return nil, err
 		}
 	}
-	b := &Baseline{
+	b = &Baseline{
 		Layout:     l,
 		Routes:     routes,
 		Timing:     timing,
@@ -197,7 +215,7 @@ func RunCtx(ctx context.Context, base *Baseline, p Params) (*Result, error) {
 	Preprocess(l)
 
 	res := &Result{Layout: l, Params: p.Clone()}
-	if err := runStage(StageOperator, func() error {
+	if err := timedStage(StageOperator, func() error {
 		// Pin near-critical cells for the duration of the operator so
 		// neither ECO placement nor cell shifting disturbs the critical
 		// paths (the operators are timing-driven).
@@ -237,9 +255,14 @@ func Evaluate(l *layout.Layout, base *Baseline, res *Result) error {
 
 // EvaluateCtx is Evaluate with cooperative cancellation between analysis
 // stages. Each stage runs under panic containment and failures come back
-// stage-tagged and classified.
-func EvaluateCtx(ctx context.Context, l *layout.Layout, base *Baseline, res *Result) error {
+// stage-tagged and classified. The result's Metrics.Runtime is the wall
+// time of the evaluation itself (RunCtx widens it to the whole flow), so
+// baseline-defense comparisons report a real runtime instead of zero.
+func EvaluateCtx(ctx context.Context, l *layout.Layout, base *Baseline, res *Result) (err error) {
 	cfg := base.Config
+	start := time.Now()
+	end := beginEval()
+	defer func() { end(err) }()
 	var (
 		routes *route.Result
 		timing *sta.Result
@@ -273,7 +296,7 @@ func EvaluateCtx(ctx context.Context, l *layout.Layout, base *Baseline, res *Res
 		}},
 	}
 	for _, s := range stages {
-		if err := runStage(s.stage, s.f); err != nil {
+		if err := timedStage(s.stage, s.f); err != nil {
 			return err
 		}
 		if err := ctx.Err(); err != nil {
@@ -295,6 +318,7 @@ func EvaluateCtx(ctx context.Context, l *layout.Layout, base *Baseline, res *Res
 		PowerMW:       pw.TotalMW,
 		DRC:           checks.Violations,
 		WirelengthDBU: routes.TotalWL,
+		Runtime:       time.Since(start),
 	}
 	return nil
 }

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"gdsiiguard/internal/core"
+)
+
+// Regression: the suite used to run up to Parallelism/2 designs
+// concurrently, each handing the GA its own worker pool of Parallelism —
+// ≈ Parallelism²/2 concurrent flow evaluations in the worst case. With the
+// shared evaluation budget, the process-wide number of in-flight flow
+// evaluations must never exceed Parallelism. The core inflight gauge is
+// maintained by the evaluation hot path itself, independently of the
+// budget mechanism, so it observes the fix rather than restating it.
+//
+// Not t.Parallel: the gauge peak is process-global.
+func TestSuiteConcurrencyIsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run is slow")
+	}
+	const parallelism = 4
+	g := core.EvalsInflightGauge()
+	g.ResetPeak()
+
+	opt := smallOptions("PRESENT", "openMSP430_1")
+	opt.Parallelism = parallelism
+	if _, err := Run(opt); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if peak := g.Peak(); peak > parallelism {
+		t.Errorf("peak concurrent flow evaluations = %g, want ≤ %d (shared budget not honored)",
+			peak, parallelism)
+	} else if peak == 0 {
+		t.Error("inflight gauge never moved — instrumentation broken")
+	}
+}

@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -121,6 +122,12 @@ func Run(opt Options) (*Suite, error) {
 	results := make([]*DesignResult, len(opt.Designs))
 	errs := make([]error, len(opt.Designs))
 
+	// One evaluation budget for the whole suite: the per-design serial
+	// phases and every design's GA workers all draw from it, so total
+	// evaluation concurrency is Parallelism — not the ≈ Parallelism²/2 the
+	// suite used to reach by handing each of Parallelism/2 concurrent
+	// designs its own GA worker pool of Parallelism.
+	budget := nsga2.NewEvalBudget(opt.Parallelism)
 	sem := make(chan struct{}, maxInt(1, opt.Parallelism/2))
 	var wg sync.WaitGroup
 	for i, name := range opt.Designs {
@@ -129,7 +136,7 @@ func Run(opt Options) (*Suite, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = evalDesign(name, opt)
+			results[i], errs[i] = evalDesign(name, opt, budget)
 		}(i, name)
 	}
 	wg.Wait()
@@ -143,18 +150,33 @@ func Run(opt Options) (*Suite, error) {
 }
 
 // evalDesign runs the baseline, the three prior defenses and the
-// GDSII-Guard optimizer on one design.
-func evalDesign(name string, opt Options) (*DesignResult, error) {
+// GDSII-Guard optimizer on one design. Every evaluation — the serial
+// phases here and the GA workers inside the optimizer — holds a slot of
+// the shared budget, so concurrently evaluated designs cannot oversubscribe
+// the suite's Parallelism.
+func evalDesign(name string, opt Options, budget *nsga2.EvalBudget) (*DesignResult, error) {
+	ctx := context.Background()
+	withSlot := func(f func() error) error {
+		if err := budget.Acquire(ctx); err != nil {
+			return err
+		}
+		defer budget.Release()
+		return f()
+	}
+
 	d, err := benchdesigns.Build(name)
 	if err != nil {
 		return nil, err
 	}
-	base, err := core.EvalBaseline(d.Layout, core.FlowConfig{
-		Constraints: d.Cons,
-		Activity:    d.Spec.Activity,
-		Seed:        opt.Seed,
-	})
-	if err != nil {
+	var base *core.Baseline
+	if err := withSlot(func() (err error) {
+		base, err = core.EvalBaseline(d.Layout, core.FlowConfig{
+			Constraints: d.Cons,
+			Activity:    d.Spec.Activity,
+			Seed:        opt.Seed,
+		})
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("experiments: %s baseline: %w", name, err)
 	}
 	res := &DesignResult{
@@ -163,19 +185,31 @@ func evalDesign(name string, opt Options) (*DesignResult, error) {
 		Metrics:  map[string]core.Metrics{RowOriginal: base.Metrics},
 	}
 
-	if icas, err := baselines.RunICAS(base, baselines.ICASOptions{Seed: opt.Seed}); err == nil {
-		res.Metrics[RowICAS] = icas.Metrics
-	} else {
+	if err := withSlot(func() error {
+		icas, err := baselines.RunICAS(base, baselines.ICASOptions{Seed: opt.Seed})
+		if err == nil {
+			res.Metrics[RowICAS] = icas.Metrics
+		}
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("experiments: %s ICAS: %w", name, err)
 	}
-	if bisa, err := baselines.RunBISA(base); err == nil {
-		res.Metrics[RowBISA] = bisa.Metrics
-	} else {
+	if err := withSlot(func() error {
+		bisa, err := baselines.RunBISA(base)
+		if err == nil {
+			res.Metrics[RowBISA] = bisa.Metrics
+		}
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("experiments: %s BISA: %w", name, err)
 	}
-	if ba, err := baselines.RunBa(base, baselines.BaOptions{}); err == nil {
-		res.Metrics[RowBa] = ba.Metrics
-	} else {
+	if err := withSlot(func() error {
+		ba, err := baselines.RunBa(base, baselines.BaOptions{})
+		if err == nil {
+			res.Metrics[RowBa] = ba.Metrics
+		}
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("experiments: %s Ba: %w", name, err)
 	}
 
@@ -184,6 +218,7 @@ func evalDesign(name string, opt Options) (*DesignResult, error) {
 		Generations: opt.GAGens,
 		Seed:        opt.Seed,
 		Parallelism: opt.Parallelism,
+		Budget:      budget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s GA: %w", name, err)
@@ -192,8 +227,11 @@ func evalDesign(name string, opt Options) (*DesignResult, error) {
 	sel := SelectKnee(log.Front)
 	if sel == nil {
 		// No feasible front point: fall back to the identity flow.
-		r, err := core.Run(base, core.DefaultParams(d.Layout.Lib().NumLayers()))
-		if err != nil {
+		var r *core.Result
+		if err := withSlot(func() (err error) {
+			r, err = core.Run(base, core.DefaultParams(d.Layout.Lib().NumLayers()))
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		res.Metrics[RowGuard] = r.Metrics

@@ -1,0 +1,61 @@
+package nsga2
+
+import (
+	"context"
+
+	"gdsiiguard/internal/obs"
+)
+
+// Eval-budget occupancy gauges. One pair serves every budget in the
+// process: Add/Dec deltas sum correctly across concurrent budgets, so the
+// gauge reads the global number of in-flight budgeted evaluations.
+var (
+	budgetInflight = obs.Default().Gauge(
+		"gdsiiguard_nsga2_eval_budget_inflight",
+		"Flow evaluations currently holding an evaluation-budget slot.").With()
+	budgetInflightPeak = obs.Default().Gauge(
+		"gdsiiguard_nsga2_eval_budget_inflight_peak",
+		"High watermark of concurrently budgeted flow evaluations.").With()
+)
+
+// EvalBudget bounds concurrent flow evaluations across any number of
+// cooperating optimizers. A single budget shared between concurrent
+// Optimize runs (and the experiments suite's per-design serial phases)
+// keeps total evaluation concurrency at the configured bound instead of
+// multiplying per-run parallelism — the nested-parallelism trap the
+// experiments runner used to fall into.
+type EvalBudget struct {
+	tokens chan struct{}
+}
+
+// NewEvalBudget creates a budget of n concurrent evaluations (minimum 1).
+func NewEvalBudget(n int) *EvalBudget {
+	if n < 1 {
+		n = 1
+	}
+	return &EvalBudget{tokens: make(chan struct{}, n)}
+}
+
+// Size returns the budget's concurrency bound.
+func (b *EvalBudget) Size() int { return cap(b.tokens) }
+
+// Acquire blocks until a slot is free or ctx is done.
+func (b *EvalBudget) Acquire(ctx context.Context) error {
+	select {
+	case b.tokens <- struct{}{}:
+		budgetInflight.Inc()
+		budgetInflightPeak.SetMax(budgetInflight.Peak())
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired with Acquire.
+func (b *EvalBudget) Release() {
+	budgetInflight.Dec()
+	<-b.tokens
+}
+
+// InFlight returns the number of slots currently held.
+func (b *EvalBudget) InFlight() int { return len(b.tokens) }

@@ -1,0 +1,63 @@
+package nsga2
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEvalBudgetBoundsConcurrency(t *testing.T) {
+	b := NewEvalBudget(2)
+	ctx := context.Background()
+	if b.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", b.Size())
+	}
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+
+	// A third acquire must block until a slot is released.
+	acquired := make(chan struct{})
+	go func() {
+		if err := b.Acquire(ctx); err == nil {
+			close(acquired)
+		}
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Acquire exceeded the budget")
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.Release()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire did not proceed after Release")
+	}
+
+	// A blocked waiter honors context cancellation.
+	ctx2, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- b.Acquire(ctx2) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvalBudgetMinimumSize(t *testing.T) {
+	if got := NewEvalBudget(0).Size(); got != 1 {
+		t.Errorf("NewEvalBudget(0).Size() = %d, want 1", got)
+	}
+	if got := NewEvalBudget(-3).Size(); got != 1 {
+		t.Errorf("NewEvalBudget(-3).Size() = %d, want 1", got)
+	}
+}

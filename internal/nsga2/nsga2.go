@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/obs"
 )
 
 // Options configures the optimizer.
@@ -39,6 +40,12 @@ type Options struct {
 	CrossoverP, MutationP float64
 	// Parallelism bounds concurrent flow evaluations (default NumCPU).
 	Parallelism int
+	// Budget optionally shares one evaluation-concurrency budget across
+	// several concurrent optimizers (see NewEvalBudget): every evaluation
+	// acquires a budget slot, so total concurrency across all runs sharing
+	// the budget never exceeds its size. When nil, the run gets a private
+	// budget of Parallelism slots.
+	Budget *EvalBudget
 	// Seed drives all stochastic choices.
 	Seed int64
 	// EvalRetries is how many times a transient evaluation failure
@@ -170,7 +177,11 @@ func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog
 	k := base.Layout.Lib().NumLayers()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	log := &RunLog{}
-	ev := &evaluator{base: base, opt: opt, cache: map[string]*Individual{}, log: log}
+	budget := opt.Budget
+	if budget == nil {
+		budget = NewEvalBudget(opt.Parallelism)
+	}
+	ev := &evaluator{base: base, opt: opt, budget: budget, cache: map[string]*Individual{}, log: log}
 
 	// Initial population: random points plus the identity configuration.
 	var pop []*Individual
@@ -190,8 +201,7 @@ func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog
 		return nil, err
 	}
 
-	stale := 0
-	frontSize := 0
+	conv := &frontTracker{}
 	gen := 0
 	for gen = 1; gen <= opt.Generations; gen++ {
 		if err := ctx.Err(); err != nil {
@@ -204,20 +214,23 @@ func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog
 		}
 		pop = environmentalSelect(append(pop, offspring...), opt.PopSize)
 
-		// Convergence: population front stopped producing new points.
-		newSize := 0
+		frontSize := 0
 		for _, in := range pop {
 			if in.rank == 0 {
-				newSize++
+				frontSize++
 			}
 		}
-		if newSize == frontSize {
-			stale++
-		} else {
-			stale = 0
-			frontSize = newSize
-		}
-		if opt.Patience > 0 && stale >= opt.Patience {
+		gensTotal.Inc()
+		frontGauge.Set(float64(frontSize))
+		obs.Logger().Debug("nsga2: generation complete",
+			"generation", gen, "front_size", frontSize,
+			"evaluations", len(log.Evaluations), "cache_hits", log.CacheHits,
+			"failures", len(log.Failures))
+
+		// Convergence: the rank-0 front stopped changing membership. Size
+		// alone is not enough — a front saturated at PopSize whose points
+		// keep improving is still making progress.
+		if stale := conv.observe(pop); opt.Patience > 0 && stale >= opt.Patience {
 			break
 		}
 	}
@@ -229,13 +242,51 @@ func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog
 	return log, nil
 }
 
+// frontTracker detects a stalled exploration by rank-0 front membership
+// (chromosome keys), not front size: a front that saturates at PopSize
+// while its points keep being replaced by better ones is still making
+// progress and must not count as stale.
+type frontTracker struct {
+	keys  map[string]bool
+	stale int
+}
+
+// observe updates the tracker with the population's current rank-0 front
+// and returns how many consecutive generations the front has been
+// unchanged.
+func (t *frontTracker) observe(pop []*Individual) int {
+	cur := make(map[string]bool)
+	for _, in := range pop {
+		if in.rank == 0 {
+			cur[in.Params.Key()] = true
+		}
+	}
+	same := len(cur) == len(t.keys)
+	if same {
+		for k := range cur {
+			if !t.keys[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.stale++
+	} else {
+		t.stale = 0
+		t.keys = cur
+	}
+	return t.stale
+}
+
 // evaluator memoizes flow runs and executes them in parallel.
 type evaluator struct {
-	base  *core.Baseline
-	opt   Options
-	cache map[string]*Individual
-	mu    sync.Mutex
-	log   *RunLog
+	base   *core.Baseline
+	opt    Options
+	budget *EvalBudget
+	cache  map[string]*Individual
+	mu     sync.Mutex
+	log    *RunLog
 	// succeeded/failed count fresh evaluations for the failure-rate cap.
 	succeeded int
 	failed    int
@@ -243,19 +294,25 @@ type evaluator struct {
 
 // evalAll evaluates a batch: unique un-cached chromosomes run once each on
 // the worker pool (in deterministic key order for a reproducible trace),
-// then every individual is filled from the cache.
+// then every individual is filled from the cache. A chromosome cached as
+// Failed in an *earlier* generation is not served from the cache: it gets
+// one fresh re-evaluation per later generation it reappears in, so a
+// transient failure cannot permanently poison a point of the search space.
 func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) error {
 	var fresh []string
 	seen := map[string]core.Params{}
 	for _, in := range pop {
 		key := in.Params.Key()
-		if _, cached := ev.cache[key]; cached {
-			ev.log.CacheHits++
+		if _, dup := seen[key]; dup {
 			continue
 		}
-		if _, dup := seen[key]; dup {
-			ev.log.CacheHits++
-			continue
+		if hit, cached := ev.cache[key]; cached {
+			if !hit.Failed || hit.Generation >= gen {
+				continue
+			}
+			// Failed in an earlier generation: retry it fresh.
+			delete(ev.cache, key)
+			nsga2Evals.With("retried").Inc()
 		}
 		seen[key] = in.Params
 		fresh = append(fresh, key)
@@ -263,7 +320,9 @@ func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) er
 	sort.Strings(fresh)
 
 	// The jobs channel is buffered to the full batch so a worker that
-	// exits on error can never leave the producer blocked.
+	// exits on error can never leave the producer blocked. Each evaluation
+	// holds a budget slot, so total concurrency across optimizers sharing
+	// the budget stays bounded.
 	jobs := make(chan string, len(fresh))
 	errs := make(chan error, len(fresh))
 	var wg sync.WaitGroup
@@ -276,7 +335,13 @@ func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) er
 					errs <- err
 					return
 				}
-				if err := ev.evalFresh(ctx, seen[key], key, gen); err != nil {
+				if err := ev.budget.Acquire(ctx); err != nil {
+					errs <- err
+					return
+				}
+				err := ev.evalFresh(ctx, seen[key], key, gen)
+				ev.budget.Release()
+				if err != nil {
 					errs <- err
 					return
 				}
@@ -307,16 +372,28 @@ func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) er
 			ev.log.Evaluations = append(ev.log.Evaluations, *hit)
 		}
 	}
+	// Cache-hit accounting happens here, once results are known: every
+	// individual beyond the one fresh evaluation of its key counts as a
+	// hit — unless the evaluation failed. Failed entries are not wins of
+	// the memoizer and must not inflate CacheHits.
+	freshUsed := map[string]bool{}
 	for _, in := range pop {
-		hit := ev.cache[in.Params.Key()]
+		key := in.Params.Key()
+		hit := ev.cache[key]
 		if hit == nil {
-			return fmt.Errorf("nsga2: missing evaluation for %s", in.Params.Key())
+			return fmt.Errorf("nsga2: missing evaluation for %s", key)
 		}
 		in.Metrics = hit.Metrics
 		in.Feasible = hit.Feasible
 		in.Violation = hit.Violation
 		in.Generation = hit.Generation
 		in.Failed = hit.Failed
+		if _, scheduled := seen[key]; scheduled && !freshUsed[key] {
+			freshUsed[key] = true // the fresh evaluation itself, not a hit
+		} else if !hit.Failed {
+			ev.log.CacheHits++
+			nsga2Evals.With("cache_hit").Inc()
+		}
 	}
 	return nil
 }
@@ -355,6 +432,7 @@ func (ev *evaluator) evalFresh(ctx context.Context, p core.Params, key string, g
 	ev.cache[key] = in
 	ev.succeeded++
 	ev.mu.Unlock()
+	nsga2Evals.With("fresh").Inc()
 	return nil
 }
 
@@ -374,6 +452,7 @@ func (ev *evaluator) degrade(p core.Params, key string, gen int, cause error, at
 		Failed:     true,
 	}
 	ev.failed++
+	nsga2Evals.With("failed").Inc()
 	ev.log.Failures = append(ev.log.Failures, EvalFailure{
 		Key:        key,
 		Params:     p.Clone(),

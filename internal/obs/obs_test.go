@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs", "kind")
+	c.With("harden").Inc()
+	c.With("harden").Add(2)
+	c.With("explore").Inc()
+	if got := c.With("harden").Value(); got != 3 {
+		t.Errorf("harden counter = %g, want 3", got)
+	}
+	if got := c.With("explore").Value(); got != 1 {
+		t.Errorf("explore counter = %g, want 1", got)
+	}
+	// Counters never go down.
+	c.With("harden").Add(-5)
+	if got := c.With("harden").Value(); got != 3 {
+		t.Errorf("counter decreased to %g", got)
+	}
+}
+
+func TestGaugePeakTracking(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("busy", "busy workers").With()
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if got := g.Value(); got != 1 {
+		t.Errorf("value = %g, want 1", got)
+	}
+	if got := g.Peak(); got != 5 {
+		t.Errorf("peak = %g, want 5", got)
+	}
+	g.ResetPeak()
+	if got := g.Peak(); got != 1 {
+		t.Errorf("peak after reset = %g, want 1", got)
+	}
+	g.SetMax(10)
+	if g.Value() != 10 || g.Peak() != 10 {
+		t.Errorf("SetMax: value=%g peak=%g, want 10/10", g.Value(), g.Peak())
+	}
+	g.SetMax(4) // lower: no-op
+	if g.Value() != 10 {
+		t.Errorf("SetMax lowered the gauge to %g", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1}, "stage")
+	s := h.With("route")
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		s.Observe(v)
+	}
+	if got := s.Count(); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := s.Sum(); got != 5.555 {
+		t.Errorf("sum = %g, want 5.555", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative buckets: 0.01 holds 1, 0.1 holds 2, 1 holds 3, +Inf all.
+	for _, want := range []string{
+		`lat_bucket{stage="route",le="0.01"} 1`,
+		`lat_bucket{stage="route",le="0.1"} 2`,
+		`lat_bucket{stage="route",le="+Inf"} 4`,
+		`lat_count{stage="route"} 4`,
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	tm := s.Start()
+	time.Sleep(time.Millisecond)
+	if d := tm.Stop(); d <= 0 {
+		t.Errorf("timer measured %v", d)
+	}
+	if got := s.Count(); got != 5 {
+		t.Errorf("count after timer = %d, want 5", got)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "k")
+	b := r.Counter("x_total", "x", "k")
+	a.With("v").Inc()
+	if got := b.With("v").Value(); got != 1 {
+		t.Errorf("re-registered family not shared: %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x", "k")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "esc", "p").With(`a"b\c` + "\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_total{p="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "a counter").With().Add(2)
+	r.Gauge("g", "a gauge", "l").With("x").Set(1.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP c_total a counter",
+		"# TYPE c_total counter",
+		"c_total 2",
+		"# TYPE g gauge",
+		`g{l="x"} 1.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").With().Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "s", "k").With("a").Add(4)
+	g := r.Gauge("sg", "sg").With()
+	g.Set(7)
+	g.Set(2)
+	r.Histogram("sh", "sh", nil).With().Observe(0.2)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("families = %d, want 3", len(snap))
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	if s := byName["s_total"].Series[0]; s.Value != 4 || s.Labels["k"] != "a" {
+		t.Errorf("counter snapshot = %+v", s)
+	}
+	if s := byName["sg"].Series[0]; s.Value != 2 || s.Peak != 7 {
+		t.Errorf("gauge snapshot = %+v", s)
+	}
+	if s := byName["sh"].Series[0]; s.Count != 1 || s.Sum != 0.2 {
+		t.Errorf("histogram snapshot = %+v", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "cc").With()
+	g := r.Gauge("cg", "cg").With()
+	h := r.Histogram("ch", "ch", nil).With()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Errorf("counter = %g, want 4000", got)
+	}
+	if got := h.Count(); got != 4000 {
+		t.Errorf("histogram count = %d, want 4000", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %g, want 0", got)
+	}
+}
+
+func TestLoggerDefaultsToDiscardAndIsSwappable(t *testing.T) {
+	if Logger() == nil {
+		t.Fatal("default logger is nil")
+	}
+	var buf bytes.Buffer
+	SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	t.Cleanup(func() { SetLogger(nil) })
+	Logger().Info("hello", "k", 1)
+	if !strings.Contains(buf.String(), "hello") {
+		t.Errorf("log output missing: %q", buf.String())
+	}
+	SetLogger(nil)
+	if Logger() == nil {
+		t.Fatal("nil SetLogger did not restore a logger")
+	}
+	Logger().Info("dropped")
+	if strings.Contains(buf.String(), "dropped") {
+		t.Error("restored default logger still writes to old buffer")
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted buckets did not panic")
+		}
+	}()
+	r.Histogram("bad", "bad", []float64{1, 0.5})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram(fmt.Sprintf("bench_%d", b.N), "bench", nil).With()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.01)
+	}
+}

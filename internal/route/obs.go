@@ -1,0 +1,9 @@
+package route
+
+import "gdsiiguard/internal/obs"
+
+// routeSeconds times each Route call end to end (grid build, initial
+// routing, rip-up passes, finalize).
+var routeSeconds = obs.Default().Histogram(
+	"gdsiiguard_route_seconds",
+	"Global-route wall time per Route call.", nil).With()

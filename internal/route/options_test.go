@@ -1,0 +1,40 @@
+package route
+
+import "testing"
+
+// Regression: withDefaults silently rewrote RipupPasses 0 to 1 with no way
+// to request zero passes except an undocumented negative value. The zero
+// value stays the documented default of 1, and DisableRipup (or a negative
+// count) is the explicit off switch.
+func TestOptionsRipupDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want int
+	}{
+		{"unset defaults to one pass", Options{}, 1},
+		{"explicit count kept", Options{RipupPasses: 3}, 3},
+		{"DisableRipup means zero passes", Options{DisableRipup: true}, 0},
+		{"DisableRipup overrides a count", Options{RipupPasses: 3, DisableRipup: true}, 0},
+		{"negative still disables", Options{RipupPasses: -1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.in.withDefaults().RipupPasses; got != c.want {
+			t.Errorf("%s: RipupPasses = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// Routing with rip-up disabled must still produce a complete result (the
+// rip-up passes only improve congestion, they are not required for
+// correctness).
+func TestRouteWithRipupDisabled(t *testing.T) {
+	l := placedMesh(t, 4, 12, 0.6)
+	res, err := Route(l, Options{Seed: 1, DisableRipup: true})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if res.TotalWL <= 0 {
+		t.Error("zero total wirelength with rip-up disabled")
+	}
+}

@@ -28,8 +28,13 @@ type Options struct {
 	// rows).
 	GCellSites, GCellRows int
 	// RipupPasses is the number of rip-up-and-reroute passes over
-	// congested nets (default 1).
+	// congested nets. Zero means "unset" and defaults to 1. To route with
+	// no rip-up passes at all, set DisableRipup; negative values are
+	// accepted as a disable too, for callers that already relied on that.
 	RipupPasses int
+	// DisableRipup turns rip-up-and-reroute off explicitly, distinguishing
+	// "zero passes" from an unset (zero) RipupPasses.
+	DisableRipup bool
 	// Seed drives tie-breaking.
 	Seed int64
 }
@@ -41,9 +46,10 @@ func (o Options) withDefaults() Options {
 	if o.GCellRows <= 0 {
 		o.GCellRows = 2
 	}
-	if o.RipupPasses < 0 {
+	switch {
+	case o.DisableRipup || o.RipupPasses < 0:
 		o.RipupPasses = 0
-	} else if o.RipupPasses == 0 {
+	case o.RipupPasses == 0:
 		o.RipupPasses = 1
 	}
 	return o
@@ -150,6 +156,7 @@ func Route(l *layout.Layout, opt Options) (*Result, error) {
 	if err := fault.Hit(fault.Route); err != nil {
 		return nil, err
 	}
+	defer routeSeconds.Start().Stop()
 	opt = opt.withDefaults()
 	lib := l.Lib()
 	if lib.NumLayers() < 2 {

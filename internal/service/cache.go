@@ -71,6 +71,7 @@ func (c *DesignCache) Get(key string, load func() (*gdsiiguard.Design, error)) (
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
+		cacheLookups.With("hit").Inc()
 		ent := el.Value.(*cacheEntry)
 		c.mu.Unlock()
 		<-ent.ready
@@ -80,6 +81,7 @@ func (c *DesignCache) Get(key string, load func() (*gdsiiguard.Design, error)) (
 	el := c.order.PushFront(ent)
 	c.entries[key] = el
 	c.misses++
+	cacheLookups.With("miss").Inc()
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		if oldest == el {

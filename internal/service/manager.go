@@ -13,6 +13,7 @@ import (
 	"gdsiiguard"
 	"gdsiiguard/internal/core"
 	"gdsiiguard/internal/fault"
+	"gdsiiguard/internal/obs"
 )
 
 // Config sizes the manager. Zero values take defaults.
@@ -133,6 +134,9 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	select {
 	case m.queue <- job:
 		m.jobs[job.ID] = job
+		jobsSubmitted.With(string(spec.Kind)).Inc()
+		obs.Logger().Info("service: job submitted",
+			"job", job.ID, "kind", spec.Kind, "queue_depth", len(m.queue))
 		return job, nil
 	default:
 		return nil, ErrQueueFull
@@ -245,20 +249,29 @@ func (m *Manager) runJob(job *Job) {
 	}
 	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
 	defer cancel()
-	if !job.start(cancel, time.Now()) {
+	started := time.Now()
+	if !job.start(cancel, started) {
 		return // cancelled while queued
 	}
+	queueWaitSeconds.Observe(started.Sub(job.submitted).Seconds())
+	obs.Logger().Info("service: job started",
+		"job", job.ID, "kind", job.Spec.Kind,
+		"queue_wait", started.Sub(job.submitted))
 	m.mu.Lock()
 	m.busy++
 	if m.busy > m.peakBusy {
 		m.peakBusy = m.busy
 	}
 	m.mu.Unlock()
+	workersBusy.Inc()
+	workersBusyPeak.SetMax(workersBusy.Peak())
 	defer func() {
 		m.mu.Lock()
 		m.busy--
 		m.mu.Unlock()
+		workersBusy.Dec()
 	}()
+	defer execSeconds.With(string(job.Spec.Kind)).ObserveSince(started)
 
 	// Transient failures are retried with exponential backoff and jitter
 	// up to MaxAttempts; anything else terminates the job on the spot. A
@@ -374,8 +387,22 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*Result, *gdsiiguard.H
 }
 
 // retire enforces the result store's retention limit after a job reaches
-// a terminal state.
+// a terminal state. It is the single chokepoint every job passes on its
+// way out (including jobs cancelled while queued), so terminal-state
+// accounting lives here.
 func (m *Manager) retire(job *Job) {
+	state := job.State()
+	jobsFinished.With(string(job.Spec.Kind), string(state)).Inc()
+	logger := obs.Logger()
+	if state == StateFailed {
+		logger.Warn("service: job failed",
+			"job", job.ID, "kind", job.Spec.Kind,
+			"attempts", job.Attempts(), "error", job.Err())
+	} else {
+		logger.Info("service: job finished",
+			"job", job.ID, "kind", job.Spec.Kind,
+			"state", state, "attempts", job.Attempts())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.finished = append(m.finished, job.ID)

@@ -161,6 +161,7 @@ func (j *Job) noteAttempt() {
 	j.mu.Lock()
 	j.attempts++
 	j.mu.Unlock()
+	jobAttempts.Inc()
 }
 
 // Result returns the finished job's payload (nil until done).

@@ -1,0 +1,8 @@
+package sta
+
+import "gdsiiguard/internal/obs"
+
+// staSeconds times each Analyze call end to end.
+var staSeconds = obs.Default().Histogram(
+	"gdsiiguard_sta_seconds",
+	"Static timing analysis wall time per Analyze call.", nil).With()

@@ -72,6 +72,7 @@ func Analyze(l *layout.Layout, opt Options) (*Result, error) {
 	if err := fault.Hit(fault.STA); err != nil {
 		return nil, err
 	}
+	defer staSeconds.Start().Stop()
 	if opt.Constraints == nil || opt.Constraints.PrimaryClock() == nil {
 		return nil, fmt.Errorf("sta: no clock constraint")
 	}
