@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// loadReport reads a previously written benchmark report.
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports diffs two benchmark reports design by design: per-stage
+// mean latencies and the per-phase end-to-end wall times, each with a
+// percentage delta against the old report. It returns the rendered diff
+// and whether any comparable number regressed beyond the tolerance
+// (tolerance 0.25 = new may be up to 25% slower before it counts).
+// Designs or stages present in only one report are noted but never count
+// as regressions.
+func compareReports(old, cur *Report, tolerance float64) (string, bool) {
+	var b strings.Builder
+	regressed := false
+
+	oldByName := map[string]DesignBench{}
+	for _, d := range old.Designs {
+		oldByName[d.Design] = d
+	}
+
+	line := func(design, metric string, was, now float64) {
+		pct := 0.0
+		if was > 0 {
+			pct = (now - was) / was * 100
+		}
+		flag := ""
+		if was > 0 && now > was*(1+tolerance) {
+			flag = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(&b, "%-16s %-18s %8.3fs -> %8.3fs  (%+7.1f%%)%s\n",
+			design, metric, was, now, pct, flag)
+	}
+
+	for _, d := range cur.Designs {
+		prev, ok := oldByName[d.Design]
+		if !ok {
+			fmt.Fprintf(&b, "%-16s (no old data: skipped)\n", d.Design)
+			continue
+		}
+		line(d.Design, "baseline", prev.BaselineSeconds, d.BaselineSeconds)
+		line(d.Design, "harden", prev.HardenSeconds, d.HardenSeconds)
+		line(d.Design, "explore", prev.ExploreSeconds, d.ExploreSeconds)
+		line(d.Design, "total", prev.TotalSeconds, d.TotalSeconds)
+
+		var stages []string
+		for s := range d.Stages {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			ps, ok := prev.Stages[s]
+			if !ok {
+				fmt.Fprintf(&b, "%-16s stage %-12s (no old data: skipped)\n", d.Design, s)
+				continue
+			}
+			line(d.Design, "stage "+s, ps.MeanSeconds, d.Stages[s].MeanSeconds)
+		}
+		for s := range prev.Stages {
+			if _, ok := d.Stages[s]; !ok {
+				fmt.Fprintf(&b, "%-16s stage %-12s (gone from new report)\n", d.Design, s)
+			}
+		}
+	}
+	for _, d := range old.Designs {
+		found := false
+		for _, c := range cur.Designs {
+			if c.Design == d.Design {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(&b, "%-16s (not in new report)\n", d.Design)
+		}
+	}
+	return b.String(), regressed
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(design string, harden float64, stages map[string]StageLatency) *Report {
+	return &Report{
+		Designs: []DesignBench{{
+			Design:          design,
+			BaselineSeconds: 1.0,
+			HardenSeconds:   harden,
+			ExploreSeconds:  10.0,
+			TotalSeconds:    11.0 + harden,
+			Stages:          stages,
+		}},
+	}
+}
+
+func TestCompareReportsImprovement(t *testing.T) {
+	old := report("PRESENT", 2.0, map[string]StageLatency{
+		"operator": {Count: 28, TotalSecs: 18.0, MeanSeconds: 0.644},
+	})
+	cur := report("PRESENT", 0.5, map[string]StageLatency{
+		"operator": {Count: 28, TotalSecs: 3.0, MeanSeconds: 0.107},
+	})
+	diff, regressed := compareReports(old, cur, 0.25)
+	if regressed {
+		t.Fatalf("improvement flagged as regression:\n%s", diff)
+	}
+	if !strings.Contains(diff, "stage operator") {
+		t.Errorf("diff lacks stage line:\n%s", diff)
+	}
+	if !strings.Contains(diff, "-83.4%") {
+		t.Errorf("diff lacks percentage delta:\n%s", diff)
+	}
+}
+
+func TestCompareReportsRegression(t *testing.T) {
+	old := report("PRESENT", 1.0, map[string]StageLatency{
+		"operator": {Count: 28, TotalSecs: 3.0, MeanSeconds: 0.107},
+	})
+	cur := report("PRESENT", 1.0, map[string]StageLatency{
+		"operator": {Count: 28, TotalSecs: 18.0, MeanSeconds: 0.644},
+	})
+	diff, regressed := compareReports(old, cur, 0.25)
+	if !regressed {
+		t.Fatalf("6x stage slowdown not flagged:\n%s", diff)
+	}
+	if !strings.Contains(diff, "REGRESSION") {
+		t.Errorf("diff lacks REGRESSION marker:\n%s", diff)
+	}
+}
+
+func TestCompareReportsWithinTolerance(t *testing.T) {
+	old := report("PRESENT", 1.0, nil)
+	cur := report("PRESENT", 1.2, nil) // 20% slower, tolerance 25%
+	if diff, regressed := compareReports(old, cur, 0.25); regressed {
+		t.Fatalf("slowdown within tolerance flagged:\n%s", diff)
+	}
+	// The same slowdown beyond a tighter tolerance must flag.
+	if _, regressed := compareReports(old, cur, 0.1); !regressed {
+		t.Fatal("20% slowdown not flagged at 10% tolerance")
+	}
+}
+
+func TestCompareReportsMissingData(t *testing.T) {
+	old := report("PRESENT", 1.0, map[string]StageLatency{
+		"operator": {MeanSeconds: 0.1},
+		"route":    {MeanSeconds: 0.2},
+	})
+	cur := &Report{Designs: []DesignBench{
+		{Design: "PRESENT", BaselineSeconds: 1.0, HardenSeconds: 1.0,
+			ExploreSeconds: 10.0, TotalSeconds: 12.0,
+			Stages: map[string]StageLatency{
+				"operator": {MeanSeconds: 0.1},
+				"timing":   {MeanSeconds: 0.3}, // new stage: no old data
+			}},
+		{Design: "AES_1"}, // design with no old data
+	}}
+	diff, regressed := compareReports(old, cur, 0.25)
+	if regressed {
+		t.Fatalf("missing data treated as regression:\n%s", diff)
+	}
+	for _, want := range []string{"no old data", "gone from new report"} {
+		if !strings.Contains(diff, want) {
+			t.Errorf("diff lacks %q:\n%s", want, diff)
+		}
+	}
+}

@@ -12,8 +12,13 @@
 //
 //	guardbench [-designs PRESENT,openMSP430_1] [-short] [-pop 8] [-gens 3]
 //	           [-seed 1] [-out BENCH_baseline.json]
+//	           [-compare old.json] [-tolerance 0.25]
 //
 // -short shrinks the exploration (pop 6, 2 generations) for CI smoke runs.
+// -compare diffs the fresh report against a previously written one: every
+// per-phase wall time and per-stage mean latency is printed with its
+// percentage delta, and the process exits 3 when any of them is more than
+// -tolerance (fractional) slower than before.
 package main
 
 import (
@@ -70,6 +75,8 @@ func main() {
 		gens    = flag.Int("gens", 3, "exploration generations")
 		seed    = flag.Int64("seed", 1, "exploration seed")
 		out     = flag.String("out", "BENCH_baseline.json", "output JSON path")
+		compare = flag.String("compare", "", "old report JSON to diff against; exit 3 on regression")
+		tol     = flag.Float64("tolerance", 0.25, "fractional slowdown allowed before -compare reports a regression")
 	)
 	flag.Parse()
 	if *short {
@@ -117,6 +124,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d designs, %.1fs)\n", *out, len(rep.Designs), rep.SuiteSeconds)
+
+	if *compare != "" {
+		old, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "guardbench: -compare:", err)
+			os.Exit(1)
+		}
+		diff, regressed := compareReports(old, &rep, *tol)
+		fmt.Print(diff)
+		if regressed {
+			fmt.Fprintf(os.Stderr, "guardbench: performance regression beyond %.0f%% tolerance vs %s\n",
+				*tol*100, *compare)
+			os.Exit(3)
+		}
+		fmt.Printf("no regression beyond %.0f%% tolerance vs %s\n", *tol*100, *compare)
+	}
 }
 
 // benchDesign measures one design's baseline, harden and explore phases.

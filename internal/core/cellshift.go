@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"gdsiiguard/internal/layout"
 	"gdsiiguard/internal/netlist"
 )
@@ -41,28 +39,58 @@ func CellShift(l *layout.Layout, threshER int) CellShiftResult {
 // CellShiftWithOptions runs the operator with the dicing stage optionally
 // disabled — the pure Algorithm 1 row passes — for ablation studies.
 func CellShiftWithOptions(l *layout.Layout, threshER int, dice bool) CellShiftResult {
+	var e shiftEngine
+	return e.run(l, threshER, dice)
+}
+
+// shiftEngine owns every buffer of one CellShift invocation, so the hot
+// loops — row scans, component-weight queries, pass rollback — run
+// allocation-free once warm. Not safe for concurrent use; each operator
+// invocation builds its own.
+type shiftEngine struct {
+	ix     belowIndex
+	runBuf []layout.SiteRun // AppendFreeRuns scratch
+	curBuf []freeRun        // current-row runs, mutated by shrinkAndSpill
+	// passAdded collects cells first recorded as moved during the current
+	// pass, so a rolled-back pass also rolls its CellsMoved entries back.
+	passAdded []*netlist.Instance
+	dice      diceScratch
+
+	// massTrace, when non-nil, receives every exploitableMass checkpoint
+	// (set by the golden equivalence test to compare trajectories).
+	massTrace *[]int
+}
+
+func (e *shiftEngine) run(l *layout.Layout, threshER int, dice bool) CellShiftResult {
 	var res CellShiftResult
 	moved := map[*netlist.Instance]bool{}
+	// The journal replaces the per-pass whole-layout Clone snapshot: a
+	// failed pass is rolled back by replaying inverses in O(moves).
+	l.BeginJournal()
+	defer l.EndJournal()
 	// Rounds of (alternating row passes + dicing): dicing reshapes the
 	// free-space landscape, which unlocks further row-pass fragmentation.
 	const maxRounds = 3
 	for round := 0; round < maxRounds; round++ {
-		before := exploitableMass(l, threshER)
+		before := e.exploitableMass(l, threshER)
 		if before == 0 {
 			break
 		}
 		best := before
 		fails := 0
 		for pass := 0; pass < maxCellShiftPasses && fails < 2; pass++ {
-			snap := l.Clone()
+			mark := l.JournalMark()
 			shiftsBefore := res.Shifts
-			cellShiftPass(l, threshER, pass%2 == 1, &res, moved)
-			m := exploitableMass(l, threshER)
+			e.passAdded = e.passAdded[:0]
+			e.pass(l, threshER, pass%2 == 1, &res, moved)
+			m := e.exploitableMass(l, threshER)
 			if m >= best {
 				// The pass piled mass against its blind spots (core edge
 				// or fixed cells): roll it back, try the other direction.
-				if err := l.AdoptPlacements(snap); err == nil {
-					res.Shifts = shiftsBefore
+				l.RollbackJournal(mark)
+				res.Shifts = shiftsBefore
+				for _, in := range e.passAdded {
+					delete(moved, in)
 				}
 				fails++
 				continue
@@ -73,9 +101,9 @@ func CellShiftWithOptions(l *layout.Layout, threshER int, dice bool) CellShiftRe
 		// Dicing stage: split what accumulated against the blind spots.
 		if dice {
 			budget := l.FreeSites()/threshER*2 + 64
-			res.DiceMoves += diceResidual(l, threshER, budget)
+			res.DiceMoves += e.diceResidual(l, threshER, budget)
 		}
-		if exploitableMass(l, threshER) >= before {
+		if e.exploitableMass(l, threshER) >= before {
 			break // the round made no net progress
 		}
 	}
@@ -85,203 +113,55 @@ func CellShiftWithOptions(l *layout.Layout, threshER int, dice bool) CellShiftRe
 
 // exploitableMass sums the weights of empty-site components at or above the
 // threshold over the whole layout (timing-agnostic: the operator's own
-// progress measure).
-func exploitableMass(l *layout.Layout, threshER int) int {
-	rows := make([][]freeRun, l.NumRows)
+// progress measure). The index and row buffers are reused across calls.
+func (e *shiftEngine) exploitableMass(l *layout.Layout, threshER int) int {
+	ix := &e.ix
+	ix.reset()
 	for r := 0; r < l.NumRows; r++ {
-		for _, run := range l.FreeRuns(r) {
-			rows[r] = append(rows[r], freeRun{run.Start, run.Len})
+		buf := ix.nextTopBuf()
+		e.runBuf = l.AppendFreeRuns(r, e.runBuf[:0])
+		for _, run := range e.runBuf {
+			buf = append(buf, freeRun{run.Start, run.Len})
 		}
+		ix.extend(buf)
 	}
-	ix := buildBelowIndex(rows)
-	mass := 0
-	for _, w := range ix.weight {
-		if w >= threshER {
-			mass += w
-		}
+	m := ix.mass(threshER)
+	if e.massTrace != nil {
+		*e.massTrace = append(*e.massTrace, m)
 	}
-	return mass
+	return m
 }
 
-// freeRun mirrors the paper's vertex v: a maximal run of contiguous empty
-// sites in one row, in mirrored coordinates when the pass is reversed.
-type freeRun struct {
-	start, length int
+// appendRowRuns appends the row's free runs to out in pass coordinates:
+// physical order for the forward pass, mirrored for the reverse pass.
+// FreeRuns scans left-to-right, so the mirrored list is produced ascending
+// by iterating backwards — no sort needed.
+func (e *shiftEngine) appendRowRuns(l *layout.Layout, row int, reverse bool, out []freeRun) []freeRun {
+	e.runBuf = l.AppendFreeRuns(row, e.runBuf[:0])
+	if reverse {
+		w := l.SitesPerRow
+		for i := len(e.runBuf) - 1; i >= 0; i-- {
+			r := e.runBuf[i]
+			out = append(out, freeRun{w - (r.Start + r.Len), r.Len})
+		}
+		return out
+	}
+	for _, r := range e.runBuf {
+		out = append(out, freeRun{r.Start, r.Len})
+	}
+	return out
 }
 
-// belowIndex collapses the empty-site graph of rows[0:i] (everything below
-// the row being processed) into, per row-(i−1) run, a component root and
-// per-root total weight. Those components are static while row i's cells
-// shift, so queries against them are cheap.
-type belowIndex struct {
-	topRuns []freeRun // runs of row i−1, ascending start
-	rootOf  []int     // component root id per topRuns entry
-	weight  map[int]int
-	// shareWeight holds each root's weight on the first topRun having that
-	// root (0 on the rest); rootLink chains topRuns sharing a root.
-	shareWeight []int
-	rootLink    []int
-	scratch     []int // reusable union-find arena for componentWeight
-}
-
-// buildBelowIndex runs union-find over all processed rows with merge-scan
-// adjacency, then projects roots and weights onto the highest processed row.
-func buildBelowIndex(rows [][]freeRun) *belowIndex {
-	ix := &belowIndex{weight: map[int]int{}}
-	if len(rows) == 0 {
-		return ix
-	}
-	offsets := make([]int, len(rows))
-	total := 0
-	for r, rr := range rows {
-		offsets[r] = total
-		total += len(rr)
-	}
-	parent := make([]int, total)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	for r := 1; r < len(rows); r++ {
-		lo, hi := rows[r-1], rows[r]
-		i, j := 0, 0
-		for i < len(lo) && j < len(hi) {
-			a, b := lo[i], hi[j]
-			if a.start < b.start+b.length && b.start < a.start+a.length {
-				ra, rb := find(offsets[r-1]+i), find(offsets[r]+j)
-				if ra != rb {
-					parent[ra] = rb
-				}
-			}
-			if a.start+a.length < b.start+b.length {
-				i++
-			} else {
-				j++
-			}
-		}
-	}
-	for r, rr := range rows {
-		for k, run := range rr {
-			ix.weight[find(offsets[r]+k)] += run.length
-		}
-	}
-	top := len(rows) - 1
-	ix.topRuns = rows[top]
-	ix.rootOf = make([]int, len(ix.topRuns))
-	ix.shareWeight = make([]int, len(ix.topRuns))
-	ix.rootLink = make([]int, len(ix.topRuns))
-	firstOf := map[int]int{}
-	for k := range ix.topRuns {
-		root := find(offsets[top] + k)
-		ix.rootOf[k] = root
-		if prev, ok := firstOf[root]; ok {
-			ix.rootLink[k] = prev
-		} else {
-			ix.rootLink[k] = -1
-			ix.shareWeight[k] = ix.weight[root]
-			firstOf[root] = k
-		}
-		if ix.rootLink[k] >= 0 {
-			// keep chaining to the most recent same-root topRun
-			firstOf[root] = k
-		}
-	}
-	return ix
-}
-
-// componentWeight returns w(compo(v)) for the current row's run at index
-// vIdx, over the graph G_{0,i}: the current row's runs bridged through the
-// collapsed below components. Cost is O(runs_i + runs_{i−1}), allocation
-// free (the union-find arena is reused across calls).
-func (ix *belowIndex) componentWeight(cur []freeRun, vIdx int) int {
-	n := len(cur)
-	m := len(ix.topRuns)
-	total := n + m
-	if cap(ix.scratch) < total {
-		ix.scratch = make([]int, total*2)
-	}
-	parent := ix.scratch[:total]
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
-	// topRuns sharing a below-root are connected through the rows below.
-	for k := 0; k < m; k++ {
-		if ix.rootLink[k] >= 0 {
-			union(n+k, n+ix.rootLink[k])
-		}
-	}
-	// Merge-scan current-row runs against row i−1 runs.
-	i, j := 0, 0
-	for i < m && j < n {
-		a, b := ix.topRuns[i], cur[j]
-		if a.start < b.start+b.length && b.start < a.start+a.length {
-			union(n+i, j)
-		}
-		if a.start+a.length < b.start+b.length {
-			i++
-		} else {
-			j++
-		}
-	}
-	target := find(vIdx)
-	w := 0
-	for k := 0; k < n; k++ {
-		if find(k) == target {
-			w += cur[k].length
-		}
-	}
-	for k := 0; k < m; k++ {
-		if ix.shareWeight[k] > 0 && find(n+k) == target {
-			w += ix.shareWeight[k]
-		}
-	}
-	return w
-}
-
-// cellShiftPass performs one directional pass. In mirrored space
-// (reverse=true) "shift left" means "shift right" physically, so a single
-// implementation covers both passes of the algorithm.
-func cellShiftPass(l *layout.Layout, threshER int, reverse bool, res *CellShiftResult, moved map[*netlist.Instance]bool) {
+// pass performs one directional pass. In mirrored space (reverse=true)
+// "shift left" means "shift right" physically, so a single implementation
+// covers both passes of the algorithm.
+func (e *shiftEngine) pass(l *layout.Layout, threshER int, reverse bool, res *CellShiftResult, moved map[*netlist.Instance]bool) {
 	w := l.SitesPerRow
 	phys := func(s int) int {
 		if reverse {
 			return w - 1 - s
 		}
 		return s
-	}
-	runsOfRow := func(row int) []freeRun {
-		raw := l.FreeRuns(row)
-		out := make([]freeRun, 0, len(raw))
-		for _, r := range raw {
-			if reverse {
-				out = append(out, freeRun{w - (r.Start + r.Len), r.Len})
-			} else {
-				out = append(out, freeRun{r.Start, r.Len})
-			}
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
-		return out
 	}
 	// Security-critical cells are preprocessed against removal or
 	// replacement, not against row-wise shifting: a few-site horizontal
@@ -306,10 +186,10 @@ func cellShiftPass(l *layout.Layout, threshER int, reverse bool, res *CellShiftR
 		return err
 	}
 
-	prevRuns := make([][]freeRun, 0, l.NumRows)
+	below := &e.ix
+	below.reset()
 	for row := 0; row < l.NumRows; row++ {
-		below := buildBelowIndex(prevRuns)
-		cur := runsOfRow(row)
+		cur := e.appendRowRuns(l, row, reverse, e.curBuf[:0])
 		j := 0
 		for j < len(cur) {
 			if below.componentWeight(cur, j) < threshER {
@@ -340,7 +220,10 @@ func cellShiftPass(l *layout.Layout, threshER int, reverse bool, res *CellShiftR
 					break
 				}
 				performed++
-				moved[cell] = true
+				if !moved[cell] {
+					moved[cell] = true
+					e.passAdded = append(e.passAdded, cell)
+				}
 				cur = shrinkAndSpill(cur, j, cell.Master.WidthSites)
 				if performed == vLen0 {
 					break // v vanished; slot j holds the successor run
@@ -353,14 +236,13 @@ func cellShiftPass(l *layout.Layout, threshER int, reverse bool, res *CellShiftR
 				j++
 			}
 		}
-		prevRuns = append(prevRuns, runsOfRow(row))
+		e.curBuf = cur[:0] // keep the (possibly grown) capacity
+		// Extend the index with the row's post-shift runs: it becomes the
+		// new top row of the processed graph.
+		below.extend(e.appendRowRuns(l, row, reverse, below.nextTopBuf()))
 	}
 }
 
-// shrinkAndSpillFromEdge updates the run list after the cell LEFT of the
-// edge-touching run j moved one site into it: run j loses its first site;
-// the freed site appears just before the cell, extending the preceding run
-// or creating one.
 // shrinkAndSpill updates the mirrored run list after the cell right of run
 // j moved one site toward it: run j loses its last site; the freed site
 // appears just past the cell, extending the following run or creating one.

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdsiiguard/internal/netlist"
+)
+
+// randomRows generates rows of random non-overlapping ascending free runs
+// over a width-W row, mimicking arbitrary occupancy patterns.
+func randomRows(rng *rand.Rand, nRows, width int) [][]freeRun {
+	rows := make([][]freeRun, nRows)
+	for r := range rows {
+		site := rng.Intn(4)
+		for site < width {
+			length := 1 + rng.Intn(10)
+			if site+length > width {
+				length = width - site
+			}
+			if rng.Intn(3) > 0 { // 2/3 of segments are free runs
+				rows[r] = append(rows[r], freeRun{site, length})
+			}
+			site += length + 1 + rng.Intn(6)
+		}
+	}
+	return rows
+}
+
+// TestBelowIndexIncrementalMatchesScratch is the property test of the
+// tentpole: extending the persistent belowIndex one row at a time must be
+// observationally identical to the seed's from-scratch rebuild — same
+// componentWeight for every query run of a probe row, same exploitable
+// mass — on randomized run layouts.
+func TestBelowIndexIncrementalMatchesScratch(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		width := 40 + rng.Intn(160)
+		rows := randomRows(rng, 3+rng.Intn(12), width)
+
+		var ix belowIndex
+		ix.reset()
+		for i, row := range rows {
+			buf := ix.nextTopBuf()
+			buf = append(buf, row...)
+			ix.extend(buf)
+
+			ref := refBuildBelowIndex(rows[:i+1])
+
+			// Exploitable mass at several thresholds.
+			for _, thresh := range []int{1, 5, 20, 50} {
+				want := 0
+				for _, w := range ref.weight {
+					if w >= thresh {
+						want += w
+					}
+				}
+				if got := ix.mass(thresh); got != want {
+					t.Fatalf("seed %d rows %d thresh %d: mass = %d, want %d", seed, i+1, thresh, got, want)
+				}
+			}
+
+			// componentWeight for every run of a random probe row.
+			probe := randomRows(rng, 1, width)[0]
+			for j := range probe {
+				want := ref.componentWeight(probe, j)
+				if got := ix.componentWeight(probe, j); got != want {
+					t.Fatalf("seed %d rows %d run %d: componentWeight = %d, want %d (probe %v)",
+						seed, i+1, j, got, want, probe)
+				}
+			}
+		}
+	}
+}
+
+// --- micro-benchmarks ----------------------------------------------------
+
+// BenchmarkCellShiftPass measures one directional pass plus its journal
+// rollback — the operator's hot loop — on a mid-size design. Allocations
+// per op should be near zero once the engine is warm.
+func BenchmarkCellShiftPass(b *testing.B) {
+	l := buildDesign(b, 12, 10, 0.6, 5)
+	var e shiftEngine
+	moved := map[*netlist.Instance]bool{}
+	l.BeginJournal()
+	defer l.EndJournal()
+	e.exploitableMass(l, 20) // warm the buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := l.JournalMark()
+		var res CellShiftResult
+		e.passAdded = e.passAdded[:0]
+		e.pass(l, 20, i%2 == 1, &res, moved)
+		l.RollbackJournal(mark)
+	}
+}
+
+// BenchmarkExploitableMass measures the whole-layout mass computation on
+// the warm incremental index.
+func BenchmarkExploitableMass(b *testing.B) {
+	l := buildDesign(b, 12, 10, 0.6, 5)
+	var e shiftEngine
+	e.exploitableMass(l, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.exploitableMass(l, 20)
+	}
+}
+
+// BenchmarkCellShift measures the full operator (rounds + dicing) on a
+// fresh clone per iteration, the shape RunCtx exercises.
+func BenchmarkCellShift(b *testing.B) {
+	l := buildDesign(b, 12, 10, 0.6, 5)
+	Preprocess(l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := l.Clone()
+		b.StartTimer()
+		CellShift(work, 20)
+	}
+}

@@ -1,0 +1,647 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gdsiiguard/internal/benchdesigns"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+)
+
+// This file carries a verbatim copy of the seed (pre-engine) Cell Shift
+// implementation — per-row from-scratch below-index rebuilds, Clone-based
+// pass rollback, per-pass whole-layout component labeling — as the golden
+// reference. The equivalence tests assert that the incremental engine
+// reproduces the reference's Shifts, DiceMoves, exploitable-mass
+// trajectory and final occupancy exactly, on randomized designs and on
+// the embedded benchmark suite.
+
+// refCellShiftWithOptions is the seed CellShiftWithOptions. trace, when
+// non-nil, records every exploitable-mass checkpoint in call order — the
+// same checkpoints the engine's massTrace hook records.
+func refCellShiftWithOptions(l *layout.Layout, threshER int, dice bool, trace *[]int) CellShiftResult {
+	var res CellShiftResult
+	moved := map[*netlist.Instance]bool{}
+	const maxRounds = 3
+	for round := 0; round < maxRounds; round++ {
+		before := refExploitableMass(l, threshER, trace)
+		if before == 0 {
+			break
+		}
+		best := before
+		fails := 0
+		for pass := 0; pass < maxCellShiftPasses && fails < 2; pass++ {
+			snap := l.Clone()
+			shiftsBefore := res.Shifts
+			refCellShiftPass(l, threshER, pass%2 == 1, &res, moved)
+			m := refExploitableMass(l, threshER, trace)
+			if m >= best {
+				if err := l.AdoptPlacements(snap); err == nil {
+					res.Shifts = shiftsBefore
+				}
+				fails++
+				continue
+			}
+			fails = 0
+			best = m
+		}
+		if dice {
+			budget := l.FreeSites()/threshER*2 + 64
+			res.DiceMoves += refDiceResidual(l, threshER, budget)
+		}
+		if refExploitableMass(l, threshER, trace) >= before {
+			break
+		}
+	}
+	res.CellsMoved = len(moved) + res.DiceMoves
+	return res
+}
+
+func refExploitableMass(l *layout.Layout, threshER int, trace *[]int) int {
+	rows := make([][]freeRun, l.NumRows)
+	for r := 0; r < l.NumRows; r++ {
+		for _, run := range l.FreeRuns(r) {
+			rows[r] = append(rows[r], freeRun{run.Start, run.Len})
+		}
+	}
+	ix := refBuildBelowIndex(rows)
+	mass := 0
+	for _, w := range ix.weight {
+		if w >= threshER {
+			mass += w
+		}
+	}
+	if trace != nil {
+		*trace = append(*trace, mass)
+	}
+	return mass
+}
+
+// refBelowIndex is the seed belowIndex: rebuilt from scratch per row.
+type refBelowIndex struct {
+	topRuns     []freeRun
+	rootOf      []int
+	weight      map[int]int
+	shareWeight []int
+	rootLink    []int
+	scratch     []int
+}
+
+func refBuildBelowIndex(rows [][]freeRun) *refBelowIndex {
+	ix := &refBelowIndex{weight: map[int]int{}}
+	if len(rows) == 0 {
+		return ix
+	}
+	offsets := make([]int, len(rows))
+	total := 0
+	for r, rr := range rows {
+		offsets[r] = total
+		total += len(rr)
+	}
+	parent := make([]int, total)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for r := 1; r < len(rows); r++ {
+		lo, hi := rows[r-1], rows[r]
+		i, j := 0, 0
+		for i < len(lo) && j < len(hi) {
+			a, b := lo[i], hi[j]
+			if a.start < b.start+b.length && b.start < a.start+a.length {
+				ra, rb := find(offsets[r-1]+i), find(offsets[r]+j)
+				if ra != rb {
+					parent[ra] = rb
+				}
+			}
+			if a.start+a.length < b.start+b.length {
+				i++
+			} else {
+				j++
+			}
+		}
+	}
+	for r, rr := range rows {
+		for k, run := range rr {
+			ix.weight[find(offsets[r]+k)] += run.length
+		}
+	}
+	top := len(rows) - 1
+	ix.topRuns = rows[top]
+	ix.rootOf = make([]int, len(ix.topRuns))
+	ix.shareWeight = make([]int, len(ix.topRuns))
+	ix.rootLink = make([]int, len(ix.topRuns))
+	firstOf := map[int]int{}
+	for k := range ix.topRuns {
+		root := find(offsets[top] + k)
+		ix.rootOf[k] = root
+		if prev, ok := firstOf[root]; ok {
+			ix.rootLink[k] = prev
+		} else {
+			ix.rootLink[k] = -1
+			ix.shareWeight[k] = ix.weight[root]
+			firstOf[root] = k
+		}
+		if ix.rootLink[k] >= 0 {
+			firstOf[root] = k
+		}
+	}
+	return ix
+}
+
+func (ix *refBelowIndex) componentWeight(cur []freeRun, vIdx int) int {
+	n := len(cur)
+	m := len(ix.topRuns)
+	total := n + m
+	if cap(ix.scratch) < total {
+		ix.scratch = make([]int, total*2)
+	}
+	parent := ix.scratch[:total]
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for k := 0; k < m; k++ {
+		if ix.rootLink[k] >= 0 {
+			union(n+k, n+ix.rootLink[k])
+		}
+	}
+	i, j := 0, 0
+	for i < m && j < n {
+		a, b := ix.topRuns[i], cur[j]
+		if a.start < b.start+b.length && b.start < a.start+a.length {
+			union(n+i, j)
+		}
+		if a.start+a.length < b.start+b.length {
+			i++
+		} else {
+			j++
+		}
+	}
+	target := find(vIdx)
+	w := 0
+	for k := 0; k < n; k++ {
+		if find(k) == target {
+			w += cur[k].length
+		}
+	}
+	for k := 0; k < m; k++ {
+		if ix.shareWeight[k] > 0 && find(n+k) == target {
+			w += ix.shareWeight[k]
+		}
+	}
+	return w
+}
+
+func refCellShiftPass(l *layout.Layout, threshER int, reverse bool, res *CellShiftResult, moved map[*netlist.Instance]bool) {
+	w := l.SitesPerRow
+	phys := func(s int) int {
+		if reverse {
+			return w - 1 - s
+		}
+		return s
+	}
+	runsOfRow := func(row int) []freeRun {
+		raw := l.FreeRuns(row)
+		out := make([]freeRun, 0, len(raw))
+		for _, r := range raw {
+			if reverse {
+				out = append(out, freeRun{w - (r.Start + r.Len), r.Len})
+			} else {
+				out = append(out, freeRun{r.Start, r.Len})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+		return out
+	}
+	shift := func(cell *netlist.Instance) error {
+		unlocked := false
+		if cell.Fixed && cell.SecurityCritical {
+			cell.Fixed = false
+			unlocked = true
+		}
+		var err error
+		if reverse {
+			err = l.ShiftRight(cell)
+		} else {
+			err = l.ShiftLeft(cell)
+		}
+		if unlocked {
+			cell.Fixed = true
+		}
+		return err
+	}
+
+	prevRuns := make([][]freeRun, 0, l.NumRows)
+	for row := 0; row < l.NumRows; row++ {
+		below := refBuildBelowIndex(prevRuns)
+		cur := runsOfRow(row)
+		j := 0
+		for j < len(cur) {
+			if below.componentWeight(cur, j) < threshER {
+				j++
+				continue
+			}
+			cellSite := cur[j].start + cur[j].length
+			if cellSite >= w {
+				j++
+				continue
+			}
+			cell := l.At(row, phys(cellSite))
+			if cell == nil || (cell.Fixed && !cell.SecurityCritical) {
+				j++
+				continue
+			}
+			vLen0 := cur[j].length
+			performed := 0
+			for performed < vLen0 && below.componentWeight(cur, j) >= threshER {
+				if err := shift(cell); err != nil {
+					break
+				}
+				performed++
+				moved[cell] = true
+				cur = shrinkAndSpill(cur, j, cell.Master.WidthSites)
+				if performed == vLen0 {
+					break
+				}
+			}
+			res.Shifts += performed
+			if performed < vLen0 {
+				j++
+			}
+		}
+		prevRuns = append(prevRuns, runsOfRow(row))
+	}
+}
+
+func refFullComponents(l *layout.Layout) ([]fullRun, []int) {
+	var runs []fullRun
+	rowIdx := make([][]int, l.NumRows)
+	for r := 0; r < l.NumRows; r++ {
+		for _, run := range l.FreeRuns(r) {
+			rowIdx[r] = append(rowIdx[r], len(runs))
+			runs = append(runs, fullRun{row: r, start: run.Start, length: run.Len})
+		}
+	}
+	parent := make([]int, len(runs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for r := 1; r < l.NumRows; r++ {
+		lo, hi := rowIdx[r-1], rowIdx[r]
+		i, j := 0, 0
+		for i < len(lo) && j < len(hi) {
+			a, b := runs[lo[i]], runs[hi[j]]
+			if a.start < b.start+b.length && b.start < a.start+a.length {
+				ra, rb := find(lo[i]), find(hi[j])
+				if ra != rb {
+					parent[ra] = rb
+				}
+			}
+			if a.start+a.length < b.start+b.length {
+				i++
+			} else {
+				j++
+			}
+		}
+	}
+	weights := make([]int, len(runs))
+	for i := range runs {
+		runs[i].comp = find(i)
+		weights[runs[i].comp] += runs[i].length
+	}
+	return runs, weights
+}
+
+func refDiceResidual(l *layout.Layout, threshER, maxMoves int) int {
+	moves := 0
+	skipped := map[[2]int]bool{}
+	for attempts := 0; moves < maxMoves && attempts < 2*maxMoves; attempts++ {
+		runs, weights := refFullComponents(l)
+		mass, phi := exploitablePotential(weights, threshER)
+		if mass == 0 {
+			return moves
+		}
+		target := refPickTarget(runs, weights, threshER, skipped)
+		if target == nil {
+			return moves
+		}
+		cands := refDonorCandidates(l, runs, weights, threshER, target, 4)
+		accepted := false
+		for _, donor := range cands {
+			old := l.PlacementOf(donor)
+			at := splitPosition(target, donor.Master.WidthSites, threshER)
+			if at < 0 {
+				break
+			}
+			if err := l.Place(donor, target.row, at); err != nil {
+				continue
+			}
+			_, phi2 := exploitablePotential(refWeightsOf(l), threshER)
+			if phi2 < phi {
+				moves++
+				accepted = true
+				skipped = map[[2]int]bool{}
+				break
+			}
+			if err := l.Place(donor, old.Row, old.Site); err != nil {
+				moves++
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			skipped[[2]int{target.row, target.start}] = true
+		}
+	}
+	return moves
+}
+
+func refWeightsOf(l *layout.Layout) []int {
+	_, w := refFullComponents(l)
+	return w
+}
+
+func refPickTarget(runs []fullRun, weights []int, threshER int, skipped map[[2]int]bool) *fullRun {
+	var best *fullRun
+	bestW := 0
+	for i := range runs {
+		r := &runs[i]
+		w := weights[r.comp]
+		if w < threshER || r.length < 3 || skipped[[2]int{r.row, r.start}] {
+			continue
+		}
+		if best == nil || w > bestW || (w == bestW && r.length > best.length) {
+			best, bestW = r, w
+		}
+	}
+	return best
+}
+
+func refDonorCandidates(l *layout.Layout, runs []fullRun, weights []int, threshER int, target *fullRun, n int) []*netlist.Instance {
+	byRow := make(map[int][]fullRun)
+	for _, r := range runs {
+		byRow[r.row] = append(byRow[r.row], r)
+	}
+	compAt := func(row, site int) (int, bool) {
+		rr := byRow[row]
+		i := sort.Search(len(rr), func(k int) bool { return rr[k].start+rr[k].length > site })
+		if i < len(rr) && site >= rr[i].start {
+			return rr[i].comp, true
+		}
+		return 0, false
+	}
+	type cand struct {
+		in   *netlist.Instance
+		dist int
+		tier int
+	}
+	var cands []cand
+	const donorRowWindow = 14
+	seenInst := map[*netlist.Instance]bool{}
+	var pool []*netlist.Instance
+	for r := target.row - donorRowWindow; r <= target.row+donorRowWindow; r++ {
+		if r < 0 || r >= l.NumRows {
+			continue
+		}
+		for _, in := range l.RowCells(r) {
+			if !seenInst[in] {
+				seenInst[in] = true
+				pool = append(pool, in)
+			}
+		}
+	}
+	for _, in := range pool {
+		if in.Fixed || !in.Master.IsFunctional() {
+			continue
+		}
+		p := l.PlacementOf(in)
+		if !p.Placed || in.Master.WidthSites >= target.length {
+			continue
+		}
+		joint := in.Master.WidthSites
+		seen := map[int]bool{}
+		touches := false
+		add := func(c int) {
+			if !seen[c] {
+				seen[c] = true
+				joint += weights[c]
+				if c == target.comp {
+					touches = true
+				}
+			}
+		}
+		if c, ok := compAt(p.Row, p.Site-1); ok {
+			add(c)
+		}
+		if c, ok := compAt(p.Row, p.Site+in.Master.WidthSites); ok {
+			add(c)
+		}
+		for _, r := range []int{p.Row - 1, p.Row + 1} {
+			for _, run := range byRow[r] {
+				if run.start < p.Site+in.Master.WidthSites && p.Site < run.start+run.length {
+					add(run.comp)
+				}
+			}
+		}
+		tier := 2
+		switch {
+		case joint < threshER:
+			tier = 0
+		case touches:
+			tier = 1
+		}
+		d := abs(p.Row-target.row)*8 + abs(p.Site-target.start)
+		cands = append(cands, cand{in, d, tier})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].tier != cands[j].tier {
+			return cands[i].tier < cands[j].tier
+		}
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].in.ID < cands[j].in.ID
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]*netlist.Instance, len(cands))
+	for i, c := range cands {
+		out[i] = c.in
+	}
+	return out
+}
+
+// --- equivalence harness -------------------------------------------------
+
+// assertGoldenEquivalence runs the reference and the engine on clones of l
+// and asserts identical Shifts/DiceMoves, identical exploitable-mass
+// trajectory, and bit-identical final occupancy. CellsMoved is compared
+// as ≤ the reference, which over-counts cells touched only by rolled-back
+// passes (the bug the engine fixes).
+func assertGoldenEquivalence(t *testing.T, label string, l *layout.Layout, threshER int, dice bool) {
+	t.Helper()
+	refL, newL := l.Clone(), l.Clone()
+	Preprocess(refL)
+	Preprocess(newL)
+
+	var refTrace []int
+	refRes := refCellShiftWithOptions(refL, threshER, dice, &refTrace)
+
+	var newTrace []int
+	var e shiftEngine
+	e.massTrace = &newTrace
+	newRes := e.run(newL, threshER, dice)
+
+	if newRes.Shifts != refRes.Shifts {
+		t.Errorf("%s: Shifts = %d, reference %d", label, newRes.Shifts, refRes.Shifts)
+	}
+	if newRes.DiceMoves != refRes.DiceMoves {
+		t.Errorf("%s: DiceMoves = %d, reference %d", label, newRes.DiceMoves, refRes.DiceMoves)
+	}
+	if newRes.CellsMoved > refRes.CellsMoved {
+		t.Errorf("%s: CellsMoved = %d > reference %d", label, newRes.CellsMoved, refRes.CellsMoved)
+	}
+	if len(newTrace) != len(refTrace) {
+		t.Errorf("%s: mass trajectory length %d, reference %d\n new %v\n ref %v",
+			label, len(newTrace), len(refTrace), newTrace, refTrace)
+	} else {
+		for i := range refTrace {
+			if newTrace[i] != refTrace[i] {
+				t.Errorf("%s: mass trajectory diverges at %d: %d vs %d\n new %v\n ref %v",
+					label, i, newTrace[i], refTrace[i], newTrace, refTrace)
+				break
+			}
+		}
+	}
+	// Final occupancy: identical placement per instance (Clone preserves
+	// instance order, so index i is the same cell in both).
+	for i, in := range refL.Netlist.Insts {
+		want := refL.PlacementOf(in)
+		got := newL.PlacementOf(newL.Netlist.Insts[i])
+		if got != want {
+			t.Errorf("%s: %s placed at %+v, reference %+v", label, in.Name, got, want)
+		}
+	}
+	if err := newL.Validate(); err != nil {
+		t.Errorf("%s: engine left invalid layout: %v", label, err)
+	}
+}
+
+// TestCellShiftGoldenRandomized compares engine vs reference on randomized
+// globally-placed designs across utilizations and both dice settings.
+func TestCellShiftGoldenRandomized(t *testing.T) {
+	cases := []struct {
+		chains, stages int
+		util           float64
+		seed           int64
+	}{
+		{6, 5, 0.45, 1},
+		{8, 7, 0.60, 2},
+		{10, 6, 0.72, 3},
+		{4, 12, 0.55, 4},
+	}
+	for _, c := range cases {
+		l := buildDesign(t, c.chains, c.stages, c.util, c.seed)
+		for _, dice := range []bool{false, true} {
+			for _, thresh := range []int{10, 20, 40} {
+				label := fmt.Sprintf("seed=%d util=%.2f thresh=%d dice=%v", c.seed, c.util, thresh, dice)
+				assertGoldenEquivalence(t, label, l, thresh, dice)
+			}
+		}
+	}
+}
+
+// TestCellShiftGoldenBenchdesigns compares engine vs reference on embedded
+// benchmark designs (the operator's real workloads). The larger designs
+// make the O(R²) reference slow, so the full sweep is reserved for
+// non-short runs.
+func TestCellShiftGoldenBenchdesigns(t *testing.T) {
+	designs := []string{"PRESENT"}
+	if !testing.Short() {
+		designs = append(designs, "openMSP430_1", "MISTY", "TDEA", "SPARX", "Camellia")
+	}
+	for _, name := range designs {
+		d, err := benchdesigns.Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertGoldenEquivalence(t, name, d.Layout, 20, true)
+	}
+}
+
+// TestCellShiftCellsMovedRollback is the regression test for the seed's
+// CellsMoved over-count: a pass that is rolled back must not leave its
+// cells in the moved set. The scenario: row 0 entirely free, row 1 holding
+// one movable cell mid-row. Each directional pass drags the cell to a wall
+// without changing the exploitable mass, so every pass rolls back — the
+// correct CellsMoved is 0. The seed implementation reports 1 (this test
+// fails against it).
+func TestCellShiftCellsMovedRollback(t *testing.T) {
+	l := openLayout(t, 2, 40, 0)
+	nlib := l.Netlist
+	in, err := nlib.AddInstance("lone", "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := nlib.AddNet("lone_a")
+	pa, _ := nlib.AddPort("lone_pa", netlist.In)
+	_ = nlib.ConnectPort(pa, a)
+	z, _ := nlib.AddNet("lone_z")
+	pz, _ := nlib.AddPort("lone_pz", netlist.Out)
+	_ = nlib.ConnectPort(pz, z)
+	_ = nlib.Connect(in, "A", a)
+	_ = nlib.Connect(in, "ZN", z)
+	if err := l.Place(in, 1, 19); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scenario must actually exercise the bug: the seed reference
+	// counts the rolled-back cell as moved.
+	if refRes := refCellShiftWithOptions(l.Clone(), 10, false, nil); refRes.CellsMoved != 1 {
+		t.Fatalf("scenario lost its teeth: reference CellsMoved = %d, want 1", refRes.CellsMoved)
+	}
+
+	res := CellShiftWithOptions(l, 10, false)
+	if res.CellsMoved != 0 {
+		t.Errorf("CellsMoved = %d, want 0 (all passes rolled back)", res.CellsMoved)
+	}
+	if res.Shifts != 0 {
+		t.Errorf("Shifts = %d, want 0 after rollbacks", res.Shifts)
+	}
+	// The cell must be back at its original site.
+	if p := l.PlacementOf(in); p.Row != 1 || p.Site != 19 {
+		t.Errorf("cell not restored: %+v", p)
+	}
+}

@@ -27,38 +27,99 @@ type fullRun struct {
 	comp               int
 }
 
-// fullComponents labels every free run of the layout with a component id
-// and returns the runs plus per-component weights.
-func fullComponents(l *layout.Layout) ([]fullRun, []int) {
-	var runs []fullRun
-	rowIdx := make([][]int, l.NumRows)
+// compBuf holds one whole-layout component labeling with all its storage
+// reusable across dicing attempts: runs in row-major order (row r occupies
+// runs[rowStart[r]:rowStart[r+1]]), a union-find arena, and per-root
+// weights (indexed by run id, valid at component roots).
+type compBuf struct {
+	runs     []fullRun
+	rowStart []int
+	parent   []int
+	weights  []int
+}
+
+// diceRowCache memoizes per-row occupancy scans (free runs and cell
+// lists) across dicing attempts. A dice probe moves one donor, touching at
+// most two rows; every other row's scan stays valid, so rebuilding the
+// whole-layout labeling after a probe re-scans only the changed rows.
+type diceRowCache struct {
+	runs       [][]layout.SiteRun
+	cells      [][]*netlist.Instance
+	runsValid  []bool
+	cellsValid []bool
+}
+
+// reset invalidates every row (storage is kept) for a new dicing stage.
+func (rc *diceRowCache) reset(nRows int) {
+	if cap(rc.runs) < nRows {
+		rc.runs = make([][]layout.SiteRun, nRows)
+		rc.cells = make([][]*netlist.Instance, nRows)
+		rc.runsValid = make([]bool, nRows)
+		rc.cellsValid = make([]bool, nRows)
+	}
+	rc.runs = rc.runs[:nRows]
+	rc.cells = rc.cells[:nRows]
+	rc.runsValid = rc.runsValid[:nRows]
+	rc.cellsValid = rc.cellsValid[:nRows]
+	for r := range rc.runsValid {
+		rc.runsValid[r] = false
+		rc.cellsValid[r] = false
+	}
+}
+
+// invalidate marks one row's scans stale (after a cell moved in it).
+func (rc *diceRowCache) invalidate(row int) {
+	if row >= 0 && row < len(rc.runsValid) {
+		rc.runsValid[row] = false
+		rc.cellsValid[row] = false
+	}
+}
+
+func (rc *diceRowCache) rowRuns(l *layout.Layout, r int) []layout.SiteRun {
+	if !rc.runsValid[r] {
+		rc.runs[r] = l.AppendFreeRuns(r, rc.runs[r][:0])
+		rc.runsValid[r] = true
+	}
+	return rc.runs[r]
+}
+
+func (rc *diceRowCache) rowCells(l *layout.Layout, r int) []*netlist.Instance {
+	if !rc.cellsValid[r] {
+		rc.cells[r] = l.AppendRowCells(r, rc.cells[r][:0])
+		rc.cellsValid[r] = true
+	}
+	return rc.cells[r]
+}
+
+// build labels every free run of the layout with a component id and fills
+// the per-component weights, reusing the buffer's storage. Row scans come
+// from the cache, so only rows that changed since the last build hit the
+// occupancy grid.
+func (c *compBuf) build(l *layout.Layout, rc *diceRowCache) {
+	c.runs = c.runs[:0]
+	c.rowStart = c.rowStart[:0]
 	for r := 0; r < l.NumRows; r++ {
-		for _, run := range l.FreeRuns(r) {
-			rowIdx[r] = append(rowIdx[r], len(runs))
-			runs = append(runs, fullRun{row: r, start: run.Start, length: run.Len})
+		c.rowStart = append(c.rowStart, len(c.runs))
+		for _, run := range rc.rowRuns(l, r) {
+			c.runs = append(c.runs, fullRun{row: r, start: run.Start, length: run.Len})
 		}
 	}
-	parent := make([]int, len(runs))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
+	c.rowStart = append(c.rowStart, len(c.runs))
+
+	c.parent = sized(c.parent, len(c.runs))
+	for i := range c.parent {
+		c.parent[i] = i
 	}
 	for r := 1; r < l.NumRows; r++ {
-		lo, hi := rowIdx[r-1], rowIdx[r]
-		i, j := 0, 0
-		for i < len(lo) && j < len(hi) {
-			a, b := runs[lo[i]], runs[hi[j]]
+		lo0, lo1 := c.rowStart[r-1], c.rowStart[r]
+		hi0, hi1 := c.rowStart[r], c.rowStart[r+1]
+		i, j := lo0, hi0
+		for i < lo1 && j < hi1 {
+			a, b := c.runs[i], c.runs[j]
 			if a.start < b.start+b.length && b.start < a.start+a.length {
-				ra, rb := find(lo[i]), find(hi[j])
+				ra, rb := c.find(i), c.find(j)
 				if ra != rb {
-					parent[ra] = rb
+					c.parent[ra] = rb
 				}
 			}
 			if a.start+a.length < b.start+b.length {
@@ -68,12 +129,63 @@ func fullComponents(l *layout.Layout) ([]fullRun, []int) {
 			}
 		}
 	}
-	weights := make([]int, len(runs))
-	for i := range runs {
-		runs[i].comp = find(i)
-		weights[runs[i].comp] += runs[i].length
+	c.weights = sized(c.weights, len(c.runs))
+	for i := range c.weights {
+		c.weights[i] = 0
 	}
-	return runs, weights
+	for i := range c.runs {
+		c.runs[i].comp = c.find(i)
+		c.weights[c.runs[i].comp] += c.runs[i].length
+	}
+}
+
+func (c *compBuf) find(x int) int {
+	for c.parent[x] != x {
+		c.parent[x] = c.parent[c.parent[x]]
+		x = c.parent[x]
+	}
+	return x
+}
+
+// rowRuns returns the runs of one row (empty slice outside the core).
+func (c *compBuf) rowRuns(r int) []fullRun {
+	if r < 0 || r+1 >= len(c.rowStart) {
+		return nil
+	}
+	return c.runs[c.rowStart[r]:c.rowStart[r+1]]
+}
+
+// diceScratch is the reusable state of the dicing stage: the attempt's
+// component labeling (a), a second buffer (b) for the post-probe
+// potential recomputation (which must not clobber the attempt's runs),
+// and the donor-scan scratch.
+type diceScratch struct {
+	a, b  compBuf
+	cache diceRowCache
+
+	seenComps []int
+	cands     []diceCand
+	donors    []*netlist.Instance
+}
+
+// diceCand is one scored donor candidate: tier 0 = safe (vacancy stays
+// sub-threshold), 1 = split (vacancy rejoins the target region), 2 =
+// last-resort; ties broken by distance then instance ID — a strict total
+// order, so bounded selection equals full sort + truncate.
+type diceCand struct {
+	in   *netlist.Instance
+	dist int
+	tier int
+}
+
+func (a diceCand) before(b diceCand) bool {
+	if a.tier != b.tier {
+		return a.tier < b.tier
+	}
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.in.ID < b.in.ID
 }
 
 // exploitablePotential returns the total exploitable mass and a quadratic
@@ -93,22 +205,33 @@ func exploitablePotential(weights []int, threshER int) (mass int, phi float64) {
 // diceResidual splits residual exploitable regions by relocating donor
 // cells into their longest runs, keeping only moves that strictly reduce
 // the global exploitable mass. It returns the number of cells relocated.
-func diceResidual(l *layout.Layout, threshER, maxMoves int) int {
+func (e *shiftEngine) diceResidual(l *layout.Layout, threshER, maxMoves int) int {
+	d := &e.dice
 	moves := 0
 	skipped := map[[2]int]bool{} // (row,start) of a given-up target run
+	// The row cache starts cold: the row passes just moved cells anywhere.
+	d.cache.reset(l.NumRows)
 	// Attempts (including rejected probes) are bounded separately from
 	// accepted moves so pathological landscapes cannot stall the flow.
+	var mass int
+	var phi float64
+	dirty := true // labeling stale: the layout changed since d.a was built
 	for attempts := 0; moves < maxMoves && attempts < 2*maxMoves; attempts++ {
-		runs, weights := fullComponents(l)
-		mass, phi := exploitablePotential(weights, threshER)
+		if dirty {
+			// A rejected attempt reverts every probe, so the labeling of
+			// the previous attempt is still exact and is reused.
+			d.a.build(l, &d.cache)
+			mass, phi = exploitablePotential(d.a.weights, threshER)
+			dirty = false
+		}
 		if mass == 0 {
 			return moves
 		}
-		target := pickTarget(runs, weights, threshER, skipped)
+		target := pickTarget(&d.a, threshER, skipped)
 		if target == nil {
 			return moves
 		}
-		cands := donorCandidates(l, runs, weights, threshER, target, 4)
+		cands := e.donorCandidates(l, &d.a, threshER, target, 4)
 		accepted := false
 		for _, donor := range cands {
 			old := l.PlacementOf(donor)
@@ -119,8 +242,10 @@ func diceResidual(l *layout.Layout, threshER, maxMoves int) int {
 			if err := l.Place(donor, target.row, at); err != nil {
 				continue
 			}
-			_, w2 := fullComponents(l)
-			_, phi2 := exploitablePotential(w2, threshER)
+			d.cache.invalidate(old.Row)
+			d.cache.invalidate(target.row)
+			d.b.build(l, &d.cache)
+			_, phi2 := exploitablePotential(d.b.weights, threshER)
 			if phi2 < phi {
 				moves++
 				accepted = true
@@ -137,8 +262,12 @@ func diceResidual(l *layout.Layout, threshER, maxMoves int) int {
 				accepted = true
 				break
 			}
+			d.cache.invalidate(old.Row)
+			d.cache.invalidate(target.row)
 		}
-		if !accepted {
+		if accepted {
+			dirty = true
+		} else {
 			skipped[[2]int{target.row, target.start}] = true
 		}
 	}
@@ -147,12 +276,12 @@ func diceResidual(l *layout.Layout, threshER, maxMoves int) int {
 
 // pickTarget returns the longest run of the heaviest exploitable component
 // that has not been given up on.
-func pickTarget(runs []fullRun, weights []int, threshER int, skipped map[[2]int]bool) *fullRun {
+func pickTarget(c *compBuf, threshER int, skipped map[[2]int]bool) *fullRun {
 	var best *fullRun
 	bestW := 0
-	for i := range runs {
-		r := &runs[i]
-		w := weights[r.comp]
+	for i := range c.runs {
+		r := &c.runs[i]
+		w := c.weights[r.comp]
 		if w < threshER || r.length < 3 || skipped[[2]int{r.row, r.start}] {
 			continue
 		}
@@ -184,100 +313,99 @@ func splitPosition(target *fullRun, width, threshER int) int {
 
 // donorCandidates collects up to n donor cells: safe donors (vacating them
 // creates only sub-threshold gaps) and split donors (cells bordering the
-// target component), nearest to the target first.
-func donorCandidates(l *layout.Layout, runs []fullRun, weights []int, threshER int, target *fullRun, n int) []*netlist.Instance {
-	byRow := map[int][]fullRun{}
-	for _, r := range runs {
-		byRow[r.row] = append(byRow[r.row], r)
-	}
+// target component), nearest to the target first. The scan is the dicing
+// stage's hot loop, so it runs allocation-free on the engine's scratch:
+// a bounded best-n insertion replaces the full sort (identical result —
+// the (tier, dist, ID) order is strict and total), and per-cell neighbor
+// lookups binary-search the overlap window instead of scanning whole rows.
+func (e *shiftEngine) donorCandidates(l *layout.Layout, c *compBuf, threshER int, target *fullRun, n int) []*netlist.Instance {
+	d := &e.dice
 	compAt := func(row, site int) (int, bool) {
-		rr := byRow[row]
+		rr := c.rowRuns(row)
 		i := sort.Search(len(rr), func(k int) bool { return rr[k].start+rr[k].length > site })
 		if i < len(rr) && site >= rr[i].start {
 			return rr[i].comp, true
 		}
 		return 0, false
 	}
-	type cand struct {
-		in   *netlist.Instance
-		dist int
-		tier int // 0 safe, 1 split, 2 last-resort
+	best := d.cands[:0]
+	consider := func(cd diceCand) {
+		if len(best) == n {
+			if !cd.before(best[n-1]) {
+				return
+			}
+			best = best[:n-1]
+		}
+		i := len(best)
+		best = append(best, cd)
+		for i > 0 && cd.before(best[i-1]) {
+			best[i] = best[i-1]
+			i--
+		}
+		best[i] = cd
 	}
-	var cands []cand
 	// Donor scan is restricted to a row window around the target: distant
-	// donors would pay too much wirelength anyway.
+	// donors would pay too much wirelength anyway. A placed cell lives in
+	// exactly one row, so the row sweep visits each candidate once.
 	const donorRowWindow = 14
-	seenInst := map[*netlist.Instance]bool{}
-	var pool []*netlist.Instance
 	for r := target.row - donorRowWindow; r <= target.row+donorRowWindow; r++ {
 		if r < 0 || r >= l.NumRows {
 			continue
 		}
-		for _, in := range l.RowCells(r) {
-			if !seenInst[in] {
-				seenInst[in] = true
-				pool = append(pool, in)
+		for _, in := range d.cache.rowCells(l, r) {
+			if in.Fixed || !in.Master.IsFunctional() {
+				continue
 			}
-		}
-	}
-	for _, in := range pool {
-		if in.Fixed || !in.Master.IsFunctional() {
-			continue
-		}
-		p := l.PlacementOf(in)
-		if !p.Placed || in.Master.WidthSites >= target.length {
-			continue
-		}
-		joint := in.Master.WidthSites
-		seen := map[int]bool{}
-		touches := false
-		add := func(c int) {
-			if !seen[c] {
-				seen[c] = true
-				joint += weights[c]
-				if c == target.comp {
+			p := l.PlacementOf(in)
+			if !p.Placed || in.Master.WidthSites >= target.length {
+				continue
+			}
+			joint := in.Master.WidthSites
+			seen := d.seenComps[:0]
+			touches := false
+			add := func(cc int) {
+				for _, s := range seen {
+					if s == cc {
+						return
+					}
+				}
+				seen = append(seen, cc)
+				joint += c.weights[cc]
+				if cc == target.comp {
 					touches = true
 				}
 			}
-		}
-		if c, ok := compAt(p.Row, p.Site-1); ok {
-			add(c)
-		}
-		if c, ok := compAt(p.Row, p.Site+in.Master.WidthSites); ok {
-			add(c)
-		}
-		for _, r := range []int{p.Row - 1, p.Row + 1} {
-			for _, run := range byRow[r] {
-				if run.start < p.Site+in.Master.WidthSites && p.Site < run.start+run.length {
-					add(run.comp)
+			if cc, ok := compAt(p.Row, p.Site-1); ok {
+				add(cc)
+			}
+			if cc, ok := compAt(p.Row, p.Site+in.Master.WidthSites); ok {
+				add(cc)
+			}
+			right := p.Site + in.Master.WidthSites
+			for _, rr := range [2]int{p.Row - 1, p.Row + 1} {
+				runs := c.rowRuns(rr)
+				k := sort.Search(len(runs), func(i int) bool { return runs[i].start+runs[i].length > p.Site })
+				for ; k < len(runs) && runs[k].start < right; k++ {
+					add(runs[k].comp)
 				}
 			}
+			d.seenComps = seen[:0] // keep grown capacity
+			tier := 2
+			switch {
+			case joint < threshER:
+				tier = 0 // safe: vacancy stays sub-threshold
+			case touches:
+				tier = 1 // split: vacancy rejoins the target region
+			}
+			dist := abs(p.Row-target.row)*8 + abs(p.Site-target.start)
+			consider(diceCand{in, dist, tier})
 		}
-		tier := 2
-		switch {
-		case joint < threshER:
-			tier = 0 // safe: vacancy stays sub-threshold
-		case touches:
-			tier = 1 // split: vacancy rejoins the target region
-		}
-		d := abs(p.Row-target.row)*8 + abs(p.Site-target.start)
-		cands = append(cands, cand{in, d, tier})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].tier != cands[j].tier {
-			return cands[i].tier < cands[j].tier
-		}
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
-		}
-		return cands[i].in.ID < cands[j].in.ID
-	})
-	if len(cands) > n {
-		cands = cands[:n]
+	d.cands = best[:0] // keep capacity for the next attempt
+	out := d.donors[:0]
+	for _, cd := range best {
+		out = append(out, cd.in)
 	}
-	out := make([]*netlist.Instance, len(cands))
-	for i, c := range cands {
-		out[i] = c.in
-	}
+	d.donors = out
 	return out
 }

@@ -45,6 +45,26 @@ func openLayout(t *testing.T, rows, sites, nCells int) *layout.Layout {
 
 func names(i int) string { return "c" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
 
+// fullComponents is the test-side convenience wrapper over compBuf.build.
+func fullComponents(l *layout.Layout) ([]fullRun, []int) {
+	var c compBuf
+	var rc diceRowCache
+	rc.reset(l.NumRows)
+	c.build(l, &rc)
+	return c.runs, c.weights
+}
+
+// diceResidual / exploitableMass on a throwaway engine.
+func diceResidual(l *layout.Layout, threshER, maxMoves int) int {
+	var e shiftEngine
+	return e.diceResidual(l, threshER, maxMoves)
+}
+
+func exploitableMass(l *layout.Layout, threshER int) int {
+	var e shiftEngine
+	return e.exploitableMass(l, threshER)
+}
+
 func TestFullComponentsLabeling(t *testing.T) {
 	l := openLayout(t, 3, 40, 3) // cells at (0,0),(1,0),(2,0), rest free
 	runs, weights := fullComponents(l)

@@ -203,15 +203,20 @@ func Run(base *Baseline, p Params) (*Result, error) {
 // bad evaluation can be retried or degraded by callers instead of taking
 // down a whole exploration.
 func RunCtx(ctx context.Context, base *Baseline, p Params) (*Result, error) {
-	cfg := base.Config
 	if err := p.Validate(base.Layout.Lib().NumLayers()); err != nil {
 		return nil, &FlowError{Stage: StageValidate, Class: ClassPermanent, Err: err}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return runOn(ctx, base, base.Layout.Clone(), p)
+}
+
+// runOn applies the flow to an already-materialized working layout (a fresh
+// clone for RunCtx, the reusable arena for Scratch). The layout is mutated.
+func runOn(ctx context.Context, base *Baseline, l *layout.Layout, p Params) (*Result, error) {
+	cfg := base.Config
 	start := time.Now()
-	l := base.Layout.Clone()
 	Preprocess(l)
 
 	res := &Result{Layout: l, Params: p.Clone()}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sameMetrics compares every metric except the wall-clock Runtime.
+func sameMetrics(t *testing.T, label string, got, want Metrics) {
+	t.Helper()
+	got.Runtime, want.Runtime = 0, 0
+	if got != want {
+		t.Errorf("%s: metrics diverge:\n got  %+v\n want %+v", label, got, want)
+	}
+}
+
+// TestScratchMatchesRun is the scratch path's equivalence gate: for a mix
+// of CS and LDA parameter vectors, evaluating on a reused Scratch must
+// produce exactly the metrics of the clone-per-evaluation Run path, and
+// re-evaluating the same vector on the (now dirty, then rewound) arena
+// must reproduce the first answer bit for bit.
+func TestScratchMatchesRun(t *testing.T) {
+	l := buildDesign(t, 6, 5, 0.5, 3)
+	base, err := EvalBaseline(l, flowConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := base.Layout.Lib().NumLayers()
+
+	rng := rand.New(rand.NewSource(11))
+	params := []Params{DefaultParams(k)}
+	lda := DefaultParams(k)
+	lda.Op = LDA
+	lda.LDAGridN, lda.LDAIters = LDAGridValues[0], LDAIterValues[len(LDAIterValues)-1]
+	params = append(params, lda)
+	for i := 0; i < 3; i++ {
+		params = append(params, RandomParams(k, rng))
+	}
+
+	s := NewScratch(base)
+	var firstScratch []Metrics
+	for i, p := range params {
+		want, err := Run(base, p)
+		if err != nil {
+			t.Fatalf("Run(%d): %v", i, err)
+		}
+		got, err := s.Run(p)
+		if err != nil {
+			t.Fatalf("Scratch.Run(%d): %v", i, err)
+		}
+		sameMetrics(t, p.Key(), got.Metrics, want.Metrics)
+		if got.CSResult != want.CSResult {
+			t.Errorf("%s: CSResult %+v != %+v", p.Key(), got.CSResult, want.CSResult)
+		}
+		if got.LDAResult != want.LDAResult {
+			t.Errorf("%s: LDAResult %+v != %+v", p.Key(), got.LDAResult, want.LDAResult)
+		}
+		if got.Layout != nil || got.Routes != nil || got.Timing != nil || got.Assessment != nil {
+			t.Errorf("%s: scratch result leaked arena aliases", p.Key())
+		}
+		firstScratch = append(firstScratch, got.Metrics)
+	}
+	// Second sweep on the same arena: reset must fully rewind the state.
+	for i, p := range params {
+		got, err := s.Run(p)
+		if err != nil {
+			t.Fatalf("Scratch.Run replay(%d): %v", i, err)
+		}
+		sameMetrics(t, "replay "+p.Key(), got.Metrics, firstScratch[i])
+	}
+	// The baseline layout itself must be untouched by arena evaluations.
+	if err := base.Layout.Validate(); err != nil {
+		t.Fatalf("baseline corrupted: %v", err)
+	}
+	want, err := Run(base, params[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMetrics(t, "baseline stability", want.Metrics, firstScratch[0])
+}

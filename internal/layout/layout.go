@@ -54,6 +54,11 @@ type Layout struct {
 
 	placements []Placement // indexed by instance ID
 	occ        []int32     // NumRows × SitesPerRow; 0 = free, else instID+1
+
+	// Placement journal (see journal.go). Depth-counted so an evaluation-
+	// scope journal can nest the operator's per-pass journaling.
+	journal      []journalRec
+	journalDepth int
 }
 
 // New creates an empty layout of the given core size for the netlist.
@@ -143,12 +148,14 @@ func (l *Layout) Place(in *netlist.Instance, row, site int) error {
 		return fmt.Errorf("layout: cannot place %s (%d sites) at row %d site %d",
 			in.Name, in.Master.WidthSites, row, site)
 	}
-	l.Unplace(in)
-	base := row * l.SitesPerRow
-	for s := site; s < site+in.Master.WidthSites; s++ {
-		l.occ[base+s] = int32(in.ID + 1)
+	old := l.placements[in.ID]
+	np := Placement{Row: row, Site: site, Placed: true}
+	l.record(in, old, np)
+	if old.Placed {
+		l.clearSites(in, old)
 	}
-	l.placements[in.ID] = Placement{Row: row, Site: site, Placed: true}
+	l.fillSites(in, np)
+	l.placements[in.ID] = np
 	return nil
 }
 
@@ -174,12 +181,8 @@ func (l *Layout) Unplace(in *netlist.Instance) {
 	if !p.Placed {
 		return
 	}
-	base := p.Row * l.SitesPerRow
-	for s := p.Site; s < p.Site+in.Master.WidthSites; s++ {
-		if l.occ[base+s] == int32(in.ID+1) {
-			l.occ[base+s] = 0
-		}
-	}
+	l.record(in, p, Placement{})
+	l.clearSites(in, p)
 	l.placements[in.ID] = Placement{}
 }
 
@@ -218,7 +221,14 @@ func (l *Layout) ShiftRight(in *netlist.Instance) error {
 // FreeRuns returns the maximal runs of free sites in the given row, in
 // left-to-right order.
 func (l *Layout) FreeRuns(row int) []SiteRun {
-	var runs []SiteRun
+	return l.AppendFreeRuns(row, nil)
+}
+
+// AppendFreeRuns appends the maximal runs of free sites in the given row to
+// buf (left-to-right order) and returns the extended slice. Passing a
+// reused buffer makes the scan allocation-free — the ECO operators call
+// this once per row per pass.
+func (l *Layout) AppendFreeRuns(row int, buf []SiteRun) []SiteRun {
 	base := row * l.SitesPerRow
 	start := -1
 	for s := 0; s < l.SitesPerRow; s++ {
@@ -227,29 +237,35 @@ func (l *Layout) FreeRuns(row int) []SiteRun {
 				start = s
 			}
 		} else if start >= 0 {
-			runs = append(runs, SiteRun{Row: row, Start: start, Len: s - start})
+			buf = append(buf, SiteRun{Row: row, Start: start, Len: s - start})
 			start = -1
 		}
 	}
 	if start >= 0 {
-		runs = append(runs, SiteRun{Row: row, Start: start, Len: l.SitesPerRow - start})
+		buf = append(buf, SiteRun{Row: row, Start: start, Len: l.SitesPerRow - start})
 	}
-	return runs
+	return buf
 }
 
 // RowCells returns the instances in a row in left-to-right order.
 func (l *Layout) RowCells(row int) []*netlist.Instance {
-	var out []*netlist.Instance
+	return l.AppendRowCells(row, nil)
+}
+
+// AppendRowCells appends the row's instances (left-to-right) to buf and
+// returns the extended slice; a reused buffer makes the scan
+// allocation-free, like AppendFreeRuns.
+func (l *Layout) AppendRowCells(row int, buf []*netlist.Instance) []*netlist.Instance {
 	base := row * l.SitesPerRow
 	var prev int32
 	for s := 0; s < l.SitesPerRow; s++ {
 		id := l.occ[base+s]
 		if id != 0 && id != prev {
-			out = append(out, l.Netlist.Insts[id-1])
+			buf = append(buf, l.Netlist.Insts[id-1])
 		}
 		prev = id
 	}
-	return out
+	return buf
 }
 
 // FreeSites returns the total number of unoccupied sites in the core.
@@ -490,6 +506,8 @@ func clamp(v, lo, hi int) int {
 // table, blockages and NDR are left untouched) from a snapshot layout with
 // an identically-shaped core and an identically-ordered netlist — typically
 // one produced by Clone of this layout. Instance identity is matched by ID.
+// A wholesale copy cannot be expressed as journal records, so any open
+// journal has its stream cleared: outstanding marks become invalid.
 func (l *Layout) AdoptPlacements(src *Layout) error {
 	if l.NumRows != src.NumRows || l.SitesPerRow != src.SitesPerRow {
 		return fmt.Errorf("layout: core shape mismatch %dx%d vs %dx%d",
@@ -503,5 +521,6 @@ func (l *Layout) AdoptPlacements(src *Layout) error {
 	src.grow()
 	copy(l.occ, src.occ)
 	copy(l.placements, src.placements)
+	l.journal = l.journal[:0]
 	return nil
 }

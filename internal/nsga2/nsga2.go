@@ -162,8 +162,10 @@ func Optimize(base *core.Baseline, opt Options) (*RunLog, error) {
 
 // OptimizeCtx is Optimize with cooperative cancellation: the optimizer
 // observes ctx between generations and the evaluation workers observe it
-// between (and inside, via core.RunCtx) flow evaluations, so a cancelled
-// exploration stops within roughly one evaluation's latency.
+// between (and inside, via the flow stages) evaluations, so a cancelled
+// exploration stops within roughly one evaluation's latency. Evaluations
+// run on journal-rewound scratch arenas (core.Scratch) — one per worker —
+// instead of cloning the baseline layout per evaluation.
 //
 // Evaluation failures degrade instead of aborting: a transient failure is
 // retried (Options.EvalRetries), anything that still fails is recorded in
@@ -290,6 +292,32 @@ type evaluator struct {
 	// succeeded/failed count fresh evaluations for the failure-rate cap.
 	succeeded int
 	failed    int
+	// scratches is a free list of evaluation arenas, one checked out per
+	// in-flight evaluation. The exploration keeps only Metrics, so arenas
+	// (journal-rewound between uses) replace the per-evaluation layout
+	// clone of core.RunCtx. Grows to at most Parallelism entries and
+	// persists across generations.
+	scratchMu sync.Mutex
+	scratches []*core.Scratch
+}
+
+// getScratch checks an arena out of the free list, building one on first
+// use per concurrent worker.
+func (ev *evaluator) getScratch() *core.Scratch {
+	ev.scratchMu.Lock()
+	defer ev.scratchMu.Unlock()
+	if n := len(ev.scratches); n > 0 {
+		s := ev.scratches[n-1]
+		ev.scratches = ev.scratches[:n-1]
+		return s
+	}
+	return core.NewScratch(ev.base)
+}
+
+func (ev *evaluator) putScratch(s *core.Scratch) {
+	ev.scratchMu.Lock()
+	ev.scratches = append(ev.scratches, s)
+	ev.scratchMu.Unlock()
 }
 
 // evalAll evaluates a batch: unique un-cached chromosomes run once each on
@@ -404,12 +432,14 @@ func (ev *evaluator) evalAll(ctx context.Context, pop []*Individual, gen int) er
 // degrade). Only context cancellation and the aggregate failure-rate cap
 // abort the batch.
 func (ev *evaluator) evalFresh(ctx context.Context, p core.Params, key string, gen int) error {
+	scratch := ev.getScratch()
+	defer ev.putScratch(scratch)
 	var res *core.Result
 	var err error
 	attempts := 0
 	for {
 		attempts++
-		res, err = core.RunCtx(ctx, ev.base, p)
+		res, err = scratch.RunCtx(ctx, p)
 		if err == nil {
 			break
 		}
