@@ -7,6 +7,9 @@
 //
 //	guardd [-addr :8477] [-workers N] [-queue 64] [-job-timeout 15m]
 //	       [-cache 8] [-retention 256] [-pprof] [-log-level info]
+//	       [-coordinator] [-worker] [-join URL] [-advertise URL]
+//	       [-local-islands N] [-islands 4] [-migration-interval 2]
+//	       [-migration-count 2]
 //
 // Endpoints (JSON unless noted):
 //
@@ -17,15 +20,30 @@
 //	GET    /v1/jobs/{id}/gdsii  hardened GDSII (binary)
 //	GET    /v1/benchmarks       built-in designs
 //	GET    /v1/stats            queue/worker/cache statistics
+//	GET    /v1/healthz          process liveness
+//	GET    /v1/readyz           drain-aware readiness
 //	GET    /metrics             Prometheus text-format process metrics
+//
+// Cluster mode distributes island-model NSGA-II explorations across
+// guardd nodes:
+//
+//   - `guardd -coordinator` accepts worker registrations on
+//     POST /v1/cluster/join and fans explore jobs out island-by-island,
+//     merging the per-island Pareto fronts. `-local-islands N` adds N
+//     in-process workers, so `-coordinator -local-islands 4` is a whole
+//     cluster in one binary (the same code path the distributed setup
+//     runs, minus HTTP).
+//   - `guardd -worker -join http://coordinator:8477 -advertise
+//     http://me:8478` serves island epochs on POST /v1/cluster/island and
+//     registers itself with the coordinator, retrying until it succeeds.
 //
 // With -pprof, the net/http/pprof profiling handlers are additionally
 // served under /debug/pprof/. Structured logs (job lifecycle, optimizer
 // generations at -log-level debug) go to stderr in logfmt.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the server stops accepting
-// requests, queued and running jobs drain up to -drain-timeout, then the
-// process exits.
+// requests (readiness flips to 503 while liveness stays 200), queued and
+// running jobs drain up to -drain-timeout, then the process exits.
 package main
 
 import (
@@ -39,12 +57,30 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"gdsiiguard/internal/cluster"
+	"gdsiiguard/internal/nsga2"
 	"gdsiiguard/internal/obs"
 	"gdsiiguard/internal/service"
 )
+
+// clusterConfig carries the parsed cluster-mode flags.
+type clusterConfig struct {
+	coordinator  bool
+	worker       bool
+	join         string
+	advertise    string
+	nodeID       string
+	localIslands int
+
+	islands           int
+	migrationInterval int
+	migrationCount    int
+	probeInterval     time.Duration
+}
 
 func main() {
 	var (
@@ -60,10 +96,32 @@ func main() {
 		withPprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logLevel     = flag.String("log-level", "info", "structured log level (debug, info, warn, error)")
 	)
+	var cc clusterConfig
+	flag.BoolVar(&cc.coordinator, "coordinator", false, "run as cluster coordinator (fan explore jobs out to joined workers)")
+	flag.BoolVar(&cc.worker, "worker", false, "serve cluster island epochs on POST /v1/cluster/island")
+	flag.StringVar(&cc.join, "join", "", "coordinator URL to register with (implies -worker)")
+	flag.StringVar(&cc.advertise, "advertise", "", "this node's reachable base URL, sent on -join")
+	flag.StringVar(&cc.nodeID, "node-id", "", "stable node identity (default: hostname + addr)")
+	flag.IntVar(&cc.localIslands, "local-islands", 0, "in-process worker nodes on the coordinator (single-binary cluster)")
+	flag.IntVar(&cc.islands, "islands", 4, "default island count for cluster explorations")
+	flag.IntVar(&cc.migrationInterval, "migration-interval", 2, "generations per island between elite migrations")
+	flag.IntVar(&cc.migrationCount, "migration-count", 2, "elite chromosomes migrated to the ring neighbor per epoch")
+	flag.DurationVar(&cc.probeInterval, "probe-interval", 5*time.Second, "coordinator health-probe period")
 	flag.Parse()
 	if err := setupLogging(*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "guardd:", err)
 		os.Exit(2)
+	}
+	if cc.join != "" {
+		cc.worker = true
+		if cc.advertise == "" {
+			fmt.Fprintln(os.Stderr, "guardd: -join requires -advertise (the URL the coordinator reaches this node at)")
+			os.Exit(2)
+		}
+	}
+	if cc.nodeID == "" {
+		host, _ := os.Hostname()
+		cc.nodeID = host + *addr
 	}
 	if err := run(*addr, *withPprof, service.Config{
 		Workers:      *workers,
@@ -73,7 +131,7 @@ func main() {
 		Retention:    *retention,
 		MaxAttempts:  *maxAttempts,
 		RetryBackoff: *retryBackoff,
-	}, *drainTimeout); err != nil {
+	}, cc, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "guardd:", err)
 		os.Exit(1)
 	}
@@ -91,11 +149,19 @@ func setupLogging(level string) error {
 }
 
 // newMux wraps the service API with the operational endpoints: Prometheus
-// metrics at /metrics and, opt-in, the pprof handlers.
-func newMux(mgr *service.Manager, withPprof bool) *http.ServeMux {
+// metrics at /metrics, the cluster endpoints in coordinator/worker mode
+// and, opt-in, the pprof handlers.
+func newMux(mgr *service.Manager, withPprof bool, workerH, coordH http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(mgr))
 	mux.Handle("GET /metrics", obs.Default().Handler())
+	if workerH != nil {
+		mux.Handle("POST /v1/cluster/island", workerH)
+	}
+	if coordH != nil {
+		mux.Handle("POST /v1/cluster/join", coordH)
+		mux.Handle("GET /v1/cluster/nodes", coordH)
+	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -106,27 +172,74 @@ func newMux(mgr *service.Manager, withPprof bool) *http.ServeMux {
 	return mux
 }
 
-func run(addr string, withPprof bool, cfg service.Config, drainTimeout time.Duration) error {
-	mgr := service.New(cfg)
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           newMux(mgr, withPprof),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-
+func run(addr string, withPprof bool, cfg service.Config, cc clusterConfig, drainTimeout time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	var workerH, coordH http.Handler
+	if cc.worker {
+		workerH = cluster.NewWorkerHandler(cluster.NewWorker(cc.nodeID, cluster.WorkerOptions{}))
+	}
+	if cc.coordinator {
+		ms := cluster.NewMembership()
+		// Local islands share one evaluation budget: node-wide admission
+		// control, and cluster-wide in the single-binary case.
+		if cc.localIslands > 0 {
+			slots := cfg.Workers
+			if slots <= 0 {
+				slots = runtime.NumCPU()
+			}
+			budget := nsga2.NewEvalBudget(slots)
+			for i := 0; i < cc.localIslands; i++ {
+				ms.Add(cluster.NewWorker(fmt.Sprintf("%s/local-%d", cc.nodeID, i),
+					cluster.WorkerOptions{Budget: budget}))
+			}
+		}
+		ms.StartProbing(ctx, cc.probeInterval)
+		cfg.Cluster = cluster.NewDriver(ms, cluster.DriverOptions{
+			Islands:           cc.islands,
+			MigrationInterval: cc.migrationInterval,
+			MigrationCount:    cc.migrationCount,
+		})
+		coordH = cluster.NewCoordinatorHandler(ms)
+	}
+
+	mgr := service.New(cfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newMux(mgr, withPprof, workerH, coordH),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("guardd: listening on %s (%d workers, queue %d)",
-			addr, mgr.Stats().Workers, cfg.QueueDepth)
+		mode := "standalone"
+		switch {
+		case cc.coordinator && cc.worker:
+			mode = "coordinator+worker"
+		case cc.coordinator:
+			mode = "coordinator"
+		case cc.worker:
+			mode = "worker"
+		}
+		log.Printf("guardd: listening on %s (%d workers, queue %d, mode %s)",
+			addr, mgr.Stats().Workers, cfg.QueueDepth, mode)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
 		}
 		errc <- nil
 	}()
+
+	if cc.join != "" {
+		go func() {
+			if err := cluster.JoinCoordinator(ctx, cc.join, cc.nodeID, cc.advertise); err != nil {
+				log.Printf("guardd: cluster join failed: %v", err)
+				return
+			}
+			log.Printf("guardd: joined coordinator %s as %s", cc.join, cc.nodeID)
+		}()
+	}
 
 	select {
 	case err := <-errc:

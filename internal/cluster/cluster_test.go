@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/fault"
+	"gdsiiguard/internal/netlist"
+	"gdsiiguard/internal/nsga2"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/place"
+	"gdsiiguard/internal/sdc"
+)
+
+// testBaseline builds a small synthetic design (inverter chains feeding
+// security-critical flops) and evaluates its baseline, mirroring the
+// nsga2 package's test fixture.
+func testBaseline(t testing.TB, chains, stages int, periodNS float64) *core.Baseline {
+	t.Helper()
+	lib := opencell45.MustLoad()
+	nl := netlist.New("cluster", lib)
+	clkPort, _ := nl.AddPort("clk", netlist.In)
+	clkNet, _ := nl.AddNet("clk")
+	clkNet.IsClock = true
+	_ = nl.ConnectPort(clkPort, clkNet)
+	for c := 0; c < chains; c++ {
+		in, _ := nl.AddPort(fmt.Sprintf("i%d", c), netlist.In)
+		prev, _ := nl.AddNet(fmt.Sprintf("pi%d", c))
+		_ = nl.ConnectPort(in, prev)
+		for s := 0; s < stages; s++ {
+			g, err := nl.AddInstance(fmt.Sprintf("c%dg%d", c, s), "INV_X1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			nx, _ := nl.AddNet(fmt.Sprintf("c%dn%d", c, s))
+			_ = nl.Connect(g, "A", prev)
+			_ = nl.Connect(g, "ZN", nx)
+			prev = nx
+		}
+		ff, _ := nl.AddInstance(fmt.Sprintf("key%d", c), "DFF_X1")
+		ff.SecurityCritical = true
+		q, _ := nl.AddNet(fmt.Sprintf("q%d", c))
+		_ = nl.Connect(ff, "D", prev)
+		_ = nl.Connect(ff, "CK", clkNet)
+		_ = nl.Connect(ff, "Q", q)
+		out, _ := nl.AddPort(fmt.Sprintf("o%d", c), netlist.Out)
+		_ = nl.ConnectPort(out, q)
+	}
+	l, err := place.Global(nl, place.GlobalOptions{TargetUtil: 0.55, RefinePasses: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, _ := sdc.ParseString(fmt.Sprintf("create_clock -name clk -period %g [get_ports clk]\n", periodNS))
+	base, err := core.EvalBaseline(l, core.FlowConfig{Constraints: cons, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// sharedLoader serves one pre-built baseline to every worker, so a test
+// pays the layout/route/STA cost once.
+func sharedLoader(base *core.Baseline) BaselineLoader {
+	return func(ctx context.Context, ref DesignRef) (*core.Baseline, error) {
+		return base, nil
+	}
+}
+
+// newLocalCluster assembles an in-process cluster of n workers sharing one
+// evaluation budget (the single-binary mode's topology).
+func newLocalCluster(t testing.TB, n int, loader BaselineLoader, opts DriverOptions) *Driver {
+	t.Helper()
+	ms := NewMembership()
+	budget := nsga2.NewEvalBudget(4)
+	for i := 0; i < n; i++ {
+		ms.Add(NewWorker(fmt.Sprintf("local-%d", i), WorkerOptions{
+			Loader:      loader,
+			Budget:      budget,
+			Parallelism: 2,
+			MaxIslands:  8,
+		}))
+	}
+	return NewDriver(ms, opts)
+}
+
+func testSpec() ExploreSpec {
+	return ExploreSpec{
+		Design:            DesignRef{Benchmark: "PRESENT"},
+		Islands:           3,
+		PopSize:           4,
+		Generations:       4,
+		Seed:              1,
+		MigrationInterval: 2,
+		MigrationCount:    1,
+	}
+}
+
+func frontKey(front []nsga2.Individual) string {
+	s := ""
+	for _, in := range front {
+		o := in.Objectives()
+		s += fmt.Sprintf("%s|%.9g|%.9g;", in.Params.Key(), o[0], o[1])
+	}
+	return s
+}
+
+// TestExploreDeterministic runs the same exploration twice over a fresh
+// cluster each time and expects byte-identical fronts: island seeds derive
+// from the spec, evaluations are deterministic, and merge order is island
+// order, so node scheduling must not leak into the result.
+func TestExploreDeterministic(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	spec := testSpec()
+	run := func(workers int) *ExploreResult {
+		d := newLocalCluster(t, workers, sharedLoader(base), DriverOptions{})
+		res, err := d.Explore(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("Explore: %v", err)
+		}
+		return res
+	}
+	a := run(2)
+	b := run(3) // different node count: assignment must not matter
+	if len(a.Front) == 0 {
+		t.Fatal("empty merged front")
+	}
+	if frontKey(a.Front) != frontKey(b.Front) {
+		t.Errorf("fronts differ across runs:\n a=%s\n b=%s", frontKey(a.Front), frontKey(b.Front))
+	}
+	if a.Evaluations != b.Evaluations || a.Migrations != b.Migrations {
+		t.Errorf("counters differ: evals %d vs %d, migrations %d vs %d",
+			a.Evaluations, b.Evaluations, a.Migrations, b.Migrations)
+	}
+	if a.Migrations == 0 {
+		t.Error("no migrations in a multi-epoch run")
+	}
+	if a.Epochs != 2 {
+		t.Errorf("epochs = %d, want 2", a.Epochs)
+	}
+}
+
+// TestExploreDegradesOnIslandLoss fault-injects the death of one island
+// mid-exploration (epoch 2) and expects the coordinator to return the
+// surviving islands' merged front plus a typed degradation record, and to
+// take the failing node out of rotation.
+func TestExploreDegradesOnIslandLoss(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	spec := testSpec()
+	// First epoch's |islands| executions pass; the next island execution
+	// (epoch 2) dies exactly once.
+	fault.Arm(map[fault.Point]fault.Rule{
+		fault.ClusterIsland: {Every: 1, After: spec.Islands, Limit: 1, Msg: "island killed"},
+	})
+	t.Cleanup(fault.Disarm)
+
+	d := newLocalCluster(t, 2, sharedLoader(base), DriverOptions{})
+	res, err := d.Explore(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Explore with one island lost: %v", err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("degraded exploration returned an empty front")
+	}
+	if len(res.Degraded) != 1 {
+		t.Fatalf("degraded = %+v, want exactly one record", res.Degraded)
+	}
+	deg := res.Degraded[0]
+	if deg.Epoch != 1 {
+		t.Errorf("degraded epoch = %d, want 1 (second epoch)", deg.Epoch)
+	}
+	if deg.Island < 0 || deg.Island >= spec.Islands {
+		t.Errorf("degraded island = %d out of range", deg.Island)
+	}
+	if deg.Class != core.ClassPermanent {
+		t.Errorf("degraded class = %q, want %q (typed taxonomy preserved)", deg.Class, core.ClassPermanent)
+	}
+	if deg.Node == "" || deg.Err == "" {
+		t.Errorf("degradation record incomplete: %+v", deg)
+	}
+	// The injected fault is a node-level error (no flow stage), so the
+	// executing node must be marked unhealthy.
+	unhealthy := 0
+	for _, n := range d.Membership().Nodes() {
+		if !n.Healthy {
+			unhealthy++
+		}
+	}
+	if unhealthy != 1 {
+		t.Errorf("unhealthy nodes = %d, want 1", unhealthy)
+	}
+}
+
+// TestExploreAllIslandsDead verifies that losing every island fails the
+// exploration with the underlying causes joined, instead of returning an
+// empty front.
+func TestExploreAllIslandsDead(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	fault.Arm(map[fault.Point]fault.Rule{
+		fault.ClusterIsland: {Every: 1, Msg: "node down"},
+	})
+	t.Cleanup(fault.Disarm)
+	d := newLocalCluster(t, 2, sharedLoader(base), DriverOptions{})
+	_, err := d.Explore(context.Background(), testSpec())
+	if err == nil {
+		t.Fatal("Explore succeeded with every island dead")
+	}
+	if got := core.Classify(err); got != core.ClassPermanent {
+		t.Errorf("all-dead error class = %q, want permanent", got)
+	}
+}
+
+// TestWorkerSaturation exercises the fail-fast admission control: a worker
+// at its island cap rejects new epochs with the transient ErrSaturated
+// instead of queueing.
+func TestWorkerSaturation(t *testing.T) {
+	w := NewWorker("w0", WorkerOptions{MaxIslands: 1, Loader: sharedLoader(nil)})
+	w.slots <- struct{}{} // occupy the only slot
+	req := IslandRequest{Design: DesignRef{Benchmark: "PRESENT"}, PopSize: 4, Generations: 1}
+	_, err := w.RunIsland(context.Background(), req)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if !core.IsTransient(err) {
+		t.Error("ErrSaturated must classify transient (retry elsewhere)")
+	}
+	<-w.slots
+}
+
+// TestAcquirePrefersOwnerAndFailsOver checks dispatch: the consistent-hash
+// owner is preferred, and an unhealthy owner fails over to another node.
+func TestAcquirePrefersOwnerAndFailsOver(t *testing.T) {
+	ms := NewMembership()
+	w0 := NewWorker("w0", WorkerOptions{Loader: sharedLoader(nil)})
+	w1 := NewWorker("w1", WorkerOptions{Loader: sharedLoader(nil)})
+	ms.Add(w0)
+	ms.Add(w1)
+
+	const key = "bench:PRESENT#island-0"
+	n1, rel1, err := ms.Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := n1.ID()
+	rel1(0, nil)
+	// Same key, idle cluster: same owner (cache affinity).
+	n2, rel2, err := ms.Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.ID() != owner {
+		t.Errorf("owner moved from %s to %s with no load", owner, n2.ID())
+	}
+	// A node-level failure takes the owner out of rotation.
+	rel2(0, errors.New("connection refused"))
+	n3, rel3, err := ms.Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.ID() == owner {
+		t.Errorf("unhealthy owner %s still dispatched", owner)
+	}
+	rel3(0, nil)
+	// A flow-stage failure must NOT mark the node unhealthy.
+	n4, rel4, err := ms.Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel4(0, &core.FlowError{Stage: core.StageRoute, Class: core.ClassPermanent, Err: errors.New("bad chromosome")})
+	healthy := 0
+	for _, n := range ms.Nodes() {
+		if n.Healthy {
+			healthy++
+		}
+	}
+	if healthy != 1 {
+		t.Errorf("healthy = %d, want 1 (stage failures keep the node, node failures do not)", healthy)
+	}
+	_ = n4
+	if _, _, err := ms.Acquire(key); err != nil {
+		t.Fatalf("one healthy node left, Acquire failed: %v", err)
+	}
+	ms.Remove("w0")
+	ms.Remove("w1")
+	if _, _, err := ms.Acquire(key); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("err = %v, want ErrNoNodes", err)
+	}
+}
+
+// TestClusterDominatesSingleNode is the acceptance check: a 4-island
+// PRESENT exploration, on no more total evaluations than a single-node
+// run, produces a merged front that dominates-or-equals the single-node
+// front (every single-node front point is weakly dominated by some merged
+// point).
+func TestClusterDominatesSingleNode(t *testing.T) {
+	ref := DesignRef{Benchmark: "PRESENT"}
+	base, err := loadBaseline(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := newLocalCluster(t, 4, sharedLoader(base), DriverOptions{})
+	res, err := d.Explore(context.Background(), ExploreSpec{
+		Design:            ref,
+		Islands:           4,
+		PopSize:           4,
+		Generations:       2,
+		Seed:              1,
+		MigrationInterval: 1,
+		MigrationCount:    2,
+	})
+	if err != nil {
+		t.Fatalf("cluster Explore: %v", err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty merged front")
+	}
+
+	single, err := nsga2.OptimizeCtx(context.Background(), base, nsga2.Options{
+		PopSize:     12,
+		Generations: 8,
+		Patience:    -1,
+		Seed:        1,
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatalf("single-node Optimize: %v", err)
+	}
+
+	// Same total budget: the cluster must not have spent more evaluations
+	// than the single-node run it claims to beat.
+	if res.Evaluations > len(single.Evaluations) {
+		t.Fatalf("cluster spent %d evaluations > single-node %d; budget comparison invalid",
+			res.Evaluations, len(single.Evaluations))
+	}
+	t.Logf("cluster: %d evals, front %d; single: %d evals, front %d",
+		res.Evaluations, len(res.Front), len(single.Evaluations), len(single.Front))
+
+	for _, s := range single.Front {
+		so := s.Objectives()
+		covered := false
+		for _, c := range res.Front {
+			co := c.Objectives()
+			if co[0] <= so[0] && co[1] <= so[1] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("single-node point %s (%v) not dominated-or-equaled by merged front",
+				s.Params.Key(), so)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/nsga2"
+	"gdsiiguard/internal/obs"
+)
+
+// DriverOptions are the coordinator-side exploration defaults; an
+// ExploreSpec overrides any of them per request.
+type DriverOptions struct {
+	// Islands is the default island count (default 4).
+	Islands int
+	// PopSize is the default per-island population size (default 8).
+	PopSize int
+	// Generations is the default total generation count (default 8).
+	Generations int
+	// MigrationInterval is how many generations an island runs per epoch
+	// before elites migrate (default 2).
+	MigrationInterval int
+	// MigrationCount is how many elites migrate to the ring neighbor after
+	// each epoch (default 2).
+	MigrationCount int
+	// IslandRetries is how many times a transiently failed island epoch is
+	// re-dispatched (on a fresh node pick) before the island degrades
+	// (default 1; negative disables).
+	IslandRetries int
+}
+
+func (o DriverOptions) withDefaults() DriverOptions {
+	if o.Islands <= 0 {
+		o.Islands = 4
+	}
+	if o.PopSize <= 0 {
+		o.PopSize = 8
+	}
+	if o.Generations <= 0 {
+		o.Generations = 8
+	}
+	if o.MigrationInterval <= 0 {
+		o.MigrationInterval = 2
+	}
+	if o.MigrationCount <= 0 {
+		o.MigrationCount = 2
+	}
+	if o.IslandRetries == 0 {
+		o.IslandRetries = 1
+	} else if o.IslandRetries < 0 {
+		o.IslandRetries = 0
+	}
+	return o
+}
+
+// Driver runs island-model NSGA-II explorations over a Membership: every
+// epoch it fans the alive islands out to nodes (consistent-hashed by
+// design and island, load-aware), collects the per-island fronts and
+// continuation populations, migrates elites around the island ring, and
+// finally merges the accumulated fronts into one deduplicated Pareto
+// front.
+//
+// Degradation: an island whose epoch fails transiently is retried on a
+// fresh node pick; one that fails permanently (or exhausts retries) is
+// dropped with an IslandFailure record carrying the typed stage/class
+// taxonomy, and the exploration continues on the survivors. Only losing
+// every island fails the exploration.
+type Driver struct {
+	ms   *Membership
+	opts DriverOptions
+}
+
+// NewDriver creates a driver over the membership.
+func NewDriver(ms *Membership, opts DriverOptions) *Driver {
+	return &Driver{ms: ms, opts: opts.withDefaults()}
+}
+
+// Membership returns the driver's node membership.
+func (d *Driver) Membership() *Membership { return d.ms }
+
+// islandState is the coordinator's per-island continuation state.
+type islandState struct {
+	alive bool
+	seed  []core.Params // next epoch's seed population (migrants first)
+}
+
+// Explore runs one distributed exploration. The result is deterministic
+// for a given spec: island seeds derive from (spec.Seed, island, epoch),
+// flow evaluations are deterministic, and merge order is island order —
+// node assignment and goroutine interleaving never influence the front.
+func (d *Driver) Explore(ctx context.Context, spec ExploreSpec) (*ExploreResult, error) {
+	if err := spec.Design.Validate(); err != nil {
+		return nil, err
+	}
+	islands := spec.Islands
+	if islands <= 0 {
+		islands = d.opts.Islands
+	}
+	popSize := spec.PopSize
+	if popSize <= 0 {
+		popSize = d.opts.PopSize
+	}
+	generations := spec.Generations
+	if generations <= 0 {
+		generations = d.opts.Generations
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	interval := spec.MigrationInterval
+	if interval <= 0 {
+		interval = d.opts.MigrationInterval
+	}
+	migrate := spec.MigrationCount
+	if migrate <= 0 {
+		migrate = d.opts.MigrationCount
+	}
+	epochs := (generations + interval - 1) / interval
+
+	start := time.Now()
+	states := make([]*islandState, islands)
+	for i := range states {
+		states[i] = &islandState{alive: true}
+	}
+	out := &ExploreResult{Islands: islands}
+	var fronts [][]nsga2.Individual
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		gens := interval
+		if rem := generations - epoch*interval; rem < gens {
+			gens = rem
+		}
+		results := make([]*IslandResult, islands)
+		errs := make([]error, islands)
+		var wg sync.WaitGroup
+		for i := 0; i < islands; i++ {
+			if !states[i].alive {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				req := IslandRequest{
+					Design:      spec.Design,
+					Island:      i,
+					Epoch:       epoch,
+					PopSize:     popSize,
+					Generations: gens,
+					// One seed per (exploration, island, epoch): primes keep
+					// distinct islands and epochs from colliding.
+					Seed:    seed + int64(i)*1_000_003 + int64(epoch)*7919,
+					SeedPop: states[i].seed,
+				}
+				results[i], errs[i] = d.runIsland(ctx, req)
+			}(i)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		survivors := 0
+		for i := 0; i < islands; i++ {
+			if !states[i].alive {
+				continue
+			}
+			if errs[i] != nil {
+				states[i].alive = false
+				node := ""
+				var down *nodeError
+				if errors.As(errs[i], &down) {
+					node = down.node
+				}
+				out.Degraded = append(out.Degraded, IslandFailure{
+					Island: i,
+					Node:   node,
+					Epoch:  epoch,
+					Stage:  core.StageOf(errs[i]),
+					Class:  core.Classify(errs[i]),
+					Err:    errs[i].Error(),
+				})
+				degradedIslands.Inc()
+				obs.Logger().Warn("cluster: island degraded",
+					"island", i, "epoch", epoch, "node", node,
+					"stage", core.StageOf(errs[i]), "class", core.Classify(errs[i]),
+					"error", errs[i])
+				continue
+			}
+			survivors++
+			res := results[i]
+			fronts = append(fronts, res.Front)
+			out.Evaluations += res.Evaluations
+			out.CacheHits += res.CacheHits
+			out.Failures += len(res.Failures)
+		}
+		if survivors == 0 {
+			exploresTotal.With("failed").Inc()
+			var causes []error
+			for _, e := range errs {
+				if e != nil {
+					causes = append(causes, e)
+				}
+			}
+			return nil, fmt.Errorf("cluster: every island failed in epoch %d: %w",
+				epoch, errors.Join(causes...))
+		}
+
+		// Ring migration into the next epoch: each surviving island sends
+		// its elites to the next surviving island clockwise; the receiver's
+		// seed is migrants first (guaranteed inclusion), then its own final
+		// population.
+		if epoch == epochs-1 {
+			break
+		}
+		for i := 0; i < islands; i++ {
+			if !states[i].alive {
+				continue
+			}
+			states[i].seed = append([]core.Params(nil), results[i].Population...)
+		}
+		if survivors > 1 && migrate > 0 {
+			for i := 0; i < islands; i++ {
+				if !states[i].alive {
+					continue
+				}
+				next := d.nextAlive(states, i)
+				if next == i {
+					continue
+				}
+				elites := nsga2.Elites(results[i].Front, migrate)
+				states[next].seed = append(append([]core.Params(nil), elites...), states[next].seed...)
+				out.Migrations += len(elites)
+				migrationsTotal.Add(float64(len(elites)))
+			}
+		}
+	}
+
+	out.Epochs = epochs
+	out.Front = nsga2.MergeFronts(fronts...)
+	out.Elapsed = time.Since(start)
+	if len(out.Degraded) > 0 {
+		exploresTotal.With("degraded").Inc()
+	} else {
+		exploresTotal.With("ok").Inc()
+	}
+	obs.Logger().Info("cluster: exploration complete",
+		"islands", islands, "epochs", epochs, "front", len(out.Front),
+		"evaluations", out.Evaluations, "migrations", out.Migrations,
+		"degraded", len(out.Degraded), "elapsed", out.Elapsed)
+	return out, nil
+}
+
+// nextAlive returns the next surviving island clockwise from i (i itself
+// when it is the only survivor).
+func (d *Driver) nextAlive(states []*islandState, i int) int {
+	for step := 1; step <= len(states); step++ {
+		j := (i + step) % len(states)
+		if states[j].alive {
+			return j
+		}
+	}
+	return i
+}
+
+// nodeError attributes an island failure to the node that executed it.
+type nodeError struct {
+	node string
+	err  error
+}
+
+func (e *nodeError) Error() string { return fmt.Sprintf("node %s: %v", e.node, e.err) }
+func (e *nodeError) Unwrap() error { return e.err }
+
+// runIsland dispatches one island epoch through membership, retrying
+// transient failures on a fresh node pick.
+func (d *Driver) runIsland(ctx context.Context, req IslandRequest) (*IslandResult, error) {
+	key := fmt.Sprintf("%s#island-%d", req.Design.Key(), req.Island)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		node, release, err := d.ms.Acquire(key)
+		if err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (after: %w)", err, lastErr)
+			}
+			return nil, err
+		}
+		start := time.Now()
+		res, err := node.RunIsland(ctx, req)
+		release(time.Since(start), err)
+		if err == nil {
+			islandEpochs.With("ok").Inc()
+			return res, nil
+		}
+		lastErr = &nodeError{node: node.ID(), err: err}
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if attempt < d.opts.IslandRetries && core.IsTransient(err) {
+			islandEpochs.With("retried").Inc()
+			continue
+		}
+		islandEpochs.With("failed").Inc()
+		return nil, lastErr
+	}
+}

@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"gdsiiguard/internal/core"
+)
+
+// The guardd cluster wire API:
+//
+//	POST /v1/cluster/island   execute one island epoch (worker)
+//	POST /v1/cluster/join     register a worker with the coordinator
+//	GET  /v1/cluster/nodes    membership snapshot (coordinator)
+//
+// plus the service-level GET /v1/healthz and GET /v1/readyz the
+// coordinator's membership probes.
+
+// maxIslandBody bounds island request bodies: a DEF upload dominates the
+// size, mirroring the service API's cap. A variable so tests can shrink it.
+var maxIslandBody int64 = 32 << 20 // 32 MiB
+
+// retryAfterSeconds is the back-off hint sent with saturation 503s.
+const retryAfterSeconds = "2"
+
+// errorResponse is the cluster API's error body. Stage/Class/Transient
+// carry the core error taxonomy across the node boundary, so the
+// coordinator reconstructs a typed error instead of a flattened string.
+type errorResponse struct {
+	Error     string `json:"error"`
+	Stage     string `json:"stage,omitempty"`
+	Class     string `json:"class,omitempty"`
+	Transient bool   `json:"transient,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeTypedError renders err with its taxonomy. Saturation maps to 503 +
+// Retry-After so well-behaved coordinators back off instead of hammering.
+func writeTypedError(w http.ResponseWriter, status int, err error) {
+	if errors.Is(err, ErrSaturated) {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{
+		Error:     err.Error(),
+		Stage:     string(core.StageOf(err)),
+		Class:     string(core.Classify(err)),
+		Transient: core.IsTransient(err),
+	})
+}
+
+// decodeTypedError reconstructs the worker-side error from a cluster API
+// error body, preserving stage and class through core.FlowError so
+// core.StageOf/Classify give the coordinator the same answers they would
+// in-process.
+func decodeTypedError(status int, body []byte, retryAfter string) error {
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		er.Error = strings.TrimSpace(string(body))
+		if er.Error == "" {
+			er.Error = http.StatusText(status)
+		}
+	}
+	base := errors.New(er.Error)
+	switch {
+	case er.Stage != "" && er.Class != "":
+		return &core.FlowError{Stage: core.Stage(er.Stage), Class: core.ErrClass(er.Class), Err: base}
+	case er.Transient || status == http.StatusServiceUnavailable:
+		return &transportError{msg: er.Error, transient: true}
+	default:
+		return &transportError{msg: er.Error}
+	}
+}
+
+// transportError is a node-level (non-flow) failure crossing the HTTP
+// boundary; saturation and 5xx responses mark it transient so the driver
+// retries the island on another node.
+type transportError struct {
+	msg       string
+	transient bool
+}
+
+func (e *transportError) Error() string   { return "cluster: " + e.msg }
+func (e *transportError) Transient() bool { return e.transient }
+
+// NewWorkerHandler serves a Worker's island execution over HTTP.
+func NewWorkerHandler(w *Worker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/island", func(rw http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(rw, r.Body, maxIslandBody)
+		var req IslandRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeTypedError(rw, http.StatusBadRequest,
+					fmt.Errorf("cluster: island request exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			writeTypedError(rw, http.StatusBadRequest, fmt.Errorf("cluster: bad island request: %w", err))
+			return
+		}
+		res, err := w.RunIsland(r.Context(), req)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if core.Classify(err) == core.ClassCanceled {
+				// The client went away; the status is best-effort.
+				status = 499
+			} else if req.Validate() != nil {
+				status = http.StatusBadRequest
+			}
+			writeTypedError(rw, status, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, res)
+	})
+	return mux
+}
+
+// joinRequest is the worker-side registration body.
+type joinRequest struct {
+	// ID is the joining node's identity; URL its reachable base address.
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// NewCoordinatorHandler serves membership management: workers join with
+// POST /v1/cluster/join and operators inspect GET /v1/cluster/nodes. A
+// join is admitted only after the coordinator successfully probes the
+// advertised URL — an unknown or unreachable node is rejected, not added.
+func NewCoordinatorHandler(ms *Membership) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/join", func(rw http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(rw, r.Body, 1<<20)
+		var req joinRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeTypedError(rw, http.StatusBadRequest, fmt.Errorf("cluster: bad join request: %w", err))
+			return
+		}
+		if req.ID == "" || req.URL == "" {
+			writeTypedError(rw, http.StatusBadRequest, fmt.Errorf("cluster: join needs id and url"))
+			return
+		}
+		if _, err := url.ParseRequestURI(req.URL); err != nil {
+			writeTypedError(rw, http.StatusBadRequest, fmt.Errorf("cluster: bad join url: %w", err))
+			return
+		}
+		node := NewHTTPNode(req.ID, req.URL, nil)
+		probeCtx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		defer cancel()
+		if err := node.Ping(probeCtx); err != nil {
+			writeTypedError(rw, http.StatusBadGateway,
+				fmt.Errorf("cluster: refusing unknown node %q: probe of %s failed: %w", req.ID, req.URL, err))
+			return
+		}
+		ms.Add(node)
+		writeJSON(rw, http.StatusOK, map[string]any{"joined": req.ID, "nodes": ms.Len()})
+	})
+	mux.HandleFunc("GET /v1/cluster/nodes", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{"nodes": ms.Nodes()})
+	})
+	return mux
+}
+
+// HTTPNode speaks the cluster wire API to a remote guardd worker.
+type HTTPNode struct {
+	id     string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPNode creates a node client for the worker at base (e.g.
+// "http://10.0.0.7:8477"). A nil client uses a default with sane timeouts
+// for long island epochs.
+func NewHTTPNode(id, base string, client *http.Client) *HTTPNode {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Minute}
+	}
+	return &HTTPNode{id: id, base: strings.TrimRight(base, "/"), client: client}
+}
+
+// ID returns the node identity.
+func (n *HTTPNode) ID() string { return n.id }
+
+// Ping probes the worker's liveness and drain-aware readiness.
+func (n *HTTPNode) Ping(ctx context.Context) error {
+	for _, path := range []string{"/v1/healthz", "/v1/readyz"} {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("cluster: probe %s: %w", path, err)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cluster: probe %s: %s", path, resp.Status)
+		}
+	}
+	return nil
+}
+
+// RunIsland executes one island epoch on the remote worker, reconstructing
+// typed worker-side failures from the error body.
+func (n *HTTPNode) RunIsland(ctx context.Context, req IslandRequest) (*IslandResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		n.base+"/v1/cluster/island", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(hreq)
+	if err != nil {
+		return nil, &transportError{msg: err.Error(), transient: true}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, &transportError{msg: err.Error(), transient: true}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeTypedError(resp.StatusCode, data, resp.Header.Get("Retry-After"))
+	}
+	var res IslandResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, &transportError{msg: fmt.Sprintf("bad island response: %v", err)}
+	}
+	return &res, nil
+}
+
+// JoinCoordinator registers a worker with a coordinator, retrying with a
+// fixed delay until ctx is done (workers typically race coordinator
+// startup, so one-shot registration would be fragile).
+func JoinCoordinator(ctx context.Context, coordinatorURL, id, advertiseURL string) error {
+	body, _ := json.Marshal(joinRequest{ID: id, URL: advertiseURL})
+	client := &http.Client{Timeout: 10 * time.Second}
+	target := strings.TrimRight(coordinatorURL, "/") + "/v1/cluster/join"
+	var lastErr error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = decodeTypedError(resp.StatusCode, data, "")
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return fmt.Errorf("cluster: join %s: %w (last: %v)", coordinatorURL, ctx.Err(), lastErr)
+			}
+			return ctx.Err()
+		case <-time.After(2 * time.Second):
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/core"
+)
+
+// newWorkerServer serves a cluster worker plus the health endpoints a real
+// guardd worker exposes (Ping probes them).
+func newWorkerServer(t *testing.T, w *Worker) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/cluster/island", NewWorkerHandler(w))
+	mux.HandleFunc("GET /v1/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{"ready": true})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestHTTPNodeRoundTrip runs the same island epoch in-process and over
+// HTTP and expects identical results: the transport must not perturb the
+// serialized populations, fronts or counters.
+func TestHTTPNodeRoundTrip(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	w := NewWorker("w0", WorkerOptions{Loader: sharedLoader(base), Parallelism: 2})
+	srv := newWorkerServer(t, w)
+	node := NewHTTPNode("w0", srv.URL, nil)
+
+	if err := node.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	req := IslandRequest{
+		Design:      DesignRef{Benchmark: "PRESENT"},
+		Island:      1,
+		PopSize:     4,
+		Generations: 2,
+		Seed:        7,
+	}
+	direct, err := NewWorker("w0", WorkerOptions{Loader: sharedLoader(base), Parallelism: 2}).
+		RunIsland(context.Background(), req)
+	if err != nil {
+		t.Fatalf("direct RunIsland: %v", err)
+	}
+	remote, err := node.RunIsland(context.Background(), req)
+	if err != nil {
+		t.Fatalf("HTTP RunIsland: %v", err)
+	}
+	if frontKey(direct.Front) != frontKey(remote.Front) {
+		t.Errorf("front changed across transport:\n direct=%s\n remote=%s",
+			frontKey(direct.Front), frontKey(remote.Front))
+	}
+	if len(direct.Population) != len(remote.Population) {
+		t.Fatalf("population size changed: %d vs %d", len(direct.Population), len(remote.Population))
+	}
+	for i := range direct.Population {
+		if direct.Population[i].Key() != remote.Population[i].Key() {
+			t.Errorf("population[%d] changed: %s vs %s",
+				i, direct.Population[i].Key(), remote.Population[i].Key())
+		}
+	}
+	if direct.Evaluations != remote.Evaluations {
+		t.Errorf("evaluations changed: %d vs %d", direct.Evaluations, remote.Evaluations)
+	}
+}
+
+// TestHTTPTypedErrorPreserved sends a request whose worker-side failure
+// carries the flow taxonomy and expects the client to reconstruct it:
+// stage and class must survive the HTTP boundary.
+func TestHTTPTypedErrorPreserved(t *testing.T) {
+	w := NewWorker("w0", WorkerOptions{
+		Loader: func(ctx context.Context, ref DesignRef) (*core.Baseline, error) {
+			return nil, &core.FlowError{
+				Stage: core.StageRoute,
+				Class: core.ClassPermanent,
+				Err:   errors.New("routing blew up"),
+			}
+		},
+	})
+	srv := newWorkerServer(t, w)
+	node := NewHTTPNode("w0", srv.URL, nil)
+	_, err := node.RunIsland(context.Background(),
+		IslandRequest{Design: DesignRef{Benchmark: "PRESENT"}, PopSize: 4, Generations: 1})
+	if err == nil {
+		t.Fatal("RunIsland succeeded with a failing loader")
+	}
+	if got := core.StageOf(err); got != core.StageRoute {
+		t.Errorf("stage = %q, want %q", got, core.StageRoute)
+	}
+	if got := core.Classify(err); got != core.ClassPermanent {
+		t.Errorf("class = %q, want %q", got, core.ClassPermanent)
+	}
+	if core.IsTransient(err) {
+		t.Error("permanent flow error classified transient after transport")
+	}
+}
+
+// TestHTTPSaturation fills the worker's only island slot and expects 503 +
+// Retry-After on the wire and a transient error at the client.
+func TestHTTPSaturation(t *testing.T) {
+	w := NewWorker("w0", WorkerOptions{Loader: sharedLoader(nil), MaxIslands: 1})
+	w.slots <- struct{}{}
+	defer func() { <-w.slots }()
+	srv := newWorkerServer(t, w)
+
+	body := `{"design":{"benchmark":"PRESENT"},"pop_size":4,"generations":1}`
+	resp, err := http.Post(srv.URL+"/v1/cluster/island", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	node := NewHTTPNode("w0", srv.URL, nil)
+	_, err = node.RunIsland(context.Background(),
+		IslandRequest{Design: DesignRef{Benchmark: "PRESENT"}, PopSize: 4, Generations: 1})
+	if err == nil {
+		t.Fatal("RunIsland succeeded against a saturated worker")
+	}
+	if !core.IsTransient(err) {
+		t.Errorf("saturation not transient at the client: %v", err)
+	}
+}
+
+// TestHTTPBoundedBody shrinks the island body cap and expects an oversized
+// request to be rejected with 400 instead of being buffered.
+func TestHTTPBoundedBody(t *testing.T) {
+	old := maxIslandBody
+	maxIslandBody = 256
+	t.Cleanup(func() { maxIslandBody = old })
+
+	w := NewWorker("w0", WorkerOptions{Loader: sharedLoader(nil)})
+	srv := newWorkerServer(t, w)
+	big := `{"design":{"def":"` + strings.Repeat("x", 1024) + `"}}`
+	resp, err := http.Post(srv.URL+"/v1/cluster/island", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400 for oversized body", resp.StatusCode)
+	}
+}
+
+// TestHTTPBadRequests covers malformed island bodies and invalid specs.
+func TestHTTPBadRequests(t *testing.T) {
+	w := NewWorker("w0", WorkerOptions{Loader: sharedLoader(nil)})
+	srv := newWorkerServer(t, w)
+	for name, body := range map[string]string{
+		"not json":      `{{{`,
+		"unknown field": `{"bogus":1}`,
+		"invalid spec":  `{"design":{"benchmark":"PRESENT"},"pop_size":1,"generations":1}`,
+		"no design":     `{"pop_size":4,"generations":1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/cluster/island", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestJoinRejectsUnknownNode expects the coordinator to refuse a join it
+// cannot probe back (502), keep membership clean, and accept a reachable
+// worker.
+func TestJoinRejectsUnknownNode(t *testing.T) {
+	ms := NewMembership()
+	coord := httptest.NewServer(NewCoordinatorHandler(ms))
+	t.Cleanup(coord.Close)
+
+	// A dead advertise URL: grab a port and close it again.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(coord.URL+"/v1/cluster/join", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post(`{"id":"ghost","url":"` + deadURL + `"}`); resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unreachable join status = %d, want 502", resp.StatusCode)
+	}
+	if resp := post(`{"id":"","url":"http://x"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty-id join status = %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"id":"w","url":"not a url"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad-url join status = %d, want 400", resp.StatusCode)
+	}
+	if ms.Len() != 0 {
+		t.Fatalf("membership = %d after rejected joins, want 0", ms.Len())
+	}
+
+	// A real worker joins fine and shows up in the node listing.
+	worker := newWorkerServer(t, NewWorker("w1", WorkerOptions{Loader: sharedLoader(nil)}))
+	if err := JoinCoordinator(context.Background(), coord.URL, "w1", worker.URL); err != nil {
+		t.Fatalf("JoinCoordinator: %v", err)
+	}
+	if ms.Len() != 1 {
+		t.Fatalf("membership = %d after join, want 1", ms.Len())
+	}
+	resp, err := http.Get(coord.URL + "/v1/cluster/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(buf.String(), `"w1"`) {
+		t.Errorf("nodes listing = %d %s, want 200 containing w1", resp.StatusCode, buf.String())
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/obs"
+)
+
+// Node is one guardd worker as the coordinator sees it. Worker implements
+// it in-process; HTTPNode implements it over the guardd cluster JSON API.
+type Node interface {
+	// ID is the node's stable identity (membership, ring and metrics key).
+	ID() string
+	// Ping probes the node's health and drain-aware readiness; a non-nil
+	// error marks the node unhealthy until a later probe succeeds.
+	Ping(ctx context.Context) error
+	// RunIsland executes one island epoch.
+	RunIsland(ctx context.Context, req IslandRequest) (*IslandResult, error)
+}
+
+// member is one node plus the dispatch state the coordinator tracks for it.
+type member struct {
+	node     Node
+	healthy  bool
+	inflight int
+	// ewmaSec is an exponentially weighted mean of recent island epoch
+	// latencies (0 until the first completion), the latency half of the
+	// load-aware dispatch signal.
+	ewmaSec   float64
+	lastErr   error
+	lastProbe time.Time
+}
+
+// NodeInfo is a point-in-time public view of one member.
+type NodeInfo struct {
+	ID       string  `json:"id"`
+	Healthy  bool    `json:"healthy"`
+	InFlight int     `json:"inflight"`
+	EWMASec  float64 `json:"ewma_seconds"`
+	LastErr  string  `json:"last_error,omitempty"`
+}
+
+// Membership tracks the coordinator's worker set: who exists, who is
+// healthy, and how loaded each node is. Dispatch (Acquire) prefers the
+// design's consistent-hash owner for cache affinity but falls through to
+// the least-loaded healthy node when the owner is down or clearly more
+// loaded. All methods are safe for concurrent use.
+type Membership struct {
+	mu      sync.Mutex
+	members map[string]*member
+	ring    *Ring
+}
+
+// NewMembership creates an empty membership.
+func NewMembership() *Membership {
+	return &Membership{
+		members: make(map[string]*member),
+		ring:    NewRing(64),
+	}
+}
+
+// Add registers a node (healthy until a probe says otherwise). Re-adding
+// an ID replaces the node but keeps its ring points stable.
+func (m *Membership) Add(n Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.members[n.ID()]; ok {
+		prev.node = n
+		prev.healthy = true
+		prev.lastErr = nil
+	} else {
+		m.members[n.ID()] = &member{node: n, healthy: true}
+		m.ring.Add(n.ID())
+	}
+	nodeHealthy.With(n.ID()).Set(1)
+	obs.Logger().Info("cluster: node joined", "node", n.ID(), "nodes", len(m.members))
+}
+
+// Remove drops a node from membership and the ring.
+func (m *Membership) Remove(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[id]; !ok {
+		return
+	}
+	delete(m.members, id)
+	m.ring.Remove(id)
+	nodeHealthy.With(id).Set(0)
+	obs.Logger().Info("cluster: node removed", "node", id, "nodes", len(m.members))
+}
+
+// Len returns the member count (healthy or not).
+func (m *Membership) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.members)
+}
+
+// Nodes returns a snapshot of every member, sorted by ID.
+func (m *Membership) Nodes() []NodeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeInfo, 0, len(m.members))
+	for id, mb := range m.members {
+		info := NodeInfo{ID: id, Healthy: mb.healthy, InFlight: mb.inflight, EWMASec: mb.ewmaSec}
+		if mb.lastErr != nil {
+			info.LastErr = mb.lastErr.Error()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Probe pings every member once (concurrently) and updates health state. A
+// node that fails its probe is marked unhealthy and skipped by Acquire
+// until a later probe succeeds.
+func (m *Membership) Probe(ctx context.Context) {
+	m.mu.Lock()
+	targets := make([]*member, 0, len(m.members))
+	for _, mb := range m.members {
+		targets = append(targets, mb)
+	}
+	m.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, mb := range targets {
+		wg.Add(1)
+		go func(mb *member) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			err := mb.node.Ping(pctx)
+			cancel()
+			m.mu.Lock()
+			was := mb.healthy
+			mb.healthy = err == nil
+			mb.lastErr = err
+			mb.lastProbe = time.Now()
+			m.mu.Unlock()
+			if err == nil {
+				nodeHealthy.With(mb.node.ID()).Set(1)
+			} else {
+				nodeHealthy.With(mb.node.ID()).Set(0)
+			}
+			if was != (err == nil) {
+				obs.Logger().Warn("cluster: node health changed",
+					"node", mb.node.ID(), "healthy", err == nil, "error", err)
+			}
+		}(mb)
+	}
+	wg.Wait()
+}
+
+// StartProbing probes all members every interval until ctx is done.
+func (m *Membership) StartProbing(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				m.Probe(ctx)
+			}
+		}
+	}()
+}
+
+// ErrNoNodes is returned by Acquire when no healthy node exists.
+var ErrNoNodes = fmt.Errorf("cluster: no healthy nodes")
+
+// Acquire picks a node for key and reserves one in-flight slot on it:
+// the consistent-hash owner when it is healthy and not clearly more loaded
+// than the best alternative, otherwise the least-loaded healthy node
+// (latency EWMA breaks in-flight ties). Call the returned release exactly
+// once with the epoch's outcome; a failed epoch whose error is not a
+// cancellation marks the node unhealthy until the next successful probe.
+func (m *Membership) Acquire(key string) (Node, func(d time.Duration, err error), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var chosen *member
+	// Preference order: ring sequence from the key's owner.
+	for _, id := range m.ring.Sequence(key, len(m.members)) {
+		if mb := m.members[id]; mb != nil && mb.healthy {
+			chosen = mb
+			break
+		}
+	}
+	if chosen == nil {
+		return nil, nil, ErrNoNodes
+	}
+	// Load-aware override: abandon cache affinity when the owner has at
+	// least two more in-flight epochs than the least-loaded healthy node
+	// (ties prefer the lower-latency node).
+	var least *member
+	for _, mb := range m.members {
+		if !mb.healthy {
+			continue
+		}
+		if least == nil || mb.inflight < least.inflight ||
+			(mb.inflight == least.inflight && mb.ewmaSec < least.ewmaSec) {
+			least = mb
+		}
+	}
+	if least != nil && chosen.inflight >= least.inflight+2 {
+		chosen = least
+	}
+	chosen.inflight++
+	nodeInflight.With(chosen.node.ID()).Set(float64(chosen.inflight))
+	node := chosen.node
+	release := func(d time.Duration, err error) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		chosen.inflight--
+		nodeInflight.With(node.ID()).Set(float64(chosen.inflight))
+		if err == nil {
+			const alpha = 0.3
+			if chosen.ewmaSec == 0 {
+				chosen.ewmaSec = d.Seconds()
+			} else {
+				chosen.ewmaSec = alpha*d.Seconds() + (1-alpha)*chosen.ewmaSec
+			}
+			return
+		}
+		// A stage-tagged failure is the flow rejecting this design or
+		// chromosome — the node itself executed fine and stays in rotation.
+		// An untagged, non-cancellation failure (transport loss, injected
+		// node fault, panic outside the flow) marks the node unhealthy
+		// until the next successful probe.
+		if core.StageOf(err) == "" && core.Classify(err) != core.ClassCanceled {
+			chosen.healthy = false
+			chosen.lastErr = err
+			nodeHealthy.With(node.ID()).Set(0)
+		}
+	}
+	return node, release, nil
+}

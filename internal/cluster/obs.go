@@ -1,0 +1,36 @@
+package cluster
+
+import "gdsiiguard/internal/obs"
+
+// Cluster telemetry (exposed by cmd/guardd at /metrics). The node-labeled
+// gauges back the coordinator's load-aware dispatch: Membership feeds the
+// same in-flight and latency state it dispatches on into these series, so
+// an operator sees exactly what the dispatcher sees.
+var (
+	islandGenSeconds = obs.Default().Histogram(
+		"gdsiiguard_cluster_island_generation_seconds",
+		"Mean per-generation wall time of island epochs, by executing node.",
+		nil, "node")
+	islandEpochs = obs.Default().Counter(
+		"gdsiiguard_cluster_island_epochs_total",
+		"Island epochs executed by outcome (ok, failed, retried).",
+		"outcome")
+	migrationsTotal = obs.Default().Counter(
+		"gdsiiguard_cluster_migrations_total",
+		"Elite chromosomes migrated between islands.").With()
+	nodeHealthy = obs.Default().Gauge(
+		"gdsiiguard_cluster_node_healthy",
+		"Node health as seen by the coordinator's membership (1 healthy, 0 down).",
+		"node")
+	nodeInflight = obs.Default().Gauge(
+		"gdsiiguard_cluster_node_inflight",
+		"Island epochs currently executing on each node.",
+		"node")
+	exploresTotal = obs.Default().Counter(
+		"gdsiiguard_cluster_explorations_total",
+		"Distributed explorations by outcome (ok, degraded, failed).",
+		"outcome")
+	degradedIslands = obs.Default().Counter(
+		"gdsiiguard_cluster_islands_degraded_total",
+		"Islands lost mid-exploration and degraded away.").With()
+)

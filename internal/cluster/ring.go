@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. The coordinator keys
+// it by design (plus island index), so a design's islands keep landing on
+// the same workers across explorations — where the design's baseline is
+// already cached — and adding or removing a node only remaps the keys
+// adjacent to its virtual points instead of reshuffling everything.
+//
+// Ring is not safe for concurrent use; Membership serializes access.
+type Ring struct {
+	replicas int
+	hashes   []uint64          // sorted virtual points
+	owner    map[uint64]string // virtual point → node ID
+	nodes    map[string]bool
+}
+
+// NewRing creates a ring with the given virtual-node count per node
+// (minimum 1; 64 is a good default — ±10% key spread across a handful of
+// nodes).
+func NewRing(replicas int) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Ring{
+		replicas: replicas,
+		owner:    make(map[uint64]string),
+		nodes:    make(map[string]bool),
+	}
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a mixes trailing bytes weakly, so near-identical keys
+	// ("design-1", "design-2", ...) land in one narrow arc of the ring and
+	// starve most nodes. A 64-bit avalanche finalizer spreads them.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a node's virtual points; adding a present node is a no-op.
+func (r *Ring) Add(id string) {
+	if r.nodes[id] {
+		return
+	}
+	r.nodes[id] = true
+	for i := 0; i < r.replicas; i++ {
+		h := hashKey(fmt.Sprintf("%s#%d", id, i))
+		if _, taken := r.owner[h]; taken {
+			continue // vanishingly rare 64-bit collision: skip the point
+		}
+		r.owner[h] = id
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Remove deletes a node and its virtual points.
+func (r *Ring) Remove(id string) {
+	if !r.nodes[id] {
+		return
+	}
+	delete(r.nodes, id)
+	kept := r.hashes[:0]
+	for _, h := range r.hashes {
+		if r.owner[h] == id {
+			delete(r.owner, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.hashes = kept
+}
+
+// Len returns the node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns the node owning key (the first virtual point at or after
+// the key's hash, wrapping), or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns up to n distinct nodes in ring order starting at key's
+// successor: the preference order for placing key, so a dispatcher can
+// fall through unhealthy or saturated owners deterministically.
+func (r *Ring) Sequence(key string, n int) []string {
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.hashes) && len(out) < n; i++ {
+		id := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupStableAndComplete(t *testing.T) {
+	r := NewRing(64)
+	if owner := r.Lookup("x"); owner != "" {
+		t.Error("Lookup on an empty ring returned an owner")
+	}
+	nodes := []string{"a", "b", "c"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	owners := map[string]string{}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("design-%d", i)
+		owner := r.Lookup(key)
+		if owner == "" {
+			t.Fatalf("no owner for %s", key)
+		}
+		owners[key] = owner
+		counts[owner]++
+	}
+	// Every node owns a share (64 virtual points make starvation a bug,
+	// not bad luck).
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Errorf("node %s owns no keys: %v", n, counts)
+		}
+	}
+	// Lookups are stable.
+	for key, want := range owners {
+		if got := r.Lookup(key); got != want {
+			t.Errorf("Lookup(%s) moved %s -> %s with no membership change", key, want, got)
+		}
+	}
+	// Removing one node only moves that node's keys.
+	r.Remove("b")
+	for key, was := range owners {
+		got := r.Lookup(key)
+		if got == "" {
+			t.Fatalf("no owner for %s after removal", key)
+		}
+		if was != "b" && got != was {
+			t.Errorf("key %s moved %s -> %s though only b was removed", key, was, got)
+		}
+		if got == "b" {
+			t.Errorf("key %s still owned by removed node", key)
+		}
+	}
+}
+
+func TestRingSequenceDistinct(t *testing.T) {
+	r := NewRing(16)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.Add(n)
+	}
+	seq := r.Sequence("some-design", 4)
+	if len(seq) != 4 {
+		t.Fatalf("Sequence len = %d, want 4", len(seq))
+	}
+	seen := map[string]bool{}
+	for _, id := range seq {
+		if seen[id] {
+			t.Fatalf("duplicate node %s in sequence %v", id, seq)
+		}
+		seen[id] = true
+	}
+	// First element agrees with Lookup.
+	if owner := r.Lookup("some-design"); owner != seq[0] {
+		t.Errorf("Sequence head %s != Lookup owner %s", seq[0], owner)
+	}
+	// Asking for more than exists returns everyone once.
+	if got := r.Sequence("some-design", 99); len(got) != 4 {
+		t.Errorf("over-asked Sequence len = %d, want 4", len(got))
+	}
+}

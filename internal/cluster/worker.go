@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gdsiiguard/internal/benchdesigns"
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/fault"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/nsga2"
+	"gdsiiguard/internal/obs"
+	"gdsiiguard/internal/opencell45"
+	"gdsiiguard/internal/sdc"
+)
+
+// ErrSaturated is returned by RunIsland when the worker is already
+// executing its maximum number of concurrent island epochs. It classifies
+// as transient, so coordinators retry elsewhere (HTTP maps it to 503 with
+// Retry-After).
+var ErrSaturated = &saturatedError{}
+
+type saturatedError struct{}
+
+func (*saturatedError) Error() string   { return "cluster: worker saturated (island slots exhausted)" }
+func (*saturatedError) Transient() bool { return true }
+
+// BaselineLoader resolves a design reference to an evaluated baseline.
+// Workers default to a built-in loader with a small cache; tests and the
+// single-process cluster inject one to share baselines across workers.
+type BaselineLoader func(ctx context.Context, ref DesignRef) (*core.Baseline, error)
+
+// WorkerOptions configures a worker node. Zero values take defaults.
+type WorkerOptions struct {
+	// Loader resolves designs (default: built-in benchmark/DEF loader with
+	// a per-worker cache).
+	Loader BaselineLoader
+	// Budget bounds concurrent flow evaluations across every island this
+	// worker executes — the node-wide admission control. In the
+	// single-process cluster one budget is shared by all workers, making
+	// it cluster-wide. Default: a private budget of Parallelism slots.
+	Budget *nsga2.EvalBudget
+	// Parallelism is the per-island evaluation worker count
+	// (default NumCPU).
+	Parallelism int
+	// MaxIslands caps concurrently executing island epochs
+	// (default NumCPU); excess RunIsland calls fail with ErrSaturated.
+	MaxIslands int
+}
+
+// Worker executes island epochs. It implements Node directly (the
+// in-process transport of the single-binary cluster mode) and backs the
+// HTTP worker endpoint (NewWorkerHandler).
+type Worker struct {
+	id     string
+	opts   WorkerOptions
+	slots  chan struct{}
+	budget *nsga2.EvalBudget
+
+	mu        sync.Mutex
+	baselines map[string]*core.Baseline
+}
+
+// NewWorker creates a worker node with the given ID.
+func NewWorker(id string, opts WorkerOptions) *Worker {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.NumCPU()
+	}
+	if opts.MaxIslands <= 0 {
+		opts.MaxIslands = runtime.NumCPU()
+	}
+	budget := opts.Budget
+	if budget == nil {
+		budget = nsga2.NewEvalBudget(opts.Parallelism)
+	}
+	return &Worker{
+		id:        id,
+		opts:      opts,
+		slots:     make(chan struct{}, opts.MaxIslands),
+		budget:    budget,
+		baselines: make(map[string]*core.Baseline),
+	}
+}
+
+// ID returns the worker's node identity.
+func (w *Worker) ID() string { return w.id }
+
+// Ping reports the in-process worker as always reachable.
+func (w *Worker) Ping(ctx context.Context) error { return ctx.Err() }
+
+// RunIsland executes one island epoch: load (or reuse) the design's
+// baseline, run the requested generations of NSGA-II seeded with the
+// continuation population, and return the final population, the island
+// front and the epoch's counters. Failures keep their typed stage/class
+// taxonomy. Saturation (more concurrent epochs than MaxIslands) fails
+// fast with ErrSaturated instead of queueing unboundedly.
+func (w *Worker) RunIsland(ctx context.Context, req IslandRequest) (*IslandResult, error) {
+	if err := fault.Hit(fault.ClusterIsland); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	select {
+	case w.slots <- struct{}{}:
+		defer func() { <-w.slots }()
+	default:
+		return nil, ErrSaturated
+	}
+	base, err := w.baseline(ctx, req.Design)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	log, err := nsga2.OptimizeCtx(ctx, base, nsga2.Options{
+		PopSize:     req.PopSize,
+		Generations: req.Generations,
+		// Epochs are short and continuation crosses them; intra-epoch
+		// patience would only stop islands that are still migrating.
+		Patience:    -1,
+		Seed:        req.Seed,
+		SeedPop:     req.SeedPop,
+		Parallelism: w.opts.Parallelism,
+		Budget:      w.budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	gens := log.Generations
+	if gens < 1 {
+		gens = 1
+	}
+	genSec := elapsed.Seconds() / float64(gens)
+	islandGenSeconds.With(w.id).Observe(genSec)
+	obs.Logger().Debug("cluster: island epoch complete",
+		"node", w.id, "island", req.Island, "epoch", req.Epoch,
+		"evaluations", len(log.Evaluations), "front", len(log.Front),
+		"gen_seconds", genSec)
+
+	res := &IslandResult{
+		Island:      req.Island,
+		Node:        w.id,
+		Front:       log.Front,
+		Evaluations: len(log.Evaluations),
+		CacheHits:   log.CacheHits,
+		Failures:    log.Failures,
+		GenSeconds:  genSec,
+	}
+	res.Population = make([]core.Params, 0, len(log.Final))
+	for _, in := range log.Final {
+		res.Population = append(res.Population, in.Params.Clone())
+	}
+	return res, nil
+}
+
+// baseline resolves and caches the design's evaluated baseline. Concurrent
+// requests for the same design wait for one another via the lock held
+// around the load (island epochs for one design arrive together, so the
+// first epoch pays the load and the rest hit).
+func (w *Worker) baseline(ctx context.Context, ref DesignRef) (*core.Baseline, error) {
+	if w.opts.Loader != nil {
+		return w.opts.Loader(ctx, ref)
+	}
+	key := ref.Key()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if b, ok := w.baselines[key]; ok {
+		return b, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := loadBaseline(ref)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the per-worker baseline cache: layouts are large and a worker
+	// serves a sharded slice of the design space, so a handful suffices.
+	if len(w.baselines) >= 8 {
+		for k := range w.baselines {
+			delete(w.baselines, k)
+			break
+		}
+	}
+	w.baselines[key] = b
+	return b, nil
+}
+
+// loadBaseline builds a design baseline from its reference, mirroring the
+// public LoadBenchmark/LoadDEF flows at the internal layer.
+func loadBaseline(ref DesignRef) (*core.Baseline, error) {
+	if ref.Benchmark != "" {
+		d, err := benchdesigns.Build(ref.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		return core.EvalBaseline(d.Layout, core.FlowConfig{
+			Constraints: d.Cons,
+			Activity:    d.Spec.Activity,
+			Seed:        1,
+		})
+	}
+	l, err := layout.ReadDEF(bytes.NewReader(ref.DEF), opencell45.MustLoad())
+	if err != nil {
+		return nil, err
+	}
+	if len(ref.Assets) > 0 {
+		if _, err := l.Netlist.MarkCritical(ref.Assets); err != nil {
+			return nil, err
+		}
+	}
+	if ref.ClockPS <= 0 {
+		return nil, fmt.Errorf("cluster: clock period must be positive")
+	}
+	cons := &sdc.Constraints{Clocks: []sdc.Clock{{Name: "clk", Port: "clk", PeriodPS: ref.ClockPS}}}
+	return core.EvalBaseline(l, core.FlowConfig{Constraints: cons, Seed: 1})
+}

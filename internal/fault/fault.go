@@ -43,6 +43,10 @@ const (
 	// Service fires at the top of the service manager's job executor,
 	// outside the flow's per-stage panic containment.
 	Service Point = "service.execute"
+	// ClusterIsland fires at the top of a cluster worker's island
+	// execution (cluster.Worker.RunIsland), letting tests kill individual
+	// islands of a distributed exploration mid-run.
+	ClusterIsland Point = "cluster.island"
 )
 
 // Rule decides which calls at a point fail. Exactly one of Every or Rate

@@ -1,0 +1,61 @@
+package nsga2
+
+import "gdsiiguard/internal/core"
+
+// MergeFronts merges Pareto fronts from independent runs (the islands of a
+// distributed exploration) into one front: individuals are concatenated,
+// deduplicated by parameter key (first occurrence wins — the flow is
+// deterministic, so duplicate keys carry identical metrics), and reduced to
+// the feasible non-dominated subset, sorted by ascending security.
+//
+// Any point non-dominated in the union is non-dominated in every subset
+// containing it, so merging per-island fronts yields exactly the front of
+// the union of all island evaluations. Merging a front with itself is a
+// no-op.
+func MergeFronts(fronts ...[]Individual) []Individual {
+	var all []Individual
+	seen := map[string]bool{}
+	for _, front := range fronts {
+		for _, in := range front {
+			key := in.Params.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			all = append(all, in)
+		}
+	}
+	return paretoFront(all)
+}
+
+// Elites picks up to k migration candidates from a front sorted by
+// security: the endpoints first (the extreme trade-offs carry the most
+// information into a neighbor island), then evenly spaced interior points.
+// The selection is deterministic.
+func Elites(front []Individual, k int) []core.Params {
+	if k <= 0 || len(front) == 0 {
+		return nil
+	}
+	if len(front) <= k {
+		out := make([]core.Params, len(front))
+		for i, in := range front {
+			out[i] = in.Params.Clone()
+		}
+		return out
+	}
+	if k == 1 {
+		return []core.Params{front[0].Params.Clone()}
+	}
+	picked := make([]core.Params, 0, k)
+	seen := map[int]bool{}
+	for i := 0; i < k; i++ {
+		// i spread over [0, len-1] inclusive of both ends.
+		idx := i * (len(front) - 1) / (k - 1)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		picked = append(picked, front[idx].Params.Clone())
+	}
+	return picked
+}

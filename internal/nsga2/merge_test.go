@@ -1,0 +1,167 @@
+package nsga2
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"gdsiiguard/internal/core"
+)
+
+func ind(op core.Operator, scale float64, sec, tns float64) Individual {
+	return Individual{
+		Params:   core.Params{Op: op, LDAGridN: 8, LDAIters: 1, ScaleM: []float64{scale, 1.0}},
+		Metrics:  core.Metrics{Security: sec, TNS: tns},
+		Feasible: true,
+	}
+}
+
+func TestMergeFrontsSelfIsNoOp(t *testing.T) {
+	front := []Individual{
+		ind(core.CS, 1.0, 0.6, -40),
+		ind(core.CS, 1.2, 0.8, -20),
+		ind(core.CS, 1.5, 0.9, -5),
+	}
+	merged := MergeFronts(front, front)
+	if len(merged) != len(front) {
+		t.Fatalf("merging a front with itself changed its size: %d -> %d", len(front), len(merged))
+	}
+	for i := range front {
+		if merged[i].Params.Key() != front[i].Params.Key() {
+			t.Errorf("point %d: key %q != %q", i, merged[i].Params.Key(), front[i].Params.Key())
+		}
+		if merged[i].Metrics != front[i].Metrics {
+			t.Errorf("point %d: metrics changed: %+v != %+v", i, merged[i].Metrics, front[i].Metrics)
+		}
+	}
+}
+
+func TestMergeFrontsDropsDominatedAndDedupes(t *testing.T) {
+	a := []Individual{
+		ind(core.CS, 1.0, 0.6, -40),
+		ind(core.CS, 1.2, 0.8, -20),
+	}
+	// b shares the 1.2 chromosome (must dedupe, not duplicate) and adds a
+	// point dominating a's 0.8/-20 one plus a dominated straggler.
+	b := []Individual{
+		ind(core.CS, 1.2, 0.8, -20),
+		ind(core.LDA, 1.0, 0.7, -10),
+		ind(core.LDA, 1.2, 0.9, -50),
+	}
+	merged := MergeFronts(a, b)
+	keys := map[string]bool{}
+	for _, in := range merged {
+		if keys[in.Params.Key()] {
+			t.Fatalf("duplicate key %q in merged front", in.Params.Key())
+		}
+		keys[in.Params.Key()] = true
+	}
+	// 0.8/-20 is dominated by 0.7/-10 (lower security, lower -TNS).
+	if keys[a[1].Params.Key()] {
+		t.Errorf("dominated point %q survived the merge", a[1].Params.Key())
+	}
+	if !keys[a[0].Params.Key()] || !keys[b[1].Params.Key()] {
+		t.Errorf("non-dominated points missing from merged front: %v", keys)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Metrics.Security < merged[i-1].Metrics.Security {
+			t.Errorf("merged front not sorted by security at %d", i)
+		}
+	}
+}
+
+func TestElitesSpread(t *testing.T) {
+	front := []Individual{
+		ind(core.CS, 1.0, 0.5, -50),
+		ind(core.CS, 1.2, 0.6, -30),
+		ind(core.CS, 1.5, 0.7, -20),
+		ind(core.LDA, 1.0, 0.8, -10),
+		ind(core.LDA, 1.2, 0.9, -5),
+	}
+	got := Elites(front, 3)
+	if len(got) != 3 {
+		t.Fatalf("Elites(5, 3) returned %d params", len(got))
+	}
+	// Endpoints must be included; the middle pick is the spread point.
+	if got[0].Key() != front[0].Params.Key() || got[2].Key() != front[4].Params.Key() {
+		t.Errorf("elites missed the front endpoints: %v", got)
+	}
+	if all := Elites(front, 10); len(all) != len(front) {
+		t.Errorf("Elites with k > len(front) returned %d params", len(all))
+	}
+	if one := Elites(front, 1); len(one) != 1 || one[0].Key() != front[0].Params.Key() {
+		t.Errorf("Elites(_, 1) = %v", one)
+	}
+	if Elites(nil, 3) != nil || Elites(front, 0) != nil {
+		t.Errorf("Elites on empty inputs should be nil")
+	}
+}
+
+// TestIndividualSerializationRoundTrip guards the wire format chromosomes
+// cross node boundaries in: everything the coordinator's merge and the next
+// epoch's seeding consume must survive JSON.
+func TestIndividualSerializationRoundTrip(t *testing.T) {
+	in := Individual{
+		Params:     core.Params{Op: core.LDA, LDAGridN: 16, LDAIters: 2, ScaleM: []float64{1.2, 1.5, 1.0}},
+		Metrics:    core.Metrics{Security: 0.73, ERSites: 42, ERTracks: 11.5, TNS: -123.25, WNS: -7.5, PowerMW: 3.25, DRC: 2},
+		Feasible:   true,
+		Violation:  0,
+		Generation: 3,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Individual
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Params.Key() != in.Params.Key() {
+		t.Errorf("param key changed: %q -> %q", in.Params.Key(), out.Params.Key())
+	}
+	if out.Objectives() != in.Objectives() {
+		t.Errorf("objectives changed: %v -> %v", in.Objectives(), out.Objectives())
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the individual:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestSeedPopInjection checks the island hook: injected chromosomes form
+// the head of the initial population and are deduplicated and capped.
+func TestSeedPopInjection(t *testing.T) {
+	base := buildBase(t, 3, 10, 5)
+	k := base.Layout.Lib().NumLayers()
+	seed := core.DefaultParams(k)
+	seed.ScaleM[0] = 1.5
+	dup := seed.Clone()
+	log, err := Optimize(base, Options{
+		PopSize:     4,
+		Generations: 1,
+		Parallelism: 2,
+		Seed:        11,
+		SeedPop:     []core.Params{seed, dup},
+	})
+	if err != nil {
+		t.Fatalf("Optimize with SeedPop: %v", err)
+	}
+	found := false
+	for _, in := range log.Evaluations {
+		if in.Params.Key() == seed.Key() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("seed chromosome %q was never evaluated", seed.Key())
+	}
+	if len(log.Final) == 0 {
+		t.Errorf("RunLog.Final is empty")
+	}
+
+	bad := seed.Clone()
+	bad.ScaleM[0] = 3.0 // inadmissible scale value
+	if _, err := Optimize(base, Options{PopSize: 4, Generations: 1, SeedPop: []core.Params{bad}}); err == nil {
+		t.Errorf("invalid seed chromosome was accepted")
+	}
+}

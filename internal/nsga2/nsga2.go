@@ -59,6 +59,12 @@ type Options struct {
 	// marked infeasible with maximal constraint violation and recorded in
 	// RunLog.Failures, and the exploration continues.
 	MaxFailureRate float64
+	// SeedPop injects chromosomes into the initial population (island-model
+	// migration and epoch continuation): entries are deduplicated by key and
+	// used in order, ahead of the identity configuration and the random
+	// fill, and truncated at PopSize. Every entry must be admissible for the
+	// baseline's layer count.
+	SeedPop []core.Params
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +143,10 @@ type RunLog struct {
 	// Failures records evaluations that failed after retries and degraded
 	// to infeasible individuals instead of aborting the run.
 	Failures []EvalFailure
+	// Final is the population after the last environmental selection. An
+	// island-model driver seeds the next epoch from it (Options.SeedPop),
+	// so selection pressure carries across epochs.
+	Final []Individual
 }
 
 // EvalFailure is one degraded (failed) evaluation of the run.
@@ -185,12 +195,28 @@ func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog
 	}
 	ev := &evaluator{base: base, opt: opt, budget: budget, cache: map[string]*Individual{}, log: log}
 
-	// Initial population: random points plus the identity configuration.
+	// Initial population: injected seed chromosomes (island migration)
+	// first, then the identity configuration, then random points.
 	var pop []*Individual
 	seen := map[string]bool{}
+	for _, p := range opt.SeedPop {
+		if len(pop) >= opt.PopSize {
+			break
+		}
+		if err := p.Validate(k); err != nil {
+			return nil, fmt.Errorf("nsga2: invalid seed chromosome: %w", err)
+		}
+		if seen[p.Key()] {
+			continue
+		}
+		seen[p.Key()] = true
+		pop = append(pop, &Individual{Params: p.Clone()})
+	}
 	idty := core.DefaultParams(k)
-	pop = append(pop, &Individual{Params: idty})
-	seen[idty.Key()] = true
+	if !seen[idty.Key()] && len(pop) < opt.PopSize {
+		pop = append(pop, &Individual{Params: idty})
+		seen[idty.Key()] = true
+	}
 	for len(pop) < opt.PopSize {
 		p := core.RandomParams(k, rng)
 		if seen[p.Key()] {
@@ -241,6 +267,10 @@ func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog
 	}
 	log.Generations = gen
 	log.Front = paretoFront(log.Evaluations)
+	log.Final = make([]Individual, len(pop))
+	for i, in := range pop {
+		log.Final[i] = *in
+	}
 	return log, nil
 }
 

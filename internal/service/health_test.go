@@ -1,0 +1,55 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthAndReadiness checks the probe pair: liveness stays 200 for the
+// process's whole life, readiness flips to 503 (with Retry-After) the
+// moment a drain begins.
+func TestHealthAndReadiness(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get("/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+	if resp := get("/v1/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz = %d before shutdown, want 200", resp.StatusCode)
+	}
+	if !m.Ready() {
+		t.Error("Ready() = false before shutdown")
+	}
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	if resp := get("/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d while draining, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+	resp := get("/v1/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz = %d after shutdown, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining readyz without Retry-After")
+	}
+	if m.Ready() {
+		t.Error("Ready() = true after shutdown")
+	}
+}

@@ -19,8 +19,24 @@ import (
 //	GET    /v1/jobs/{id}/gdsii  hardened layout as binary GDSII
 //	GET    /v1/benchmarks     built-in benchmark designs
 //	GET    /v1/stats          queue/worker/cache statistics
+//	GET    /v1/healthz        process liveness
+//	GET    /v1/readyz        drain-aware readiness (503 while shutting down)
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Ready() {
+			// Draining: in-flight jobs finish but new work must go
+			// elsewhere, so readiness (and only readiness) flips.
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"ready": false, "reason": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(m, w, r)
 	})
@@ -84,6 +100,11 @@ type exploreJSON struct {
 	Generations int   `json:"generations,omitempty"`
 	Parallelism int   `json:"parallelism,omitempty"`
 	Seed        int64 `json:"seed,omitempty"`
+	// Islands, MigrationInterval and MigrationCount shape the island-model
+	// run on a cluster-enabled server; a single-node server ignores them.
+	Islands           int `json:"islands,omitempty"`
+	MigrationInterval int `json:"migration_interval,omitempty"`
+	MigrationCount    int `json:"migration_count,omitempty"`
 }
 
 func (r *submitRequest) toSpec() Spec {
@@ -105,10 +126,13 @@ func (r *submitRequest) toSpec() Spec {
 	}
 	if r.Explore != nil {
 		spec.Explore = gdsiiguard.ExploreOptions{
-			PopSize:     r.Explore.PopSize,
-			Generations: r.Explore.Generations,
-			Parallelism: r.Explore.Parallelism,
-			Seed:        r.Explore.Seed,
+			PopSize:           r.Explore.PopSize,
+			Generations:       r.Explore.Generations,
+			Parallelism:       r.Explore.Parallelism,
+			Seed:              r.Explore.Seed,
+			Islands:           r.Explore.Islands,
+			MigrationInterval: r.Explore.MigrationInterval,
+			MigrationCount:    r.Explore.MigrationCount,
 		}
 	}
 	return spec
@@ -231,6 +255,20 @@ type explorationJSON struct {
 	// Failures counts evaluations that failed and were degraded during
 	// the exploration (see RunLog.Failures).
 	Failures int `json:"failures,omitempty"`
+	// Islands/Migrations/Degraded describe a distributed island-model run
+	// (all empty for single-process explorations).
+	Islands    int                     `json:"islands,omitempty"`
+	Migrations int                     `json:"migrations,omitempty"`
+	Degraded   []islandDegradationJSON `json:"degraded,omitempty"`
+}
+
+type islandDegradationJSON struct {
+	Island int    `json:"island"`
+	Node   string `json:"node,omitempty"`
+	Epoch  int    `json:"epoch"`
+	Stage  string `json:"stage,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 type attackJSON struct {
@@ -290,7 +328,19 @@ func jobJSON(s Snapshot) jobResponse {
 			Evaluations: res.Exploration.Evaluations,
 			Knee:        res.Exploration.Knee,
 			Failures:    res.Exploration.Failures,
+			Islands:     res.Exploration.Islands,
+			Migrations:  res.Exploration.Migrations,
 			Front:       []paretoPointJSON{},
+		}
+		for _, d := range res.Exploration.Degraded {
+			ex.Degraded = append(ex.Degraded, islandDegradationJSON{
+				Island: d.Island,
+				Node:   d.Node,
+				Epoch:  d.Epoch,
+				Stage:  d.Stage,
+				Class:  d.Class,
+				Error:  d.Err,
+			})
 		}
 		for _, pt := range res.Exploration.Front {
 			ex.Front = append(ex.Front, paretoPointJSON{

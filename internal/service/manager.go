@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gdsiiguard"
+	"gdsiiguard/internal/cluster"
 	"gdsiiguard/internal/core"
 	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/obs"
@@ -40,6 +41,10 @@ type Config struct {
 	// further attempt with ±50% jitter and is cut short by job
 	// cancellation (default 250ms).
 	RetryBackoff time.Duration
+	// Cluster, when set, fans explore jobs out over a distributed
+	// island-model cluster instead of running NSGA-II in-process. Harden
+	// and attack jobs always run locally.
+	Cluster *cluster.Driver
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +173,16 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 
 // Benchmarks lists the built-in designs the service can harden.
 func (m *Manager) Benchmarks() []string { return gdsiiguard.Benchmarks() }
+
+// Ready reports whether the manager accepts new submissions: true until
+// Shutdown begins, false while draining. Backs GET /v1/readyz, so load
+// balancers stop routing to a draining instance while in-flight jobs
+// finish.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}
 
 // Shutdown stops accepting submissions, lets workers drain queued and
 // running jobs, and returns once the pool has exited. If ctx expires
@@ -369,7 +384,12 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*Result, *gdsiiguard.H
 		res.Hardened = &h.Metrics
 		return res, h, nil
 	case KindExplore:
-		ex, err := d.ExploreCtx(ctx, job.Spec.Explore)
+		var ex *gdsiiguard.Exploration
+		if m.cfg.Cluster != nil {
+			ex, err = m.executeClusterExplore(ctx, job)
+		} else {
+			ex, err = d.ExploreCtx(ctx, job.Spec.Explore)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
