@@ -24,6 +24,7 @@
 package cluster
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"time"
 
@@ -54,12 +55,17 @@ func (r DesignRef) Validate() error {
 	return nil
 }
 
-// Key is the design's consistent-hashing and cache identity.
+// Key is the design's consistent-hashing and cache identity. DEF designs
+// are keyed by a content hash of the layout bytes (plus clock and assets),
+// so two different layouts can never share a key — the key decides which
+// cached baseline a worker evaluates against, and a collision would
+// silently evaluate islands against the wrong design.
 func (r DesignRef) Key() string {
 	if r.Benchmark != "" {
 		return "bench:" + r.Benchmark
 	}
-	return fmt.Sprintf("def:%d:%g:%v", len(r.DEF), r.ClockPS, r.Assets)
+	sum := sha256.Sum256(r.DEF)
+	return fmt.Sprintf("def:%x:%g:%v", sum[:16], r.ClockPS, r.Assets)
 }
 
 // IslandRequest is one island epoch: run Generations NSGA-II generations

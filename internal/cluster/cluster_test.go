@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"gdsiiguard/internal/core"
 	"gdsiiguard/internal/fault"
@@ -226,7 +227,135 @@ func TestWorkerSaturation(t *testing.T) {
 	if !core.IsTransient(err) {
 		t.Error("ErrSaturated must classify transient (retry elsewhere)")
 	}
+	if !IsSaturated(err) {
+		t.Error("ErrSaturated must report saturation (backpressure, not failure)")
+	}
+	if d := retryAfterOf(err, 0); d <= 0 {
+		t.Errorf("ErrSaturated retry hint = %v, want positive", d)
+	}
 	<-w.slots
+}
+
+// TestDesignRefKeyContentHash guards the cache/ring identity of uploaded
+// designs: two DEF layouts of equal byte length but different content must
+// never share a key (the key selects which cached baseline a worker
+// evaluates against), while identical references key identically.
+func TestDesignRefKeyContentHash(t *testing.T) {
+	a := DesignRef{DEF: []byte("COMPONENTS 2 ; inst0 INV_X1 100 200"), ClockPS: 500}
+	b := DesignRef{DEF: []byte("COMPONENTS 2 ; inst0 INV_X1 100 300"), ClockPS: 500}
+	if len(a.DEF) != len(b.DEF) {
+		t.Fatal("fixture layouts must have equal length")
+	}
+	if a.Key() == b.Key() {
+		t.Errorf("different DEF contents share key %q", a.Key())
+	}
+	same := DesignRef{DEF: []byte("COMPONENTS 2 ; inst0 INV_X1 100 200"), ClockPS: 500}
+	if a.Key() != same.Key() {
+		t.Errorf("identical references key differently: %q vs %q", a.Key(), same.Key())
+	}
+	if c := (DesignRef{DEF: a.DEF, ClockPS: 600}); c.Key() == a.Key() {
+		t.Error("clock change did not change the key")
+	}
+}
+
+// TestExploreBackpressureOnSaturation runs more islands than the cluster
+// has concurrent island slots: excess islands must wait out the saturation
+// (Retry-After backpressure) instead of burning their retries and
+// degrading, and the front must match an uncontended run of the same spec.
+func TestExploreBackpressureOnSaturation(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	spec := testSpec()
+
+	roomy := newLocalCluster(t, 1, sharedLoader(base), DriverOptions{})
+	want, err := roomy.Explore(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("uncontended Explore: %v", err)
+	}
+
+	ms := NewMembership()
+	ms.Add(NewWorker("tight-0", WorkerOptions{
+		Loader:      sharedLoader(base),
+		Budget:      nsga2.NewEvalBudget(4),
+		Parallelism: 2,
+		MaxIslands:  1, // spec.Islands epochs contend for one slot
+	}))
+	got, err := NewDriver(ms, DriverOptions{}).Explore(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("saturated Explore: %v", err)
+	}
+	if len(got.Degraded) != 0 {
+		t.Fatalf("islands degraded under pure saturation: %+v", got.Degraded)
+	}
+	if frontKey(got.Front) != frontKey(want.Front) {
+		t.Errorf("saturated front differs from uncontended front:\n got=%s\nwant=%s",
+			frontKey(got.Front), frontKey(want.Front))
+	}
+	for _, n := range ms.Nodes() {
+		if !n.Healthy {
+			t.Errorf("node %s marked unhealthy by saturation", n.ID)
+		}
+	}
+}
+
+// TestMembershipProbeRejoinRace re-registers a node while probes are in
+// flight; the race detector flags any unlocked member.node access.
+func TestMembershipProbeRejoinRace(t *testing.T) {
+	ms := NewMembership()
+	ms.Add(NewWorker("w0", WorkerOptions{Loader: sharedLoader(nil)}))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			ms.Add(NewWorker("w0", WorkerOptions{Loader: sharedLoader(nil)}))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		ms.Probe(context.Background())
+	}
+	<-done
+	if n := ms.Nodes(); len(n) != 1 || !n[0].Healthy {
+		t.Errorf("membership after re-join churn = %+v, want one healthy node", n)
+	}
+}
+
+// TestWorkerBaselineSingleflight checks the per-key load isolation: a slow
+// load of one design must not block another design's baseline on the same
+// worker, and concurrent requests for one design share a single load.
+func TestWorkerBaselineSingleflight(t *testing.T) {
+	w := NewWorker("w0", WorkerOptions{})
+	slowKey := DesignRef{Benchmark: "TDEA"}.Key()
+	release := make(chan struct{})
+	w.mu.Lock()
+	w.baselines[slowKey] = &baselineEntry{ready: release} // a load in flight
+	w.mu.Unlock()
+
+	// A different design resolves while the slow load is still pending.
+	fastDone := make(chan error, 1)
+	go func() {
+		_, err := w.baseline(context.Background(), DesignRef{Benchmark: "PRESENT"})
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("independent design load: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("independent design load blocked behind another design's load")
+	}
+
+	// A waiter on the slow design honors cancellation instead of hanging.
+	ctx, cancel := context.WithCancel(context.Background())
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := w.baseline(ctx, DesignRef{Benchmark: "TDEA"})
+		waitDone <- err
+	}()
+	cancel()
+	if err := <-waitDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled waiter returned %v, want context.Canceled", err)
+	}
+	close(release)
 }
 
 // TestAcquirePrefersOwnerAndFailsOver checks dispatch: the consistent-hash

@@ -31,6 +31,15 @@ type DriverOptions struct {
 	// re-dispatched (on a fresh node pick) before the island degrades
 	// (default 1; negative disables).
 	IslandRetries int
+	// SaturationWait bounds how long one island epoch waits, across
+	// re-dispatches, for cluster capacity when every eligible node reports
+	// saturation. Saturation is backpressure, not failure: the driver
+	// sleeps out each node's Retry-After hint and re-dispatches without
+	// burning the island's retry budget, so islands beyond the cluster's
+	// instantaneous capacity queue instead of degrading. Past this bound a
+	// saturated dispatch counts as an ordinary transient failure (default
+	// 10m; negative disables waiting).
+	SaturationWait time.Duration
 }
 
 func (o DriverOptions) withDefaults() DriverOptions {
@@ -53,6 +62,11 @@ func (o DriverOptions) withDefaults() DriverOptions {
 		o.IslandRetries = 1
 	} else if o.IslandRetries < 0 {
 		o.IslandRetries = 0
+	}
+	if o.SaturationWait == 0 {
+		o.SaturationWait = 10 * time.Minute
+	} else if o.SaturationWait < 0 {
+		o.SaturationWait = 0
 	}
 	return o
 }
@@ -276,12 +290,15 @@ type nodeError struct {
 func (e *nodeError) Error() string { return fmt.Sprintf("node %s: %v", e.node, e.err) }
 func (e *nodeError) Unwrap() error { return e.err }
 
-// runIsland dispatches one island epoch through membership, retrying
-// transient failures on a fresh node pick.
+// runIsland dispatches one island epoch through membership. Saturation is
+// backpressure: the driver sleeps out the node's Retry-After hint and
+// re-dispatches, without consuming the retry budget, until SaturationWait
+// is exhausted. Other transient failures retry on a fresh node pick.
 func (d *Driver) runIsland(ctx context.Context, req IslandRequest) (*IslandResult, error) {
 	key := fmt.Sprintf("%s#island-%d", req.Design.Key(), req.Island)
 	var lastErr error
-	for attempt := 0; ; attempt++ {
+	var waited time.Duration
+	for retries := 0; ; {
 		node, release, err := d.ms.Acquire(key)
 		if err != nil {
 			if lastErr != nil {
@@ -300,7 +317,20 @@ func (d *Driver) runIsland(ctx context.Context, req IslandRequest) (*IslandResul
 		if ctx.Err() != nil {
 			return nil, lastErr
 		}
-		if attempt < d.opts.IslandRetries && core.IsTransient(err) {
+		if IsSaturated(err) {
+			if delay := retryAfterOf(err, 50*time.Millisecond); waited+delay <= d.opts.SaturationWait {
+				islandEpochs.With("backpressure").Inc()
+				select {
+				case <-ctx.Done():
+					return nil, lastErr
+				case <-time.After(delay):
+				}
+				waited += delay
+				continue
+			}
+		}
+		if retries < d.opts.IslandRetries && core.IsTransient(err) {
+			retries++
 			islandEpochs.With("retried").Inc()
 			continue
 		}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,7 +66,8 @@ func writeTypedError(w http.ResponseWriter, status int, err error) {
 // decodeTypedError reconstructs the worker-side error from a cluster API
 // error body, preserving stage and class through core.FlowError so
 // core.StageOf/Classify give the coordinator the same answers they would
-// in-process.
+// in-process. A 503 decodes as saturation carrying the worker's
+// Retry-After hint, so the driver waits it out instead of burning retries.
 func decodeTypedError(status int, body []byte, retryAfter string) error {
 	var er errorResponse
 	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
@@ -78,23 +80,45 @@ func decodeTypedError(status int, body []byte, retryAfter string) error {
 	switch {
 	case er.Stage != "" && er.Class != "":
 		return &core.FlowError{Stage: core.Stage(er.Stage), Class: core.ErrClass(er.Class), Err: base}
-	case er.Transient || status == http.StatusServiceUnavailable:
+	case status == http.StatusServiceUnavailable:
+		return &transportError{
+			msg:        er.Error,
+			transient:  true,
+			saturated:  true,
+			retryAfter: parseRetryAfter(retryAfter),
+		}
+	case er.Transient:
 		return &transportError{msg: er.Error, transient: true}
 	default:
 		return &transportError{msg: er.Error}
 	}
 }
 
-// transportError is a node-level (non-flow) failure crossing the HTTP
-// boundary; saturation and 5xx responses mark it transient so the driver
-// retries the island on another node.
-type transportError struct {
-	msg       string
-	transient bool
+// parseRetryAfter reads a Retry-After header's delay-seconds form, falling
+// back to the wire default when absent or malformed.
+func parseRetryAfter(s string) time.Duration {
+	if sec, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && sec >= 0 {
+		return time.Duration(sec) * time.Second
+	}
+	sec, _ := strconv.Atoi(retryAfterSeconds)
+	return time.Duration(sec) * time.Second
 }
 
-func (e *transportError) Error() string   { return "cluster: " + e.msg }
-func (e *transportError) Transient() bool { return e.transient }
+// transportError is a node-level (non-flow) failure crossing the HTTP
+// boundary; saturation and 5xx responses mark it transient so the driver
+// retries the island on another node. Saturation additionally carries the
+// worker's Retry-After hint (see IsSaturated/retryAfterOf).
+type transportError struct {
+	msg        string
+	transient  bool
+	saturated  bool
+	retryAfter time.Duration
+}
+
+func (e *transportError) Error() string             { return "cluster: " + e.msg }
+func (e *transportError) Transient() bool           { return e.transient }
+func (e *transportError) Saturated() bool           { return e.saturated }
+func (e *transportError) RetryAfter() time.Duration { return e.retryAfter }
 
 // NewWorkerHandler serves a Worker's island execution over HTTP.
 func NewWorkerHandler(w *Worker) http.Handler {

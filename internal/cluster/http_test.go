@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"gdsiiguard/internal/core"
 )
@@ -135,6 +136,33 @@ func TestHTTPSaturation(t *testing.T) {
 	}
 	if !core.IsTransient(err) {
 		t.Errorf("saturation not transient at the client: %v", err)
+	}
+	if !IsSaturated(err) {
+		t.Errorf("saturation lost across the HTTP boundary: %v", err)
+	}
+	if d := retryAfterOf(err, 0); d != 2*time.Second {
+		t.Errorf("Retry-After hint = %v across the HTTP boundary, want 2s", d)
+	}
+}
+
+// TestDecodeTypedErrorRetryAfter checks the saturation decode path: a 503
+// keeps its saturation marker and Retry-After hint, malformed hints fall
+// back to the wire default, and non-503 transients carry neither.
+func TestDecodeTypedErrorRetryAfter(t *testing.T) {
+	err := decodeTypedError(http.StatusServiceUnavailable,
+		[]byte(`{"error":"busy","transient":true}`), "7")
+	if !IsSaturated(err) || !core.IsTransient(err) {
+		t.Errorf("503 decoded as %v, want saturated+transient", err)
+	}
+	if d := retryAfterOf(err, 0); d != 7*time.Second {
+		t.Errorf("Retry-After 7 decoded as %v", d)
+	}
+	if d := retryAfterOf(decodeTypedError(http.StatusServiceUnavailable, nil, "soon"), 0); d != 2*time.Second {
+		t.Errorf("malformed Retry-After decoded as %v, want 2s default", d)
+	}
+	plain := decodeTypedError(http.StatusBadGateway, []byte(`{"error":"boom","transient":true}`), "")
+	if IsSaturated(plain) {
+		t.Errorf("non-503 transient decoded as saturated: %v", plain)
 	}
 }
 

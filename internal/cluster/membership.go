@@ -121,37 +121,44 @@ func (m *Membership) Nodes() []NodeInfo {
 // node that fails its probe is marked unhealthy and skipped by Acquire
 // until a later probe succeeds.
 func (m *Membership) Probe(ctx context.Context) {
+	// Snapshot each member's Node under the lock: Add replaces member.node
+	// on a re-join, so the probe goroutines must not read it unlocked.
+	type probeTarget struct {
+		mb   *member
+		node Node
+	}
 	m.mu.Lock()
-	targets := make([]*member, 0, len(m.members))
+	targets := make([]probeTarget, 0, len(m.members))
 	for _, mb := range m.members {
-		targets = append(targets, mb)
+		targets = append(targets, probeTarget{mb: mb, node: mb.node})
 	}
 	m.mu.Unlock()
 
 	var wg sync.WaitGroup
-	for _, mb := range targets {
+	for _, t := range targets {
 		wg.Add(1)
-		go func(mb *member) {
+		go func(t probeTarget) {
 			defer wg.Done()
+			id := t.node.ID()
 			pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-			err := mb.node.Ping(pctx)
+			err := t.node.Ping(pctx)
 			cancel()
 			m.mu.Lock()
-			was := mb.healthy
-			mb.healthy = err == nil
-			mb.lastErr = err
-			mb.lastProbe = time.Now()
+			was := t.mb.healthy
+			t.mb.healthy = err == nil
+			t.mb.lastErr = err
+			t.mb.lastProbe = time.Now()
 			m.mu.Unlock()
 			if err == nil {
-				nodeHealthy.With(mb.node.ID()).Set(1)
+				nodeHealthy.With(id).Set(1)
 			} else {
-				nodeHealthy.With(mb.node.ID()).Set(0)
+				nodeHealthy.With(id).Set(0)
 			}
 			if was != (err == nil) {
 				obs.Logger().Warn("cluster: node health changed",
-					"node", mb.node.ID(), "healthy", err == nil, "error", err)
+					"node", id, "healthy", err == nil, "error", err)
 			}
-		}(mb)
+		}(t)
 	}
 	wg.Wait()
 }
@@ -233,10 +240,11 @@ func (m *Membership) Acquire(key string) (Node, func(d time.Duration, err error)
 		}
 		// A stage-tagged failure is the flow rejecting this design or
 		// chromosome — the node itself executed fine and stays in rotation.
-		// An untagged, non-cancellation failure (transport loss, injected
-		// node fault, panic outside the flow) marks the node unhealthy
-		// until the next successful probe.
-		if core.StageOf(err) == "" && core.Classify(err) != core.ClassCanceled {
+		// Saturation is backpressure from a healthy-but-busy node, not a
+		// fault. Any other untagged, non-cancellation failure (transport
+		// loss, injected node fault, panic outside the flow) marks the node
+		// unhealthy until the next successful probe.
+		if core.StageOf(err) == "" && core.Classify(err) != core.ClassCanceled && !IsSaturated(err) {
 			chosen.healthy = false
 			chosen.lastErr = err
 			nodeHealthy.With(node.ID()).Set(0)

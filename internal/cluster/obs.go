@@ -13,7 +13,7 @@ var (
 		nil, "node")
 	islandEpochs = obs.Default().Counter(
 		"gdsiiguard_cluster_island_epochs_total",
-		"Island epochs executed by outcome (ok, failed, retried).",
+		"Island epochs executed by outcome (ok, failed, retried, backpressure).",
 		"outcome")
 	migrationsTotal = obs.Default().Counter(
 		"gdsiiguard_cluster_migrations_total",

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,33 @@ type saturatedError struct{}
 
 func (*saturatedError) Error() string   { return "cluster: worker saturated (island slots exhausted)" }
 func (*saturatedError) Transient() bool { return true }
+func (*saturatedError) Saturated() bool { return true }
+
+// RetryAfter is the in-process back-off hint before re-dispatching (the
+// HTTP transport carries the worker's Retry-After header instead).
+func (*saturatedError) RetryAfter() time.Duration { return 50 * time.Millisecond }
+
+// IsSaturated reports whether err is a worker capacity rejection —
+// ErrSaturated in-process, or a 503 across the HTTP boundary. Saturation
+// is backpressure to wait out, not a node fault: the driver re-dispatches
+// after the err's Retry-After hint without burning the island's retry
+// budget, and membership keeps the node in rotation.
+func IsSaturated(err error) bool {
+	var s interface{ Saturated() bool }
+	return errors.As(err, &s) && s.Saturated()
+}
+
+// retryAfterOf returns err's back-off hint (the Retry-After header across
+// HTTP), or def when err carries none.
+func retryAfterOf(err error, def time.Duration) time.Duration {
+	var r interface{ RetryAfter() time.Duration }
+	if errors.As(err, &r) {
+		if d := r.RetryAfter(); d > 0 {
+			return d
+		}
+	}
+	return def
+}
 
 // BaselineLoader resolves a design reference to an evaluated baseline.
 // Workers default to a built-in loader with a small cache; tests and the
@@ -62,7 +90,16 @@ type Worker struct {
 	budget *nsga2.EvalBudget
 
 	mu        sync.Mutex
-	baselines map[string]*core.Baseline
+	baselines map[string]*baselineEntry
+}
+
+// baselineEntry is one design's cache slot; ready closes when the load
+// finishes (per-key singleflight: concurrent epochs for the same design
+// wait on it, while other designs load independently).
+type baselineEntry struct {
+	ready chan struct{}
+	b     *core.Baseline
+	err   error
 }
 
 // NewWorker creates a worker node with the given ID.
@@ -82,7 +119,7 @@ func NewWorker(id string, opts WorkerOptions) *Worker {
 		opts:      opts,
 		slots:     make(chan struct{}, opts.MaxIslands),
 		budget:    budget,
-		baselines: make(map[string]*core.Baseline),
+		baselines: make(map[string]*baselineEntry),
 	}
 }
 
@@ -158,25 +195,28 @@ func (w *Worker) RunIsland(ctx context.Context, req IslandRequest) (*IslandResul
 	return res, nil
 }
 
-// baseline resolves and caches the design's evaluated baseline. Concurrent
-// requests for the same design wait for one another via the lock held
-// around the load (island epochs for one design arrive together, so the
-// first epoch pays the load and the rest hit).
+// baseline resolves and caches the design's evaluated baseline with
+// per-key singleflight: concurrent epochs for the same design share one
+// load (the first pays, the rest wait on its entry), while loads of
+// different designs proceed independently — one slow DEF never blocks
+// another design's epochs on this node.
 func (w *Worker) baseline(ctx context.Context, ref DesignRef) (*core.Baseline, error) {
 	if w.opts.Loader != nil {
 		return w.opts.Loader(ctx, ref)
 	}
 	key := ref.Key()
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if b, ok := w.baselines[key]; ok {
-		return b, nil
+	if e, ok := w.baselines[key]; ok {
+		w.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.b, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	b, err := loadBaseline(ref)
-	if err != nil {
+		w.mu.Unlock()
 		return nil, err
 	}
 	// Bound the per-worker baseline cache: layouts are large and a worker
@@ -187,8 +227,21 @@ func (w *Worker) baseline(ctx context.Context, ref DesignRef) (*core.Baseline, e
 			break
 		}
 	}
-	w.baselines[key] = b
-	return b, nil
+	e := &baselineEntry{ready: make(chan struct{})}
+	w.baselines[key] = e
+	w.mu.Unlock()
+
+	e.b, e.err = loadBaseline(ref)
+	close(e.ready)
+	if e.err != nil {
+		// Failed loads don't stay cached; the next request retries.
+		w.mu.Lock()
+		if w.baselines[key] == e {
+			delete(w.baselines, key)
+		}
+		w.mu.Unlock()
+	}
+	return e.b, e.err
 }
 
 // loadBaseline builds a design baseline from its reference, mirroring the

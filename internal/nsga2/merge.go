@@ -31,7 +31,9 @@ func MergeFronts(fronts ...[]Individual) []Individual {
 // Elites picks up to k migration candidates from a front sorted by
 // security: the endpoints first (the extreme trade-offs carry the most
 // information into a neighbor island), then evenly spaced interior points.
-// The selection is deterministic.
+// Emission order matters — migrants seed the head of the receiver's next
+// population and are truncated from the tail on overflow, so the endpoints
+// lead to guarantee they survive. The selection is deterministic.
 func Elites(front []Individual, k int) []core.Params {
 	if k <= 0 || len(front) == 0 {
 		return nil
@@ -48,14 +50,18 @@ func Elites(front []Individual, k int) []core.Params {
 	}
 	picked := make([]core.Params, 0, k)
 	seen := map[int]bool{}
-	for i := 0; i < k; i++ {
-		// i spread over [0, len-1] inclusive of both ends.
-		idx := i * (len(front) - 1) / (k - 1)
+	add := func(idx int) {
 		if seen[idx] {
-			continue
+			return
 		}
 		seen[idx] = true
 		picked = append(picked, front[idx].Params.Clone())
+	}
+	add(0)
+	add(len(front) - 1)
+	for i := 1; i < k-1; i++ {
+		// i spread over the interior of [0, len-1].
+		add(i * (len(front) - 1) / (k - 1))
 	}
 	return picked
 }

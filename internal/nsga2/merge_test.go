@@ -82,9 +82,13 @@ func TestElitesSpread(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("Elites(5, 3) returned %d params", len(got))
 	}
-	// Endpoints must be included; the middle pick is the spread point.
-	if got[0].Key() != front[0].Params.Key() || got[2].Key() != front[4].Params.Key() {
-		t.Errorf("elites missed the front endpoints: %v", got)
+	// Endpoints lead (they must survive seed-pop truncation at the
+	// receiver); interior spread points follow.
+	if got[0].Key() != front[0].Params.Key() || got[1].Key() != front[4].Params.Key() {
+		t.Errorf("elites did not lead with the front endpoints: %v", got)
+	}
+	if got[2].Key() != front[2].Params.Key() {
+		t.Errorf("interior spread pick = %q, want %q", got[2].Key(), front[2].Params.Key())
 	}
 	if all := Elites(front, 10); len(all) != len(front) {
 		t.Errorf("Elites with k > len(front) returned %d params", len(all))
