@@ -7,6 +7,7 @@
 //
 //	guardd [-addr :8477] [-workers N] [-queue 64] [-job-timeout 15m]
 //	       [-cache 8] [-retention 256] [-pprof] [-log-level info]
+//	       [-state-dir DIR]
 //	       [-coordinator] [-worker] [-join URL] [-advertise URL]
 //	       [-local-islands N] [-islands 4] [-migration-interval 2]
 //	       [-migration-count 2]
@@ -44,6 +45,13 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: the server stops accepting
 // requests (readiness flips to 503 while liveness stays 200), queued and
 // running jobs drain up to -drain-timeout, then the process exits.
+//
+// With -state-dir, guardd is crash-safe: job specs, state transitions,
+// exploration checkpoints and results are written to per-job CRC-checked
+// write-ahead logs under the directory, and a restart with the same
+// -state-dir replays them — finished jobs reappear in the result store and
+// interrupted jobs re-queue, resuming explorations from their last durable
+// checkpoint.
 package main
 
 import (
@@ -62,6 +70,8 @@ import (
 	"time"
 
 	"gdsiiguard/internal/cluster"
+	"gdsiiguard/internal/durable"
+	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/nsga2"
 	"gdsiiguard/internal/obs"
 	"gdsiiguard/internal/service"
@@ -95,6 +105,7 @@ func main() {
 		retryBackoff = flag.Duration("retry-backoff", 250*time.Millisecond, "base delay before a transient-failure retry")
 		withPprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logLevel     = flag.String("log-level", "info", "structured log level (debug, info, warn, error)")
+		stateDir     = flag.String("state-dir", "", "durable state directory: jobs and exploration checkpoints survive restarts (empty: in-memory only)")
 	)
 	var cc clusterConfig
 	flag.BoolVar(&cc.coordinator, "coordinator", false, "run as cluster coordinator (fan explore jobs out to joined workers)")
@@ -123,7 +134,14 @@ func main() {
 		host, _ := os.Hostname()
 		cc.nodeID = host + *addr
 	}
-	if err := run(*addr, *withPprof, service.Config{
+	// Crash-harness hook: GDSIIGUARD_CRASH_POINT arms a SIGKILL at a named
+	// fault point, so the kill-and-restart recovery tests exercise the same
+	// binary operators deploy. A no-op unless the variable is set.
+	if _, err := fault.ArmCrashFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "guardd:", err)
+		os.Exit(2)
+	}
+	cfg := service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		JobTimeout:   *jobTimeout,
@@ -131,7 +149,17 @@ func main() {
 		Retention:    *retention,
 		MaxAttempts:  *maxAttempts,
 		RetryBackoff: *retryBackoff,
-	}, cc, *drainTimeout); err != nil {
+	}
+	if *stateDir != "" {
+		st, err := durable.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "guardd:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	if err := run(*addr, *withPprof, cfg, cc, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "guardd:", err)
 		os.Exit(1)
 	}

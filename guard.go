@@ -249,6 +249,18 @@ type ExploreOptions struct {
 	// elite migrations; MigrationCount how many elites migrate each time.
 	// Cluster mode only, defaults come from the cluster configuration.
 	MigrationInterval, MigrationCount int
+	// Checkpoint, when set, receives an opaque serialized snapshot of the
+	// optimizer state after every completed generation; persisting the
+	// latest blob makes the exploration resumable after a crash. The hook
+	// runs synchronously on the optimizer goroutine; an error aborts the
+	// exploration. Never serialized with the options.
+	Checkpoint func(state []byte) error `json:"-"`
+	// Resume, when non-empty, is a blob from a previous run's Checkpoint
+	// hook; the exploration continues that run's trajectory instead of
+	// starting over, and produces the exact front the uninterrupted run
+	// would have. PopSize, Seed and the design must match the original
+	// run. Never serialized with the options.
+	Resume []byte `json:"-"`
 }
 
 // ParetoPoint is one solution of the explored front.
@@ -303,12 +315,29 @@ func (d *Design) ExploreCtx(ctx context.Context, opt ExploreOptions) (*Explorati
 	if seed == 0 {
 		seed = 1
 	}
-	log, err := nsga2.OptimizeCtx(ctx, d.base, nsga2.Options{
+	nopt := nsga2.Options{
 		PopSize:     opt.PopSize,
 		Generations: opt.Generations,
 		Parallelism: opt.Parallelism,
 		Seed:        seed,
-	})
+	}
+	if hook := opt.Checkpoint; hook != nil {
+		nopt.Checkpoint = func(cp *nsga2.Checkpoint) error {
+			blob, err := cp.Marshal()
+			if err != nil {
+				return err
+			}
+			return hook(blob)
+		}
+	}
+	if len(opt.Resume) > 0 {
+		cp, err := nsga2.UnmarshalCheckpoint(opt.Resume)
+		if err != nil {
+			return nil, err
+		}
+		nopt.Resume = cp
+	}
+	log, err := nsga2.OptimizeCtx(ctx, d.base, nopt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/nsga2"
+)
+
+// IslandCheckpoint is one island's continuation state inside an
+// EpochCheckpoint.
+type IslandCheckpoint struct {
+	// Alive reports whether the island had survived up to the checkpoint;
+	// a degraded island stays dead across a resume.
+	Alive bool `json:"alive"`
+	// Seed is the island's next-epoch seed population — the ring
+	// neighbor's migrated elites first, then the island's own final
+	// population. Unused when the checkpoint's epoch is the final one.
+	Seed []core.Params `json:"seed,omitempty"`
+}
+
+// EpochCheckpoint is the coordinator's complete continuation state after
+// one finished epoch of a distributed exploration: which islands are
+// alive, what each one's next seed population is (migration already
+// applied), every island front accumulated so far in merge order, and the
+// result counters. Resuming an ExploreSpec from it restarts the epoch
+// loop at Epoch+1 and — because island seeds derive purely from
+// (spec seed, island, epoch) — reproduces exactly the front an
+// uninterrupted run computes.
+type EpochCheckpoint struct {
+	// Seed and Islands fingerprint the spec the checkpoint belongs to;
+	// Explore rejects a mismatch instead of silently diverging.
+	Seed    int64 `json:"seed"`
+	Islands int   `json:"islands"`
+	// Epoch is the last completed epoch (0-based); resume restarts the
+	// loop at Epoch+1.
+	Epoch int `json:"epoch"`
+	// States holds every island's alive flag and continuation seed, in
+	// island order.
+	States []IslandCheckpoint `json:"states"`
+	// Fronts accumulates each surviving island epoch's local front, in
+	// the deterministic merge order (epoch-major, island-minor).
+	Fronts [][]nsga2.Individual `json:"fronts,omitempty"`
+	// Evaluations, CacheHits, Failures and Migrations mirror the
+	// ExploreResult counters up to the checkpoint.
+	Evaluations int `json:"evaluations,omitempty"`
+	CacheHits   int `json:"cache_hits,omitempty"`
+	Failures    int `json:"failures,omitempty"`
+	Migrations  int `json:"migrations,omitempty"`
+	// Degraded records islands lost before the checkpoint.
+	Degraded []IslandFailure `json:"degraded,omitempty"`
+}
+
+// Marshal serializes the checkpoint as JSON (the opaque-blob form the
+// service persists in its WAL).
+func (c *EpochCheckpoint) Marshal() ([]byte, error) { return json.Marshal(c) }
+
+// UnmarshalEpochCheckpoint decodes a checkpoint produced by Marshal.
+func UnmarshalEpochCheckpoint(b []byte) (*EpochCheckpoint, error) {
+	var c EpochCheckpoint
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("cluster: undecodable epoch checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// validate rejects a checkpoint that does not belong to this exploration's
+// resolved parameters.
+func (c *EpochCheckpoint) validate(seed int64, islands, epochs int) error {
+	if c.Seed != seed {
+		return fmt.Errorf("cluster: resume checkpoint seed %d does not match exploration seed %d", c.Seed, seed)
+	}
+	if c.Islands != islands {
+		return fmt.Errorf("cluster: resume checkpoint has %d islands, exploration has %d", c.Islands, islands)
+	}
+	if len(c.States) != islands {
+		return fmt.Errorf("cluster: resume checkpoint has %d island states, want %d", len(c.States), islands)
+	}
+	if c.Epoch < 0 || c.Epoch >= epochs {
+		return fmt.Errorf("cluster: resume checkpoint epoch %d out of range [0, %d)", c.Epoch, epochs)
+	}
+	alive := 0
+	for _, st := range c.States {
+		if st.Alive {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("cluster: resume checkpoint has no surviving islands")
+	}
+	return nil
+}
+
+// makeEpochCheckpoint deep-copies the coordinator state after epoch.
+func makeEpochCheckpoint(seed int64, islands, epoch int, states []*islandState, fronts [][]nsga2.Individual, out *ExploreResult) *EpochCheckpoint {
+	cp := &EpochCheckpoint{
+		Seed:        seed,
+		Islands:     islands,
+		Epoch:       epoch,
+		States:      make([]IslandCheckpoint, islands),
+		Fronts:      make([][]nsga2.Individual, len(fronts)),
+		Evaluations: out.Evaluations,
+		CacheHits:   out.CacheHits,
+		Failures:    out.Failures,
+		Migrations:  out.Migrations,
+	}
+	for i, st := range states {
+		cp.States[i] = IslandCheckpoint{Alive: st.alive, Seed: cloneParams(st.seed)}
+	}
+	for i, f := range fronts {
+		cp.Fronts[i] = cloneFront(f)
+	}
+	if len(out.Degraded) > 0 {
+		cp.Degraded = append([]IslandFailure(nil), out.Degraded...)
+	}
+	return cp
+}
+
+func cloneParams(ps []core.Params) []core.Params {
+	if ps == nil {
+		return nil
+	}
+	out := make([]core.Params, len(ps))
+	for i := range ps {
+		out[i] = ps[i].Clone()
+	}
+	return out
+}
+
+func cloneFront(f []nsga2.Individual) []nsga2.Individual {
+	out := make([]nsga2.Individual, len(f))
+	for i := range f {
+		out[i] = f[i]
+		out[i].Params = f[i].Params.Clone()
+	}
+	return out
+}

@@ -141,6 +141,15 @@ type ExploreSpec struct {
 	// when positive.
 	MigrationInterval int
 	MigrationCount    int
+	// Checkpoint, when set, is invoked synchronously after every completed
+	// epoch (migration included) with the coordinator's full continuation
+	// state; an error aborts the exploration. Excluded from serialization —
+	// persistence is the caller's concern.
+	Checkpoint func(*EpochCheckpoint) error `json:"-"`
+	// Resume continues an interrupted exploration at Resume.Epoch+1. The
+	// checkpoint must match the spec's resolved seed and island count;
+	// Explore rejects a mismatch.
+	Resume *EpochCheckpoint `json:"-"`
 }
 
 // IslandFailure records an island lost during a distributed exploration:

@@ -483,3 +483,100 @@ func TestClusterDominatesSingleNode(t *testing.T) {
 		}
 	}
 }
+
+// TestExploreResumeDeterministic is the coordinator half of the crash-safe
+// contract: resuming an exploration from any of its own epoch checkpoints
+// must reproduce the uninterrupted run's merged front and counters exactly,
+// because island seeds derive from (spec seed, island, epoch) and the
+// checkpoint captures the post-migration continuation state.
+func TestExploreResumeDeterministic(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	spec := testSpec()
+
+	var cps []*EpochCheckpoint
+	cspec := spec
+	cspec.Checkpoint = func(cp *EpochCheckpoint) error {
+		cps = append(cps, cp)
+		return nil
+	}
+	d := newLocalCluster(t, 2, sharedLoader(base), DriverOptions{})
+	golden, err := d.Explore(context.Background(), cspec)
+	if err != nil {
+		t.Fatalf("golden Explore: %v", err)
+	}
+	if len(cps) != golden.Epochs {
+		t.Fatalf("captured %d epoch checkpoints, want %d", len(cps), golden.Epochs)
+	}
+
+	for _, cp := range cps {
+		cp := cp
+		t.Run(fmt.Sprintf("resume-from-epoch-%d", cp.Epoch), func(t *testing.T) {
+			// Round-trip through the serialized form the service persists.
+			blob, err := cp.Marshal()
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			restored, err := UnmarshalEpochCheckpoint(blob)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			rspec := spec
+			rspec.Resume = restored
+			// A fresh cluster with a different node count: the resume must
+			// not depend on node assignment either.
+			rd := newLocalCluster(t, 3, sharedLoader(base), DriverOptions{})
+			resumed, err := rd.Explore(context.Background(), rspec)
+			if err != nil {
+				t.Fatalf("resumed Explore: %v", err)
+			}
+			if frontKey(resumed.Front) != frontKey(golden.Front) {
+				t.Errorf("resumed front diverged:\n got %s\nwant %s",
+					frontKey(resumed.Front), frontKey(golden.Front))
+			}
+			if resumed.Evaluations != golden.Evaluations ||
+				resumed.Migrations != golden.Migrations ||
+				resumed.Epochs != golden.Epochs {
+				t.Errorf("counters diverged: evals %d/%d, migrations %d/%d, epochs %d/%d",
+					resumed.Evaluations, golden.Evaluations,
+					resumed.Migrations, golden.Migrations,
+					resumed.Epochs, golden.Epochs)
+			}
+		})
+	}
+}
+
+func TestExploreResumeRejectsMismatch(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	spec := testSpec()
+	var cps []*EpochCheckpoint
+	cspec := spec
+	cspec.Checkpoint = func(cp *EpochCheckpoint) error { cps = append(cps, cp); return nil }
+	d := newLocalCluster(t, 2, sharedLoader(base), DriverOptions{})
+	if _, err := d.Explore(context.Background(), cspec); err != nil {
+		t.Fatal(err)
+	}
+	cp := cps[0]
+
+	for name, mutate := range map[string]func(*ExploreSpec){
+		"seed":    func(s *ExploreSpec) { s.Seed = 99 },
+		"islands": func(s *ExploreSpec) { s.Islands = 2 },
+	} {
+		bad := spec
+		mutate(&bad)
+		bad.Resume = cp
+		if _, err := d.Explore(context.Background(), bad); err == nil {
+			t.Errorf("resume with mismatched %s accepted", name)
+		}
+	}
+}
+
+func TestExploreCheckpointErrorAborts(t *testing.T) {
+	base := testBaseline(t, 3, 10, 5)
+	spec := testSpec()
+	boom := errors.New("wal gone")
+	spec.Checkpoint = func(cp *EpochCheckpoint) error { return boom }
+	d := newLocalCluster(t, 2, sharedLoader(base), DriverOptions{})
+	if _, err := d.Explore(context.Background(), spec); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the checkpoint failure", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/nsga2"
 	"gdsiiguard/internal/obs"
 )
@@ -144,7 +145,34 @@ func (d *Driver) Explore(ctx context.Context, spec ExploreSpec) (*ExploreResult,
 	out := &ExploreResult{Islands: islands}
 	var fronts [][]nsga2.Individual
 
-	for epoch := 0; epoch < epochs; epoch++ {
+	startEpoch := 0
+	if cp := spec.Resume; cp != nil {
+		if err := cp.validate(seed, islands, epochs); err != nil {
+			return nil, err
+		}
+		startEpoch = cp.Epoch + 1
+		for i := range states {
+			states[i].alive = cp.States[i].Alive
+			states[i].seed = cloneParams(cp.States[i].Seed)
+		}
+		fronts = make([][]nsga2.Individual, len(cp.Fronts))
+		for i, f := range cp.Fronts {
+			fronts[i] = cloneFront(f)
+		}
+		out.Evaluations = cp.Evaluations
+		out.CacheHits = cp.CacheHits
+		out.Failures = cp.Failures
+		out.Migrations = cp.Migrations
+		out.Degraded = append([]IslandFailure(nil), cp.Degraded...)
+	}
+
+	for epoch := startEpoch; epoch < epochs; epoch++ {
+		// Crash point: the coordinator dies between epochs. A durable
+		// per-epoch checkpoint must let the restarted coordinator resume at
+		// exactly this epoch instead of re-running the exploration.
+		if err := fault.Hit(fault.ClusterEpoch); err != nil {
+			return nil, fmt.Errorf("cluster: epoch %d: %w", epoch, err)
+		}
 		gens := interval
 		if rem := generations - epoch*interval; rem < gens {
 			gens = rem
@@ -227,29 +255,37 @@ func (d *Driver) Explore(ctx context.Context, spec ExploreSpec) (*ExploreResult,
 		// Ring migration into the next epoch: each surviving island sends
 		// its elites to the next surviving island clockwise; the receiver's
 		// seed is migrants first (guaranteed inclusion), then its own final
-		// population.
-		if epoch == epochs-1 {
-			break
-		}
-		for i := 0; i < islands; i++ {
-			if !states[i].alive {
-				continue
-			}
-			states[i].seed = append([]core.Params(nil), results[i].Population...)
-		}
-		if survivors > 1 && migrate > 0 {
+		// population. Skipped after the final epoch (no next epoch to seed).
+		if epoch < epochs-1 {
 			for i := 0; i < islands; i++ {
 				if !states[i].alive {
 					continue
 				}
-				next := d.nextAlive(states, i)
-				if next == i {
-					continue
+				states[i].seed = append([]core.Params(nil), results[i].Population...)
+			}
+			if survivors > 1 && migrate > 0 {
+				for i := 0; i < islands; i++ {
+					if !states[i].alive {
+						continue
+					}
+					next := d.nextAlive(states, i)
+					if next == i {
+						continue
+					}
+					elites := nsga2.Elites(results[i].Front, migrate)
+					states[next].seed = append(append([]core.Params(nil), elites...), states[next].seed...)
+					out.Migrations += len(elites)
+					migrationsTotal.Add(float64(len(elites)))
 				}
-				elites := nsga2.Elites(results[i].Front, migrate)
-				states[next].seed = append(append([]core.Params(nil), elites...), states[next].seed...)
-				out.Migrations += len(elites)
-				migrationsTotal.Add(float64(len(elites)))
+			}
+		}
+
+		// Checkpoint after migration, so the captured island seeds are
+		// exactly what the next epoch would run with.
+		if spec.Checkpoint != nil {
+			cp := makeEpochCheckpoint(seed, islands, epoch, states, fronts, out)
+			if err := spec.Checkpoint(cp); err != nil {
+				return nil, fmt.Errorf("cluster: checkpoint after epoch %d: %w", epoch, err)
 			}
 		}
 	}

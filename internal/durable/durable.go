@@ -1,0 +1,418 @@
+// Package durable is the crash-safe persistence layer behind guardd's
+// resume-on-restart: an append-only JSON-lines write-ahead log per job,
+// periodically compacted into a snapshot, both fsync'd and CRC-checked.
+//
+// Record format. Every WAL line is
+//
+//	crc32c(payload) in 8 hex digits, one space, payload, '\n'
+//
+// where payload is a compact JSON object {"t": <record type>, "d": <data>}.
+// The CRC (Castagnoli) covers the payload bytes exactly, so any torn or
+// bit-flipped record fails verification. Recovery is truncate-don't-poison:
+// replay stops at the first record that is torn (no trailing newline),
+// corrupt (CRC mismatch) or malformed, truncates the log back to the last
+// valid record, and returns everything before it — a crash mid-append can
+// only ever lose the record being appended, never an earlier one.
+//
+// Snapshots compact the log: Snapshot writes the full reconstructed state
+// as a single CRC-checked record to a temporary file, fsyncs it, renames it
+// over the snapshot file (atomic on POSIX), fsyncs the directory, and only
+// then truncates the WAL. A crash anywhere in that sequence leaves either
+// the old snapshot + full WAL or the new snapshot (+ possibly a stale WAL
+// whose records are harmless to re-apply — appends are idempotent state
+// records, newest wins). Replay returns the snapshot record first, then the
+// WAL tail.
+//
+// Durability policy: every Append and Snapshot fsyncs before returning, so
+// an acknowledged record survives SIGKILL and power loss (subject to the
+// disk honoring flush). The write path is deliberately simple — jobs
+// checkpoint at generation/epoch granularity, so WAL append rate is a few
+// records per second at most and batching would buy nothing.
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"gdsiiguard/internal/fault"
+)
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one replayed WAL or snapshot entry.
+type Record struct {
+	// Type discriminates the record ("spec", "state", "checkpoint", ...);
+	// the store itself does not interpret it.
+	Type string `json:"t"`
+	// Data is the record payload, left raw for the caller to decode.
+	Data json.RawMessage `json:"d,omitempty"`
+}
+
+// Store manages the per-job logs under one state directory. It is safe for
+// concurrent use; per-job serialization is the Log's job.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	open map[string]*Log
+}
+
+// Open creates (if needed) and opens a state directory. The jobs
+// subdirectory is created eagerly so a first List on a fresh directory
+// works.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: empty state directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create state dir: %w", err)
+	}
+	if err := syncDir(filepath.Join(dir, "jobs")); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, open: make(map[string]*Log)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// sanitizeID guards the filesystem mapping: job IDs become file names.
+func sanitizeID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("durable: invalid job id %q", id)
+	}
+	return nil
+}
+
+// Log opens (or creates) the job's write-ahead log. Repeated calls for the
+// same ID return the same *Log.
+func (s *Store) Log(id string) (*Log, error) {
+	if err := sanitizeID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.open[id]; ok {
+		return l, nil
+	}
+	base := filepath.Join(s.dir, "jobs", id)
+	f, err := os.OpenFile(base+".wal", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	l := &Log{id: id, walPath: base + ".wal", snapPath: base + ".snap", f: f}
+	s.open[id] = l
+	return l, nil
+}
+
+// List returns the IDs of every job with persisted state, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("durable: list jobs: %w", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		for _, ext := range []string{".wal", ".snap"} {
+			if strings.HasSuffix(name, ext) {
+				seen[strings.TrimSuffix(name, ext)] = true
+			}
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Remove deletes the job's log and snapshot (retention eviction). Removing
+// a job that was never persisted is a no-op.
+func (s *Store) Remove(id string) error {
+	if err := sanitizeID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if l, ok := s.open[id]; ok {
+		delete(s.open, id)
+		s.mu.Unlock()
+		l.Close()
+		s.mu.Lock()
+	}
+	defer s.mu.Unlock()
+	base := filepath.Join(s.dir, "jobs", id)
+	for _, p := range []string{base + ".wal", base + ".snap"} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("durable: remove %s: %w", p, err)
+		}
+	}
+	return syncDir(filepath.Join(s.dir, "jobs"))
+}
+
+// Quarantine moves a job's unreadable state aside (".bad" suffixes) so a
+// corrupt log can never wedge startup twice, while the bytes stay on disk
+// for post-mortem.
+func (s *Store) Quarantine(id string) error {
+	if err := sanitizeID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if l, ok := s.open[id]; ok {
+		delete(s.open, id)
+		s.mu.Unlock()
+		l.Close()
+		s.mu.Lock()
+	}
+	defer s.mu.Unlock()
+	base := filepath.Join(s.dir, "jobs", id)
+	for _, p := range []string{base + ".wal", base + ".snap"} {
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		if err := os.Rename(p, p+".bad"); err != nil {
+			return fmt.Errorf("durable: quarantine %s: %w", p, err)
+		}
+	}
+	return syncDir(filepath.Join(s.dir, "jobs"))
+}
+
+// Close closes every open log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, l := range s.open {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.open, id)
+	}
+	return first
+}
+
+// Log is one job's append-only WAL plus its compacted snapshot. All methods
+// are safe for concurrent use.
+type Log struct {
+	id       string
+	walPath  string
+	snapPath string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// ID returns the job ID the log belongs to.
+func (l *Log) ID() string { return l.id }
+
+// encode renders one CRC-framed record line.
+func encode(typ string, v any) ([]byte, error) {
+	var data json.RawMessage
+	if v != nil {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("durable: marshal %s record: %w", typ, err)
+		}
+		data = b
+	}
+	payload, err := json.Marshal(Record{Type: typ, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(payload, castagnoli))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeLine verifies and parses one record line (without the trailing
+// newline).
+func decodeLine(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, fmt.Errorf("durable: malformed record framing")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return rec, fmt.Errorf("durable: malformed record CRC: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return rec, fmt.Errorf("durable: record CRC mismatch (want %08x, got %08x)", want, got)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("durable: undecodable record: %w", err)
+	}
+	return rec, nil
+}
+
+// Append marshals v, frames it with a CRC, appends it to the WAL and
+// fsyncs. The record is durable when Append returns.
+func (l *Log) Append(typ string, v any) error {
+	line, err := encode(typ, v)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("durable: log %s is closed", l.id)
+	}
+	// Crash point: a rule with Crash set SIGKILLs the process here, before
+	// the record reaches the file — the kill-and-restart harness's
+	// "crash at WAL append" scenario.
+	if err := fault.Hit(fault.DurableAppend); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("durable: append %s record: %w", typ, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync wal: %w", err)
+	}
+	return nil
+}
+
+// Snapshot atomically replaces the job's snapshot with a single compacted
+// record and truncates the WAL. Crash-ordering: tmp write → tmp fsync →
+// rename → dir fsync → WAL truncate → WAL fsync, so every intermediate
+// crash leaves a recoverable combination (see the package comment).
+func (l *Log) Snapshot(typ string, v any) error {
+	line, err := encode(typ, v)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("durable: log %s is closed", l.id)
+	}
+	tmp := l.snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create snapshot: %w", err)
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.snapPath); err != nil {
+		return fmt.Errorf("durable: publish snapshot: %w", err)
+	}
+	if err := syncDir(filepath.Dir(l.snapPath)); err != nil {
+		return err
+	}
+	// Crash point: the snapshot is durable but the WAL not yet truncated —
+	// the harness's "crash post-snapshot" scenario. Replay must tolerate
+	// the stale WAL tail (newest state record wins).
+	if err := fault.Hit(fault.DurableSnapshot); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: truncate wal: %w", err)
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Replay returns the compacted snapshot (nil if none) and the WAL records
+// appended after it, oldest first. A torn or corrupt WAL tail is truncated
+// back to the last valid record — recovery proceeds from what survived
+// instead of failing startup. A corrupt snapshot is unrecoverable for this
+// job and returns an error (callers quarantine).
+func (l *Log) Replay() (snap *Record, tail []Record, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b, err := os.ReadFile(l.snapPath); err == nil {
+		line := bytes.TrimSuffix(b, []byte("\n"))
+		rec, err := decodeLine(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: snapshot for %s: %w", l.id, err)
+		}
+		snap = &rec
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	if l.f == nil {
+		return nil, nil, fmt.Errorf("durable: log %s is closed", l.id)
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return nil, nil, err
+	}
+	valid := int64(0) // offset just past the last valid record
+	sc := bufio.NewReader(l.f)
+	for {
+		line, err := sc.ReadBytes('\n')
+		if err != nil {
+			// EOF with a partial line is a torn final append; any other
+			// read error also stops replay at the last valid offset.
+			break
+		}
+		rec, err := decodeLine(bytes.TrimSuffix(line, []byte("\n")))
+		if err != nil {
+			// Corrupt record: everything after it is suspect too.
+			break
+		}
+		tail = append(tail, rec)
+		valid += int64(len(line))
+	}
+	if fi, err := l.f.Stat(); err == nil && fi.Size() > valid {
+		if err := l.f.Truncate(valid); err != nil {
+			return nil, nil, fmt.Errorf("durable: truncate torn wal tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := l.f.Seek(0, 2); err != nil { // back to append position
+		return nil, nil, err
+	}
+	return snap, tail, nil
+}
+
+// Close closes the WAL file handle. The log can be reopened via Store.Log
+// only after a new Store is opened on the directory.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package durable
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func openLog(t *testing.T, dir, id string) (*Store, *Log) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	l, err := s.Log(id)
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	return s, l
+}
+
+func replay(t *testing.T, l *Log) (*Record, []Record) {
+	t.Helper()
+	snap, tail, err := l.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return snap, tail
+}
+
+func decode(t *testing.T, rec Record) payload {
+	t.Helper()
+	var p payload
+	if err := json.Unmarshal(rec.Data, &p); err != nil {
+		t.Fatalf("decode %s record: %v", rec.Type, err)
+	}
+	return p
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, l := openLog(t, dir, "job-1")
+	for i := 0; i < 5; i++ {
+		if err := l.Append("state", payload{N: i, S: "running"}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	l.Close()
+
+	_, l2 := openLog(t, dir, "job-1")
+	snap, tail := replay(t, l2)
+	if snap != nil {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	if len(tail) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(tail))
+	}
+	for i, rec := range tail {
+		if rec.Type != "state" || decode(t, rec).N != i {
+			t.Errorf("record %d = %s %s", i, rec.Type, rec.Data)
+		}
+	}
+}
+
+// A torn final append (no newline, partial bytes) must be truncated away,
+// keeping every record before it.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	_, l := openLog(t, dir, "job-1")
+	for i := 0; i < 3; i++ {
+		if err := l.Append("state", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	wal := filepath.Join(dir, "jobs", "job-1.wal")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`0a1b2c3d {"t":"state","d":{"n":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, l2 := openLog(t, dir, "job-1")
+	_, tail := replay(t, l2)
+	if len(tail) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(tail))
+	}
+	// The truncation is physical: a further append then replay must not
+	// resurrect the torn bytes.
+	if err := l2.Append("state", payload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, tail = replay(t, l2)
+	if len(tail) != 4 || decode(t, tail[3]).N != 3 {
+		t.Fatalf("after truncate+append: %d records (last %s)", len(tail), tail[len(tail)-1].Data)
+	}
+}
+
+// A bit-flip inside the final record fails its CRC and truncates it; a
+// bit-flip in an earlier record drops it and everything after it (the tail
+// is suspect once any record is corrupt), never poisoning recovery.
+func TestBitFlipRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, l := openLog(t, dir, "job-1")
+	for i := 0; i < 4; i++ {
+		if err := l.Append("state", payload{N: i, S: strings.Repeat("x", 20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	wal := filepath.Join(dir, "jobs", "job-1.wal")
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	// Flip one payload byte in the last record.
+	last := []byte(lines[3])
+	last[len(last)-5] ^= 0x40
+	corrupted := strings.Join(lines[:3], "") + string(last)
+	if err := os.WriteFile(wal, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, l2 := openLog(t, dir, "job-1")
+	_, tail := replay(t, l2)
+	if len(tail) != 3 {
+		t.Fatalf("replayed %d records after tail bit-flip, want 3", len(tail))
+	}
+	l2.Close()
+
+	// Now corrupt record 1 of the surviving 3: replay keeps only record 0.
+	b, _ = os.ReadFile(wal)
+	lines = strings.SplitAfter(string(b), "\n")
+	mid := []byte(lines[1])
+	mid[12] ^= 0x01
+	if err := os.WriteFile(wal, []byte(lines[0]+string(mid)+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, l3 := openLog(t, dir, "job-1")
+	_, tail = replay(t, l3)
+	if len(tail) != 1 || decode(t, tail[0]).N != 0 {
+		t.Fatalf("replayed %d records after mid-log bit-flip, want 1 (record 0)", len(tail))
+	}
+}
+
+func TestSnapshotCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	_, l := openLog(t, dir, "job-1")
+	for i := 0; i < 3; i++ {
+		if err := l.Append("checkpoint", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot("snap", payload{N: 99}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := l.Append("checkpoint", payload{N: 100}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	if fi, err := os.Stat(filepath.Join(dir, "jobs", "job-1.wal")); err != nil || fi.Size() == 0 {
+		t.Fatalf("wal after snapshot+append: %v (size %d)", err, fi.Size())
+	}
+	_, l2 := openLog(t, dir, "job-1")
+	snap, tail := replay(t, l2)
+	if snap == nil || snap.Type != "snap" || decode(t, *snap).N != 99 {
+		t.Fatalf("snapshot = %+v, want snap/99", snap)
+	}
+	if len(tail) != 1 || decode(t, tail[0]).N != 100 {
+		t.Fatalf("tail = %d records, want just the post-snapshot append", len(tail))
+	}
+}
+
+// An abandoned snapshot temp file (crash between tmp write and rename)
+// must not disturb replay.
+func TestAbandonedSnapshotTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	_, l := openLog(t, dir, "job-1")
+	if err := l.Append("state", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "jobs", "job-1.snap.tmp")
+	if err := os.WriteFile(tmp, []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, tail := replay(t, l)
+	if snap != nil || len(tail) != 1 {
+		t.Fatalf("snap=%v tail=%d, want nil/1", snap, len(tail))
+	}
+}
+
+func TestListAndRemove(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, id := range []string{"job-2", "job-1", "job-3"} {
+		l, err := s.Log(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append("spec", payload{S: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"job-1", "job-2", "job-3"}; len(ids) != 3 || ids[0] != want[0] || ids[2] != want[2] {
+		t.Fatalf("List = %v, want %v", ids, want)
+	}
+	if err := s.Remove("job-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("job-2"); err != nil { // idempotent
+		t.Fatalf("second Remove: %v", err)
+	}
+	ids, _ = s.List()
+	if len(ids) != 2 {
+		t.Fatalf("List after Remove = %v", ids)
+	}
+}
+
+func TestQuarantineMovesAside(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := s.Log("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("spec", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := s.List()
+	if len(ids) != 0 {
+		t.Fatalf("List after quarantine = %v, want empty", ids)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", "job-1.wal.bad")); err != nil {
+		t.Fatalf("quarantined wal missing: %v", err)
+	}
+}
+
+func TestInvalidJobIDRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, id := range []string{"", "a/b", `a\b`, ".."} {
+		if _, err := s.Log(id); err == nil {
+			t.Errorf("Log(%q) accepted", id)
+		}
+	}
+}
+
+// Reopening a store mid-stream (the restart path) must resume appends
+// without clobbering prior records.
+func TestReopenAppendsAfterExistingRecords(t *testing.T) {
+	dir := t.TempDir()
+	_, l := openLog(t, dir, "job-1")
+	if err := l.Append("state", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, l2 := openLog(t, dir, "job-1")
+	if err := l2.Append("state", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, tail := replay(t, l2)
+	if len(tail) != 2 || decode(t, tail[1]).N != 1 {
+		t.Fatalf("tail after reopen+append = %d records", len(tail))
+	}
+}

@@ -1,0 +1,54 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"syscall"
+)
+
+// Environment variables read by ArmCrashFromEnv. The crash harness sets
+// them on a child guardd/test process; the child arms the plan before any
+// durable state is written, runs until the rule fires, and dies by SIGKILL.
+const (
+	// EnvCrashPoint names the injection point to crash at (the Point
+	// string, e.g. "durable.append").
+	EnvCrashPoint = "GDSIIGUARD_CRASH_POINT"
+	// EnvCrashAfter exempts the first N calls at the point, so the harness
+	// can sweep the crash across the schedule (default 0: first call).
+	EnvCrashAfter = "GDSIIGUARD_CRASH_AFTER"
+)
+
+// crashNow terminates the process with an un-catchable SIGKILL — no defers,
+// no atexit, no flushes: exactly what an OOM kill or power cut leaves
+// behind.
+func crashNow() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL delivery is asynchronous in theory; never execute past here.
+	for {
+		os.Exit(137)
+	}
+}
+
+// ArmCrashFromEnv arms a single-shot crash rule from the process
+// environment and reports whether one was armed. Call it early in a
+// process that should participate in a kill-and-restart test; it is a
+// no-op (false) when EnvCrashPoint is unset.
+func ArmCrashFromEnv() (bool, error) {
+	point := os.Getenv(EnvCrashPoint)
+	if point == "" {
+		return false, nil
+	}
+	after := 0
+	if v := os.Getenv(EnvCrashAfter); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return false, fmt.Errorf("fault: bad %s=%q", EnvCrashAfter, v)
+		}
+		after = n
+	}
+	Arm(map[Point]Rule{
+		Point(point): {Every: 1, After: after, Limit: 1, Crash: true},
+	})
+	return true, nil
+}

@@ -47,6 +47,16 @@ const (
 	// execution (cluster.Worker.RunIsland), letting tests kill individual
 	// islands of a distributed exploration mid-run.
 	ClusterIsland Point = "cluster.island"
+	// ClusterEpoch fires at the top of every coordinator epoch iteration
+	// (cluster.Driver.Explore), the mid-epoch crash point of the
+	// kill-and-restart harness.
+	ClusterEpoch Point = "cluster.epoch"
+	// DurableAppend fires inside durable.Log.Append, after the record is
+	// encoded but before any byte reaches the WAL.
+	DurableAppend Point = "durable.append"
+	// DurableSnapshot fires inside durable.Log.Snapshot, after the new
+	// snapshot is durably published but before the WAL is truncated.
+	DurableSnapshot Point = "durable.snapshot"
 )
 
 // Rule decides which calls at a point fail. Exactly one of Every or Rate
@@ -68,6 +78,11 @@ type Rule struct {
 	// Panic makes the injection panic with the *Error instead of
 	// returning it.
 	Panic bool
+	// Crash makes the injection SIGKILL the process instead of returning
+	// an error: the closest deterministic stand-in for an OOM kill or
+	// power loss, un-catchable by any defer. Used by the kill-and-restart
+	// crash harness; see ArmCrashFromEnv.
+	Crash bool
 	// Transient marks injected errors as retryable: the returned *Error
 	// reports Transient() true and classifies as a transient failure.
 	Transient bool
@@ -199,6 +214,9 @@ func Hit(p Point) error {
 		st.fired.Add(1)
 	}
 	err := &Error{Point: p, Call: n, transient: r.Transient, msg: r.Msg}
+	if r.Crash {
+		crashNow()
+	}
 	if r.Panic {
 		panic(err)
 	}

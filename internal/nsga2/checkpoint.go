@@ -1,0 +1,237 @@
+package nsga2
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Checkpoint is a self-contained serialization of a mid-run optimizer
+// state, emitted through Options.Checkpoint after every completed
+// generation and consumed by Options.Resume. A resumed run provably
+// continues the interrupted run's trajectory: the population (in selection
+// order), the memoization cache, the full RunLog so far, the convergence
+// tracker and the RNG stream position are all captured, so generation G+1
+// of a resumed run draws the same random values, evaluates the same
+// chromosomes and selects the same survivors as generation G+1 of an
+// uninterrupted run.
+//
+// Infinity handling: failed individuals carry Violation = +Inf in memory,
+// which JSON cannot represent; checkpoints store 0 for them and restore
+// re-inflates +Inf from the Failed flag.
+type Checkpoint struct {
+	// Seed and PopSize fingerprint the options the checkpoint belongs to;
+	// Resume rejects a mismatch instead of silently diverging.
+	Seed    int64 `json:"seed"`
+	PopSize int   `json:"pop_size"`
+	// Generation is the last completed generation (0: the evaluated
+	// initial population, before any offspring).
+	Generation int `json:"generation"`
+	// RNGDraws is the number of values drawn from the seeded source so
+	// far; resume fast-forwards a fresh source by exactly this many draws
+	// to land on the same stream position.
+	RNGDraws int64 `json:"rng_draws"`
+	// Population is the current population in selection order (order is
+	// part of the trajectory: tournament selection indexes into it).
+	Population []Individual `json:"population"`
+	// Evaluations, CacheHits and Failures mirror the RunLog so far.
+	Evaluations []Individual  `json:"evaluations,omitempty"`
+	CacheHits   int           `json:"cache_hits,omitempty"`
+	Failures    []EvalFailure `json:"failures,omitempty"`
+	// Cache is every memoized evaluation, including degraded (Failed)
+	// entries — without them a resumed run would re-evaluate chromosomes
+	// the original run already paid for, drifting CacheHits.
+	Cache []Individual `json:"cache,omitempty"`
+	// Succeeded/Failed are the failure-rate counters.
+	Succeeded int `json:"succeeded,omitempty"`
+	Failed    int `json:"failed,omitempty"`
+	// FrontKeys and Stale are the convergence tracker: the rank-0 front's
+	// chromosome keys (sorted) and how many consecutive generations the
+	// front has been unchanged.
+	FrontKeys []string `json:"front_keys,omitempty"`
+	Stale     int      `json:"stale,omitempty"`
+}
+
+// Marshal serializes the checkpoint as JSON (the opaque-blob form the
+// service persists in its WAL). Failed individuals are sanitized here as
+// well as in makeCheckpoint, so a checkpoint carrying the in-memory +Inf
+// violation invariant still encodes.
+func (c *Checkpoint) Marshal() ([]byte, error) {
+	cc := *c
+	cc.Population = sanitizeAll(c.Population)
+	cc.Evaluations = sanitizeAll(c.Evaluations)
+	cc.Cache = sanitizeAll(c.Cache)
+	return json.Marshal(&cc)
+}
+
+func sanitizeAll(ins []Individual) []Individual {
+	if ins == nil {
+		return nil
+	}
+	out := make([]Individual, len(ins))
+	for i := range ins {
+		out[i] = sanitize(ins[i])
+	}
+	return out
+}
+
+// UnmarshalCheckpoint decodes a checkpoint produced by Marshal.
+func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("nsga2: undecodable checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// sanitize strips the non-JSON +Inf violation from a checkpointed copy.
+func sanitize(in Individual) Individual {
+	out := in
+	out.Params = in.Params.Clone()
+	if out.Failed {
+		out.Violation = 0
+	}
+	return out
+}
+
+// inflate restores the in-memory invariant Failed ⇒ Violation = +Inf.
+func inflate(in Individual) Individual {
+	out := in
+	out.Params = in.Params.Clone()
+	if out.Failed {
+		out.Violation = math.Inf(1)
+	}
+	return out
+}
+
+// makeCheckpoint snapshots the optimizer state after generation gen.
+func makeCheckpoint(opt Options, gen int, draws int64, pop []*Individual, ev *evaluator, conv *frontTracker) *Checkpoint {
+	cp := &Checkpoint{
+		Seed:        opt.Seed,
+		PopSize:     opt.PopSize,
+		Generation:  gen,
+		RNGDraws:    draws,
+		Population:  make([]Individual, len(pop)),
+		Evaluations: make([]Individual, len(ev.log.Evaluations)),
+		CacheHits:   ev.log.CacheHits,
+		Succeeded:   ev.succeeded,
+		Failed:      ev.failed,
+		Stale:       conv.stale,
+	}
+	for i, in := range pop {
+		cp.Population[i] = sanitize(*in)
+	}
+	for i, in := range ev.log.Evaluations {
+		cp.Evaluations[i] = sanitize(in)
+	}
+	if len(ev.log.Failures) > 0 {
+		cp.Failures = make([]EvalFailure, len(ev.log.Failures))
+		for i, f := range ev.log.Failures {
+			cp.Failures[i] = f
+			cp.Failures[i].Params = f.Params.Clone()
+		}
+	}
+	keys := make([]string, 0, len(ev.cache))
+	for key := range ev.cache {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	cp.Cache = make([]Individual, 0, len(keys))
+	for _, key := range keys {
+		cp.Cache = append(cp.Cache, sanitize(*ev.cache[key]))
+	}
+	for key := range conv.keys {
+		cp.FrontKeys = append(cp.FrontKeys, key)
+	}
+	sort.Strings(cp.FrontKeys)
+	return cp
+}
+
+// validate rejects a checkpoint that does not belong to these options.
+func (c *Checkpoint) validate(opt Options, k int) error {
+	if c.Seed != opt.Seed {
+		return fmt.Errorf("nsga2: resume checkpoint seed %d does not match options seed %d", c.Seed, opt.Seed)
+	}
+	if c.PopSize != opt.PopSize {
+		return fmt.Errorf("nsga2: resume checkpoint pop size %d does not match options pop size %d", c.PopSize, opt.PopSize)
+	}
+	if c.Generation < 0 || c.Generation > opt.Generations {
+		return fmt.Errorf("nsga2: resume checkpoint generation %d out of range [0, %d]", c.Generation, opt.Generations)
+	}
+	if c.RNGDraws < 0 {
+		return fmt.Errorf("nsga2: resume checkpoint has negative RNG position")
+	}
+	if len(c.Population) == 0 {
+		return fmt.Errorf("nsga2: resume checkpoint has an empty population")
+	}
+	for _, in := range c.Population {
+		if err := in.Params.Validate(k); err != nil {
+			return fmt.Errorf("nsga2: resume checkpoint population: %w", err)
+		}
+	}
+	return nil
+}
+
+// restore loads the checkpoint into a fresh optimizer run: population,
+// cache, RunLog, failure counters and convergence tracker. The RNG
+// fast-forward happens at the call site (it owns the source).
+func (c *Checkpoint) restore(ev *evaluator, conv *frontTracker) []*Individual {
+	pop := make([]*Individual, len(c.Population))
+	for i := range c.Population {
+		in := inflate(c.Population[i])
+		pop[i] = &in
+	}
+	ev.log.Evaluations = make([]Individual, len(c.Evaluations))
+	for i := range c.Evaluations {
+		ev.log.Evaluations[i] = inflate(c.Evaluations[i])
+	}
+	ev.log.CacheHits = c.CacheHits
+	if len(c.Failures) > 0 {
+		ev.log.Failures = append([]EvalFailure(nil), c.Failures...)
+	}
+	for i := range c.Cache {
+		in := inflate(c.Cache[i])
+		ev.cache[in.Params.Key()] = &in
+	}
+	ev.succeeded = c.Succeeded
+	ev.failed = c.Failed
+	conv.stale = c.Stale
+	if len(c.FrontKeys) > 0 {
+		conv.keys = make(map[string]bool, len(c.FrontKeys))
+		for _, key := range c.FrontKeys {
+			conv.keys[key] = true
+		}
+	}
+	return pop
+}
+
+// countingSource wraps a rand.Source and counts draws, making the stream
+// position serializable: a resumed run recreates the source from the seed
+// and discards exactly RNGDraws values to land where the interrupted run
+// stopped. It deliberately does not implement rand.Source64 — rand.Rand
+// then routes every method through Int63, so one counter captures the
+// position exactly. (math/rand's own source also feeds Float64/Intn
+// through Int63, so the generated streams are unchanged.)
+type countingSource struct {
+	src   rand.Source
+	draws int64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// skip fast-forwards the source by n draws.
+func (s *countingSource) skip(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.Int63()
+	}
+}

@@ -65,6 +65,18 @@ type Options struct {
 	// fill, and truncated at PopSize. Every entry must be admissible for the
 	// baseline's layer count.
 	SeedPop []core.Params
+	// Checkpoint, when set, is invoked synchronously after every completed
+	// generation (including generation 0, the evaluated initial population)
+	// with a self-contained snapshot of the optimizer state. An error
+	// aborts the run — a caller that persists checkpoints must not keep
+	// exploring past a failed write.
+	Checkpoint func(*Checkpoint) error
+	// Resume continues an interrupted run from a Checkpoint instead of
+	// building an initial population. Seed and PopSize must match the
+	// checkpoint's; the resumed run's trajectory is bit-identical to the
+	// uninterrupted run's. SeedPop is ignored on resume (the checkpointed
+	// population already embodies it).
+	Resume *Checkpoint
 }
 
 func (o Options) withDefaults() Options {
@@ -187,51 +199,78 @@ func Optimize(base *core.Baseline, opt Options) (*RunLog, error) {
 func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog, error) {
 	opt = opt.withDefaults()
 	k := base.Layout.Lib().NumLayers()
-	rng := rand.New(rand.NewSource(opt.Seed))
+	src := &countingSource{src: rand.NewSource(opt.Seed)}
+	rng := rand.New(src)
 	log := &RunLog{}
 	budget := opt.Budget
 	if budget == nil {
 		budget = NewEvalBudget(opt.Parallelism)
 	}
 	ev := &evaluator{base: base, opt: opt, budget: budget, cache: map[string]*Individual{}, log: log}
-
-	// Initial population: injected seed chromosomes (island migration)
-	// first, then the identity configuration, then random points.
-	var pop []*Individual
-	seen := map[string]bool{}
-	for _, p := range opt.SeedPop {
-		if len(pop) >= opt.PopSize {
-			break
-		}
-		if err := p.Validate(k); err != nil {
-			return nil, fmt.Errorf("nsga2: invalid seed chromosome: %w", err)
-		}
-		if seen[p.Key()] {
-			continue
-		}
-		seen[p.Key()] = true
-		pop = append(pop, &Individual{Params: p.Clone()})
-	}
-	idty := core.DefaultParams(k)
-	if !seen[idty.Key()] && len(pop) < opt.PopSize {
-		pop = append(pop, &Individual{Params: idty})
-		seen[idty.Key()] = true
-	}
-	for len(pop) < opt.PopSize {
-		p := core.RandomParams(k, rng)
-		if seen[p.Key()] {
-			continue
-		}
-		seen[p.Key()] = true
-		pop = append(pop, &Individual{Params: p})
-	}
-	if err := ev.evalAll(ctx, pop, 0); err != nil {
-		return nil, err
-	}
-
 	conv := &frontTracker{}
-	gen := 0
-	for gen = 1; gen <= opt.Generations; gen++ {
+
+	var pop []*Individual
+	startGen := 1
+	resumedDone := false
+	if cp := opt.Resume; cp != nil {
+		// Resume: restore the interrupted run's state and fast-forward the
+		// RNG to its recorded stream position — generation cp.Generation+1
+		// then unfolds exactly as it would have, uninterrupted.
+		if err := cp.validate(opt, k); err != nil {
+			return nil, err
+		}
+		pop = cp.restore(ev, conv)
+		src.skip(cp.RNGDraws)
+		startGen = cp.Generation + 1
+		// Reproduce the patience break: if the interrupted run had already
+		// converged at its last checkpoint, the uninterrupted run stopped
+		// there too.
+		if opt.Patience > 0 && cp.Stale >= opt.Patience {
+			resumedDone = true
+			startGen = cp.Generation
+		}
+	} else {
+		// Initial population: injected seed chromosomes (island migration)
+		// first, then the identity configuration, then random points.
+		seen := map[string]bool{}
+		for _, p := range opt.SeedPop {
+			if len(pop) >= opt.PopSize {
+				break
+			}
+			if err := p.Validate(k); err != nil {
+				return nil, fmt.Errorf("nsga2: invalid seed chromosome: %w", err)
+			}
+			if seen[p.Key()] {
+				continue
+			}
+			seen[p.Key()] = true
+			pop = append(pop, &Individual{Params: p.Clone()})
+		}
+		idty := core.DefaultParams(k)
+		if !seen[idty.Key()] && len(pop) < opt.PopSize {
+			pop = append(pop, &Individual{Params: idty})
+			seen[idty.Key()] = true
+		}
+		for len(pop) < opt.PopSize {
+			p := core.RandomParams(k, rng)
+			if seen[p.Key()] {
+				continue
+			}
+			seen[p.Key()] = true
+			pop = append(pop, &Individual{Params: p})
+		}
+		if err := ev.evalAll(ctx, pop, 0); err != nil {
+			return nil, err
+		}
+		if opt.Checkpoint != nil {
+			if err := opt.Checkpoint(makeCheckpoint(opt, 0, src.draws, pop, ev, conv)); err != nil {
+				return nil, fmt.Errorf("nsga2: checkpoint after generation 0: %w", err)
+			}
+		}
+	}
+
+	gen := startGen
+	for gen = startGen; !resumedDone && gen <= opt.Generations; gen++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -258,7 +297,13 @@ func OptimizeCtx(ctx context.Context, base *core.Baseline, opt Options) (*RunLog
 		// Convergence: the rank-0 front stopped changing membership. Size
 		// alone is not enough — a front saturated at PopSize whose points
 		// keep improving is still making progress.
-		if stale := conv.observe(pop); opt.Patience > 0 && stale >= opt.Patience {
+		stale := conv.observe(pop)
+		if opt.Checkpoint != nil {
+			if err := opt.Checkpoint(makeCheckpoint(opt, gen, src.draws, pop, ev, conv)); err != nil {
+				return nil, fmt.Errorf("nsga2: checkpoint after generation %d: %w", gen, err)
+			}
+		}
+		if opt.Patience > 0 && stale >= opt.Patience {
 			break
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"gdsiiguard"
 	"gdsiiguard/internal/cluster"
 	"gdsiiguard/internal/experiments"
+	"gdsiiguard/internal/obs"
 )
 
 // executeClusterExplore fans an explore job out over the configured
@@ -17,7 +18,7 @@ import (
 // metrics exactly like the single-process path.
 func (m *Manager) executeClusterExplore(ctx context.Context, job *Job) (*gdsiiguard.Exploration, error) {
 	opt := job.Spec.Explore
-	res, err := m.cfg.Cluster.Explore(ctx, cluster.ExploreSpec{
+	spec := cluster.ExploreSpec{
 		Design: cluster.DesignRef{
 			Benchmark: job.Spec.Benchmark,
 			DEF:       job.Spec.DEF,
@@ -30,7 +31,27 @@ func (m *Manager) executeClusterExplore(ctx context.Context, job *Job) (*gdsiigu
 		Seed:              opt.Seed,
 		MigrationInterval: opt.MigrationInterval,
 		MigrationCount:    opt.MigrationCount,
-	})
+	}
+	// Epoch checkpoints persist through the job's WAL; a retried or
+	// restarted coordinator resumes at the last completed epoch instead of
+	// re-running the exploration from scratch.
+	spec.Checkpoint = func(cp *cluster.EpochCheckpoint) error {
+		blob, err := cp.Marshal()
+		if err != nil {
+			return err
+		}
+		return m.persistCheckpoint(job, scopeCluster, blob)
+	}
+	if scope, blob := job.resumeState(); scope == scopeCluster && len(blob) > 0 {
+		cp, err := cluster.UnmarshalEpochCheckpoint(blob)
+		if err != nil {
+			obs.Logger().Warn("service: discarding undecodable cluster checkpoint",
+				"job", job.ID, "error", err)
+		} else {
+			spec.Resume = cp
+		}
+	}
+	res, err := m.cfg.Cluster.Explore(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

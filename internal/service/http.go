@@ -165,9 +165,15 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := m.Submit(req.toSpec())
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
-		// Tell well-behaved clients when to come back instead of letting
-		// them hammer a full queue or a draining server.
+	case errors.Is(err, ErrQueueFull):
+		// A full queue is the client's pace problem (429): this instance
+		// is healthy, just saturated — back off and retry here. Draining
+		// (below) is the server's problem (503): go elsewhere. Conflating
+		// them makes load balancers eject saturated-but-healthy instances.
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusServiceUnavailable, err)
 		return

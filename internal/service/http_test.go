@@ -1,6 +1,8 @@
 package service
 
 import (
+	"gdsiiguard"
+
 	"bytes"
 	"context"
 	"encoding/json"
@@ -245,5 +247,49 @@ func TestHTTPSubmitDEFJob(t *testing.T) {
 	}
 	if fmt.Sprint(done["cache_hit"]) == "true" {
 		t.Error("first DEF job unexpectedly hit the cache")
+	}
+}
+
+// A saturated queue is the client's pace problem, not a server outage:
+// it must surface as 429 (with Retry-After), distinct from the 503 a
+// draining server returns. Load balancers key on this split — a 503
+// ejects the instance, a 429 just slows the client down.
+func TestHTTPQueueFullReturns429(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Occupy the single worker with a long exploration, then fill the
+	// one-slot queue, so the next submission deterministically overflows.
+	running, err := m.Submit(Spec{
+		Kind:      KindExplore,
+		Benchmark: testBench,
+		Explore:   gdsiiguard.ExploreOptions{PopSize: 8, Generations: 16, Parallelism: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning, time.Minute)
+	queued, err := m.Submit(Spec{Kind: KindHarden, Benchmark: testBench})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"attack","benchmark":"`+testBench+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post with full queue = %d, want %d", resp.StatusCode, http.StatusTooManyRequests)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+
+	for _, job := range []*Job{running, queued} {
+		if _, err := m.Cancel(job.ID); err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, job, time.Minute)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"gdsiiguard"
 	"gdsiiguard/internal/cluster"
 	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/durable"
 	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/obs"
 )
@@ -45,6 +46,19 @@ type Config struct {
 	// island-model cluster instead of running NSGA-II in-process. Harden
 	// and attack jobs always run locally.
 	Cluster *cluster.Driver
+	// Store, when set, makes jobs durable: specs, state transitions,
+	// exploration checkpoints and results are written to a per-job
+	// crash-safe WAL, and New replays the store — re-queueing interrupted
+	// jobs (explorations resume from their last checkpoint) and restoring
+	// finished jobs into the result store.
+	Store *durable.Store
+	// SnapshotEvery compacts a job's WAL into one snapshot record after
+	// that many persisted checkpoints (default 8).
+	SnapshotEvery int
+	// JitterSeed seeds the manager-owned retry-jitter RNG; 0 derives a
+	// seed from the clock. A fixed seed makes backoff schedules
+	// reproducible in tests.
+	JitterSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 250 * time.Millisecond
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 8
+	}
 	return c
 }
 
@@ -85,10 +102,17 @@ type Manager struct {
 	cfg   Config
 	cache *DesignCache
 	queue chan *Job
+	store *durable.Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+
+	// jmu guards jrand, the manager-owned seeded RNG behind retry jitter
+	// (workers draw concurrently; the global math/rand source would make
+	// backoff schedules irreproducible even under Config.JitterSeed).
+	jmu   sync.Mutex
+	jrand *rand.Rand
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -103,17 +127,29 @@ type Manager struct {
 	panicsRecovered uint64
 }
 
-// New starts a manager with cfg's worker pool running.
+// New starts a manager with cfg's worker pool running. When cfg.Store is
+// set, the store is replayed first: finished jobs re-enter the result
+// store and interrupted jobs re-queue (resuming explorations from their
+// last durable checkpoint) before any worker runs.
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	m := &Manager{
 		cfg:        cfg,
 		cache:      NewDesignCache(cfg.CacheSize),
 		queue:      make(chan *Job, cfg.QueueDepth),
+		store:      cfg.Store,
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		jrand:      rand.New(rand.NewSource(seed)),
 		jobs:       make(map[string]*Job),
+	}
+	if m.store != nil {
+		m.recover()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -136,6 +172,11 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	}
 	m.seq++
 	job := newJob(fmt.Sprintf("job-%d", m.seq), spec, time.Now())
+	if m.store != nil {
+		if err := m.persistSubmit(job); err != nil {
+			return nil, err
+		}
+	}
 	select {
 	case m.queue <- job:
 		m.jobs[job.ID] = job
@@ -144,6 +185,12 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 			"job", job.ID, "kind", spec.Kind, "queue_depth", len(m.queue))
 		return job, nil
 	default:
+		if job.wal != nil {
+			// The spec record is durable but the job was never accepted:
+			// drop the log so a restart does not resurrect a job the
+			// client was told to resubmit.
+			_ = m.store.Remove(job.ID)
+		}
 		return nil, ErrQueueFull
 	}
 }
@@ -297,12 +344,13 @@ func (m *Manager) runJob(job *Job) {
 	var err error
 	for {
 		job.noteAttempt()
+		m.persistState(job, StateRunning, job.Attempts(), "")
 		res, hardened, err = m.executeSafe(ctx, job)
 		if err == nil || ctx.Err() != nil ||
 			job.Attempts() >= m.cfg.MaxAttempts || !core.IsTransient(err) {
 			break
 		}
-		if !sleepBackoff(ctx, m.cfg.RetryBackoff, job.Attempts()) {
+		if !m.sleepBackoff(ctx, job.Attempts()) {
 			err = ctx.Err()
 			break
 		}
@@ -327,8 +375,8 @@ func (m *Manager) runJob(job *Job) {
 // sleepBackoff waits out the backoff delay before retry attempt+1: the
 // base delay doubled per completed attempt, with ±50% jitter, capped at
 // 30s. It returns false immediately when ctx is done first.
-func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
-	d := base
+func (m *Manager) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := m.cfg.RetryBackoff
 	for i := 1; i < attempt && d < 30*time.Second; i++ {
 		d *= 2
 	}
@@ -336,7 +384,7 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
 		d = 30 * time.Second
 	}
 	// Jitter to d/2 + rand(d): desynchronizes retry storms across workers.
-	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	d = d/2 + m.jitter(d)
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -345,6 +393,13 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
 	case <-ctx.Done():
 		return false
 	}
+}
+
+// jitter draws a uniform duration in [0, d) from the manager's seeded RNG.
+func (m *Manager) jitter(d time.Duration) time.Duration {
+	m.jmu.Lock()
+	defer m.jmu.Unlock()
+	return time.Duration(m.jrand.Int63n(int64(d)))
 }
 
 // executeSafe runs one execution attempt with worker-level panic
@@ -388,7 +443,17 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*Result, *gdsiiguard.H
 		if m.cfg.Cluster != nil {
 			ex, err = m.executeClusterExplore(ctx, job)
 		} else {
-			ex, err = d.ExploreCtx(ctx, job.Spec.Explore)
+			// The checkpoint hook always runs (cheap in-memory when the
+			// manager has no store), so a transient-failure retry resumes
+			// the exploration instead of restarting it.
+			opt := job.Spec.Explore
+			opt.Checkpoint = func(blob []byte) error {
+				return m.persistCheckpoint(job, scopeLocal, blob)
+			}
+			if scope, blob := job.resumeState(); scope == scopeLocal && len(blob) > 0 {
+				opt.Resume = blob
+			}
+			ex, err = d.ExploreCtx(ctx, opt)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -423,11 +488,11 @@ func (m *Manager) retire(job *Job) {
 			"job", job.ID, "kind", job.Spec.Kind,
 			"state", state, "attempts", job.Attempts())
 	}
+	m.persistRetire(job)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.finished = append(m.finished, job.ID)
 	for len(m.finished) > m.cfg.Retention {
-		delete(m.jobs, m.finished[0])
-		m.finished = m.finished[1:]
+		m.evictFinishedLocked()
 	}
 }

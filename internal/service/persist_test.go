@@ -1,0 +1,460 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"gdsiiguard"
+	"gdsiiguard/internal/durable"
+)
+
+// openStore opens a durable store rooted at dir, failing the test on error.
+func openStore(t *testing.T, dir string) *durable.Store {
+	t.Helper()
+	st, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitCheckpoint polls until the job has recorded at least one exploration
+// checkpoint.
+func waitCheckpoint(t *testing.T, job *Job, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, blob := job.resumeState(); len(blob) > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s produced no checkpoint within %v", job.ID, timeout)
+}
+
+// testExploreSpec is the exploration used by the durability tests: long
+// enough to checkpoint mid-run, deterministic under a fixed seed.
+func testExploreSpec() Spec {
+	return Spec{
+		Kind:      KindExplore,
+		Benchmark: testBench,
+		Explore: gdsiiguard.ExploreOptions{
+			PopSize:     6,
+			Generations: 8,
+			Parallelism: 1,
+			Seed:        42,
+		},
+	}
+}
+
+// interruptExplore submits testExploreSpec against a durable manager, waits
+// for a mid-run checkpoint, then drains the manager with an expired context
+// (the shutdown path, not a user cancel) and closes the store — leaving dir
+// holding an interrupted job with a resumable checkpoint. Returns the job ID.
+func interruptExplore(t *testing.T, dir string) string {
+	t.Helper()
+	st := openStore(t, dir)
+	m := New(Config{Workers: 1, QueueDepth: 4, Store: st, JitterSeed: 1})
+	job, err := m.Submit(testExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateRunning, time.Minute)
+	waitCheckpoint(t, job, time.Minute)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: drain hard-cancels the running job
+	_ = m.Shutdown(ctx)
+	if got := job.State(); got != StateCancelled {
+		t.Fatalf("drained job = %s, want cancelled", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return job.ID
+}
+
+// stripRuntime zeroes the measured wall-clock Runtime on every front point:
+// it is the one metric that is timed, not computed, so it is the one metric
+// a bit-identical resume legitimately cannot reproduce.
+func stripRuntime(ex *gdsiiguard.Exploration) *gdsiiguard.Exploration {
+	if ex == nil {
+		return nil
+	}
+	out := *ex
+	out.Front = append([]gdsiiguard.ParetoPoint(nil), ex.Front...)
+	for i := range out.Front {
+		out.Front[i].Metrics.Runtime = 0
+	}
+	return &out
+}
+
+// goldenExploration runs the same spec to completion on a non-durable
+// manager: the reference an interrupted-and-resumed run must reproduce
+// bit-identically.
+func goldenExploration(t *testing.T) *gdsiiguard.Exploration {
+	t.Helper()
+	m := newTestManager(t, Config{Workers: 1, JitterSeed: 1})
+	job, err := m.Submit(testExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, job, 2*time.Minute); got != StateDone {
+		t.Fatalf("golden job = %s (err %v)", got, job.Err())
+	}
+	return job.Result().Exploration
+}
+
+// A finished job must survive a restart: same ID, same terminal state, same
+// result payload — with the hardened layout artifact deliberately absent
+// (re-derivable, not persisted) — and the ID sequence must continue past
+// recovered jobs instead of colliding with them.
+func TestDurableTerminalJobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	m1 := New(Config{Workers: 1, Store: st, JitterSeed: 1})
+	job, err := m1.Submit(Spec{Kind: KindHarden, Benchmark: testBench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, job, 2*time.Minute); got != StateDone {
+		t.Fatalf("job = %s (err %v)", got, job.Err())
+	}
+	wantMetrics := job.Result().Hardened
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	m2 := newTestManager(t, Config{Workers: 1, Store: st2, JitterSeed: 1})
+	got, err := m2.Get(job.ID)
+	if err != nil {
+		t.Fatalf("recovered Get(%s): %v", job.ID, err)
+	}
+	if got.State() != StateDone {
+		t.Errorf("recovered job = %s, want done", got.State())
+	}
+	if res := got.Result(); res == nil || res.Hardened == nil {
+		t.Fatalf("recovered job lost its result: %+v", got.Result())
+	} else if !reflect.DeepEqual(res.Hardened, wantMetrics) {
+		t.Errorf("recovered metrics = %+v, want %+v", res.Hardened, wantMetrics)
+	}
+	if got.Hardened() != nil {
+		t.Error("recovered job resurrected the hardened layout artifact (not persisted by design)")
+	}
+
+	next, err := m2.Submit(Spec{Kind: KindAttack, Benchmark: testBench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID == job.ID {
+		t.Errorf("post-recovery submission reused recovered job ID %s", next.ID)
+	}
+	waitTerminal(t, next, time.Minute)
+}
+
+// The tentpole invariant end to end at the service layer: an exploration
+// interrupted by a drain re-queues on restart, resumes from its durable
+// checkpoint, and finishes with a front bit-identical to an uninterrupted
+// run of the same spec.
+func TestDurableInterruptedExploreResumesOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	id := interruptExplore(t, dir)
+
+	st := openStore(t, dir)
+	t.Cleanup(func() { st.Close() })
+	m := New(Config{Workers: 1, QueueDepth: 4, Store: st, JitterSeed: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	job, err := m.Get(id)
+	if err != nil {
+		t.Fatalf("interrupted job not recovered: %v", err)
+	}
+	if scope, blob := job.resumeState(); scope != scopeLocal || len(blob) == 0 {
+		t.Fatalf("recovered job has no local checkpoint (scope %q, %d bytes)", scope, len(blob))
+	}
+	if got := waitTerminal(t, job, 2*time.Minute); got != StateDone {
+		t.Fatalf("resumed job = %s (err %v)", got, job.Err())
+	}
+	got := stripRuntime(job.Result().Exploration)
+	want := stripRuntime(goldenExploration(t))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed exploration diverged from uninterrupted run:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// A torn final write (crash mid-append) must cost at most the un-synced
+// tail, never the job: the log recovers to the last valid checkpoint and
+// the exploration still resumes to the golden front.
+func TestDurableCorruptTailResumesFromLastCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	id := interruptExplore(t, dir)
+
+	// Tear the log's tail: a partial record with a bogus CRC and no newline,
+	// exactly what a crash mid-write leaves behind.
+	wal := filepath.Join(dir, "jobs", id+".wal")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"t":"state","d":{"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st := openStore(t, dir)
+	t.Cleanup(func() { st.Close() })
+	m := New(Config{Workers: 1, QueueDepth: 4, Store: st, JitterSeed: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	job, err := m.Get(id)
+	if err != nil {
+		t.Fatalf("torn-tail job quarantined instead of recovered: %v", err)
+	}
+	if got := waitTerminal(t, job, 2*time.Minute); got != StateDone {
+		t.Fatalf("resumed job = %s (err %v)", got, job.Err())
+	}
+	if want := stripRuntime(goldenExploration(t)); !reflect.DeepEqual(stripRuntime(job.Result().Exploration), want) {
+		t.Error("torn-tail resume diverged from uninterrupted run")
+	}
+}
+
+// A log whose surviving records cannot identify the job (no spec) is
+// quarantined aside — startup proceeds, the bytes stay on disk for
+// post-mortem, and the ID sequence still advances past the quarantined ID.
+func TestDurableQuarantinesSpeclessLog(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	l, err := st.Log("job-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recCheckpoint, checkpointRecord{Scope: scopeLocal, Data: []byte("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	m := newTestManager(t, Config{Workers: 1, Store: st2, JitterSeed: 1})
+	if _, err := m.Get("job-9"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(quarantined) = %v, want ErrNotFound", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", "job-9.wal.bad")); err != nil {
+		t.Errorf("quarantined log bytes missing: %v", err)
+	}
+	job, err := m.Submit(Spec{Kind: KindAttack, Benchmark: testBench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job-10" {
+		t.Errorf("post-quarantine ID = %s, want job-10 (sequence must clear the quarantined ID)", job.ID)
+	}
+	waitTerminal(t, job, time.Minute)
+}
+
+// Retention eviction must stay correct under concurrent Submit and Get
+// traffic: terminal jobs never exceed the retention bound, evicted jobs
+// drop their durable logs, and lookups race-free throughout (the race
+// detector patrols this test).
+func TestRetentionEvictionConcurrent(t *testing.T) {
+	const retention, submitters, perSubmitter = 4, 3, 4
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	t.Cleanup(func() { st.Close() })
+	m := newTestManager(t, Config{
+		Workers: 4, QueueDepth: 32, Retention: retention,
+		Store: st, JitterSeed: 1,
+	})
+
+	var mu sync.Mutex
+	var ids []string
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			var id string
+			if len(ids) > 0 {
+				id = ids[i%len(ids)]
+			}
+			mu.Unlock()
+			if id != "" {
+				if job, err := m.Get(id); err == nil {
+					_ = job.Snapshot()
+				}
+			}
+		}
+	}()
+
+	var subs sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			for i := 0; i < perSubmitter; i++ {
+				job, err := m.Submit(Spec{Kind: KindAttack, Benchmark: testBench})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, job.ID)
+				mu.Unlock()
+				job.Wait()
+			}
+		}()
+	}
+	subs.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Job.Wait returns when the terminal state lands; retirement (and so
+	// eviction) trails it by one worker step, so poll until it settles.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		terminal := 0
+		for _, n := range m.Stats().JobsByState {
+			terminal += n
+		}
+		kept, err := st.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terminal <= retention && len(kept) <= retention {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d jobs / %d durable logs retained, want ≤ %d (eviction must drop both)",
+				terminal, len(kept), retention)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Drain ordering: readiness flips to 503 while the in-flight exploration is
+// still draining, and once the drain completes the job's log ends with the
+// interrupted marker after its last flushed checkpoint — the exact state a
+// restart resumes from.
+func TestReadyzDrainThenFinalCheckpointOrdering(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	m := New(Config{Workers: 1, QueueDepth: 4, Store: st, JitterSeed: 1})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	job, err := m.Submit(testExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateRunning, time.Minute)
+	waitCheckpoint(t, job, time.Minute)
+
+	resp, err := http.Get(srv.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", resp.StatusCode)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		shutdownDone <- m.Shutdown(ctx)
+	}()
+
+	// Readiness must flip before the drain finishes, so load balancers
+	// stop routing while in-flight work winds down.
+	flipped := false
+	for deadline := time.Now().Add(time.Minute); time.Now().Before(deadline); {
+		resp, err := http.Get(srv.URL + "/v1/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			flipped = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !flipped {
+		t.Fatal("readyz never returned 503 during drain")
+	}
+	<-shutdownDone
+	if got := job.State(); got != StateCancelled {
+		t.Fatalf("drained job = %s, want cancelled", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the log the drain left behind: the final record must be the
+	// interrupted marker, with the last checkpoint flushed before it.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	l, err := st2.Log(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, tail, err := l.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) == 0 {
+		t.Fatal("drained job log has no tail records")
+	}
+	last := tail[len(tail)-1]
+	if last.Type != recState {
+		t.Fatalf("final record type = %s, want %s", last.Type, recState)
+	}
+	var s stateRecord
+	if err := json.Unmarshal(last.Data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.State != stateInterrupted {
+		t.Errorf("final state record = %s, want %s", s.State, stateInterrupted)
+	}
+	sawCheckpoint := snap != nil
+	for _, rec := range tail[:len(tail)-1] {
+		if rec.Type == recCheckpoint {
+			sawCheckpoint = true
+		}
+	}
+	if !sawCheckpoint {
+		t.Error("no checkpoint flushed before the interrupted marker")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"gdsiiguard"
 	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/durable"
 )
 
 // Kind selects what a job runs.
@@ -111,6 +112,9 @@ type Job struct {
 	ID   string
 	Spec Spec
 
+	// wal is the job's durable log (nil when the manager has no store).
+	wal *durable.Log
+
 	mu        sync.Mutex
 	state     State
 	err       error
@@ -122,6 +126,15 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	done      chan struct{}
+	// resumeScope/resume hold the latest exploration checkpoint (from a
+	// recovered log or emitted live), so retries and restarts continue the
+	// run instead of starting over. ckpts counts checkpoints since the last
+	// log compaction; userCancelled distinguishes a user's cancel from a
+	// shutdown drain when the terminal state is persisted.
+	resumeScope   string
+	resume        []byte
+	ckpts         int
+	userCancelled bool
 }
 
 func newJob(id string, spec Spec, now time.Time) *Job {
@@ -260,10 +273,43 @@ func (j *Job) finish(state State, res *Result, h *gdsiiguard.Hardened, err error
 	close(j.done)
 }
 
+// setCheckpoint records the latest exploration checkpoint blob.
+func (j *Job) setCheckpoint(scope string, blob []byte) {
+	j.mu.Lock()
+	j.resumeScope, j.resume = scope, blob
+	j.mu.Unlock()
+}
+
+// resumeState returns the latest checkpoint's scope and blob (empty when
+// the job has never checkpointed).
+func (j *Job) resumeState() (string, []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumeScope, j.resume
+}
+
+// bumpCheckpointCount increments and returns the persisted-checkpoint
+// counter driving periodic log compaction.
+func (j *Job) bumpCheckpointCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ckpts++
+	return j.ckpts
+}
+
+// wasUserCancelled reports whether a client (not a shutdown drain)
+// requested the job's cancellation.
+func (j *Job) wasUserCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancelled
+}
+
 // requestCancel cancels a queued job immediately or signals a running
 // job's context; it is a no-op on terminal jobs.
 func (j *Job) requestCancel(now time.Time) {
 	j.mu.Lock()
+	j.userCancelled = true
 	if j.state == StateQueued {
 		j.state = StateCancelled
 		j.finished = now
