@@ -21,11 +21,18 @@ func loadReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
+// regressionFloorSecs is the absolute slowdown below which a relative
+// regression is never flagged: sub-millisecond stage means (power, drc)
+// jitter by tens of percent run to run on a loaded machine, and a purely
+// relative tolerance would turn that noise into CI failures.
+const regressionFloorSecs = 0.005
+
 // compareReports diffs two benchmark reports design by design: per-stage
 // mean latencies and the per-phase end-to-end wall times, each with a
 // percentage delta against the old report. It returns the rendered diff
 // and whether any comparable number regressed beyond the tolerance
-// (tolerance 0.25 = new may be up to 25% slower before it counts).
+// (tolerance 0.25 = new may be up to 25% slower before it counts, and the
+// absolute slowdown must also exceed regressionFloorSecs).
 // Designs or stages present in only one report are noted but never count
 // as regressions.
 func compareReports(old, cur *Report, tolerance float64) (string, bool) {
@@ -43,7 +50,7 @@ func compareReports(old, cur *Report, tolerance float64) (string, bool) {
 			pct = (now - was) / was * 100
 		}
 		flag := ""
-		if was > 0 && now > was*(1+tolerance) {
+		if was > 0 && now > was*(1+tolerance) && now-was > regressionFloorSecs {
 			flag = "  REGRESSION"
 			regressed = true
 		}

@@ -51,6 +51,11 @@ type DesignBench struct {
 	Evaluations     int                     `json:"explore_evaluations"`
 	FrontSize       int                     `json:"explore_front_size"`
 	Stages          map[string]StageLatency `json:"stages"`
+	// Delta reports what the exploration's cross-chromosome delta
+	// evaluation reused: operator stage skips (memo/arena hits), LDA
+	// iteration extensions, warm vs cold routes and per-net reroute
+	// counts. Informational — compare never flags these as regressions.
+	Delta gdsiiguard.DeltaStats `json:"delta"`
 }
 
 // Report is the full benchmark output.
@@ -107,9 +112,10 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Designs = append(rep.Designs, *db)
-		fmt.Printf("%-16s baseline %6.2fs  harden %6.2fs  explore %7.2fs (%d evals, front %d)\n",
+		fmt.Printf("%-16s baseline %6.2fs  harden %6.2fs  explore %7.2fs (%d evals, front %d, op reuse %d, warm routes %d)\n",
 			name, db.BaselineSeconds, db.HardenSeconds, db.ExploreSeconds,
-			db.Evaluations, db.FrontSize)
+			db.Evaluations, db.FrontSize,
+			db.Delta.OpMemoHits+db.Delta.OpArenaHits, db.Delta.RoutesWarm)
 	}
 	rep.SuiteSeconds = time.Since(t0).Seconds()
 
@@ -166,6 +172,7 @@ func benchDesign(name string, pop, gens int, seed int64) (*DesignBench, error) {
 	db.ExploreSeconds = time.Since(t2).Seconds()
 	db.Evaluations = ex.Evaluations
 	db.FrontSize = len(ex.Front)
+	db.Delta = ex.Delta
 	db.TotalSeconds = time.Since(t0).Seconds()
 	db.Stages = stageDelta(before, stageTotals())
 	return db, nil

@@ -281,6 +281,42 @@ type IslandDegradation struct {
 	Err    string
 }
 
+// DeltaStats reports what the exploration's cross-chromosome delta
+// evaluation reused versus recomputed: child chromosomes are evaluated
+// relative to previously evaluated relatives (shared operator placements,
+// warm-started routes) rather than from the baseline, with bit-identical
+// results. All counters are totals across the exploration's evaluations.
+type DeltaStats struct {
+	// OpRuns counts ECO operator computations with no reuse; OpMemoHits
+	// placements replayed from the shared memo; OpArenaHits evaluations
+	// whose arena already held the placement; OpIterSteps LDA iterations
+	// run on top of a reused prefix.
+	OpRuns      int `json:"op_runs"`
+	OpMemoHits  int `json:"op_memo_hits"`
+	OpArenaHits int `json:"op_arena_hits"`
+	OpIterSteps int `json:"op_iter_steps"`
+	// RoutesWarm / RoutesCold count route stages warm-started from a donor
+	// route versus routed cold; NetsReplayed / NetsRerouted the per-net
+	// outcomes across all route stages.
+	RoutesWarm   int `json:"routes_warm"`
+	RoutesCold   int `json:"routes_cold"`
+	NetsReplayed int `json:"nets_replayed"`
+	NetsRerouted int `json:"nets_rerouted"`
+}
+
+func deltaFromCore(d core.DeltaStats) DeltaStats {
+	return DeltaStats{
+		OpRuns:       d.OpRuns,
+		OpMemoHits:   d.OpMemoHits,
+		OpArenaHits:  d.OpArenaHits,
+		OpIterSteps:  d.OpIterSteps,
+		RoutesWarm:   d.RoutesWarm,
+		RoutesCold:   d.RoutesCold,
+		NetsReplayed: d.NetsReplayed,
+		NetsRerouted: d.NetsRerouted,
+	}
+}
+
 // Exploration is the result of a Design.Explore run.
 type Exploration struct {
 	// Front is the feasible Pareto front, sorted by ascending security.
@@ -300,6 +336,8 @@ type Exploration struct {
 	// Degraded lists islands lost mid-run; their contributions up to the
 	// failing epoch are still merged into Front.
 	Degraded []IslandDegradation
+	// Delta reports cross-chromosome evaluation reuse (see DeltaStats).
+	Delta DeltaStats
 }
 
 // Explore runs the multi-objective flow-parameter exploration (§III-D).
@@ -345,6 +383,7 @@ func (d *Design) ExploreCtx(ctx context.Context, opt ExploreOptions) (*Explorati
 		Evaluations: len(log.Evaluations),
 		Knee:        -1,
 		Failures:    len(log.Failures),
+		Delta:       deltaFromCore(log.Delta),
 	}
 	for _, in := range log.Front {
 		out.Front = append(out.Front, ParetoPoint{

@@ -119,6 +119,10 @@ type IslandResult struct {
 	CacheHits   int `json:"cache_hits"`
 	// Failures are the epoch's degraded evaluations (typed stage/class).
 	Failures []nsga2.EvalFailure `json:"failures,omitempty"`
+	// Delta aggregates the epoch's delta-evaluation reuse counters
+	// (operator memo/arena hits, warm-started routes) across the island's
+	// evaluator arenas.
+	Delta core.DeltaStats `json:"delta"`
 	// GenSeconds is the mean per-generation wall time of this epoch, the
 	// load signal behind the coordinator's dispatch.
 	GenSeconds float64 `json:"gen_seconds"`
@@ -183,6 +187,9 @@ type ExploreResult struct {
 	Failures    int
 	// Migrations counts elite chromosomes migrated between islands.
 	Migrations int
+	// Delta aggregates delta-evaluation reuse counters across every
+	// island epoch that completed.
+	Delta core.DeltaStats
 	// Degraded records islands lost mid-run (empty when every island
 	// finished every epoch).
 	Degraded []IslandFailure

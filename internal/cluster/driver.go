@@ -239,6 +239,7 @@ func (d *Driver) Explore(ctx context.Context, spec ExploreSpec) (*ExploreResult,
 			out.Evaluations += res.Evaluations
 			out.CacheHits += res.CacheHits
 			out.Failures += len(res.Failures)
+			out.Delta.Add(res.Delta)
 		}
 		if survivors == 0 {
 			exploresTotal.With("failed").Inc()

@@ -186,6 +186,7 @@ func (w *Worker) RunIsland(ctx context.Context, req IslandRequest) (*IslandResul
 		Evaluations: len(log.Evaluations),
 		CacheHits:   log.CacheHits,
 		Failures:    log.Failures,
+		Delta:       log.Delta,
 		GenSeconds:  genSec,
 	}
 	res.Population = make([]core.Params, 0, len(log.Final))

@@ -1,0 +1,611 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gdsiiguard/internal/drc"
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/power"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/security"
+	"gdsiiguard/internal/sta"
+)
+
+// This file implements cross-chromosome delta evaluation: a mutated child
+// chromosome is evaluated as a delta from previously evaluated relatives
+// instead of from the baseline, stage by stage, following the gene→stage
+// dependency map documented in params.go.
+//
+//   - The operator stage memoizes its output — the post-operator placement
+//     as a diff against the baseline (layout.DiffPlacements) plus the
+//     operator telemetry — keyed by Params.OpKey(). A hit replays the diff
+//     onto the arena through the journal (layout.ApplyMoves) instead of
+//     re-running the operator; an arena that already holds the placement
+//     skips even the replay. LDA keys form chains (LDA:N:k+1 extends
+//     LDA:N:k by one ldaIteration), so a miss can still start from the
+//     deepest memoized prefix, or extend the arena's current chain in
+//     place.
+//   - The route stage shares one placement-derived route.Geometry per
+//     OpKey and warm-starts from a donor route with the exact same NDR
+//     scale vector (Params.ScaleKey()), rerouting only nets attached to
+//     cells moved between the donor's placement and the arena's
+//     (route.Warm); anything else falls back to a cold, geometry-reusing
+//     route. Both paths are bit-identical to routing from scratch.
+//   - Timing, power, security and DRC are deterministic functions of the
+//     routed layout and run unchanged.
+//
+// The memo hangs off the Baseline (Baseline.Memo), so every consumer that
+// shares a baseline — the nsga2 arena pool, the service design cache, the
+// cluster worker baseline cache — shares the memo automatically, island
+// epochs included. Memory is bounded by construction: the operator gene
+// space admits at most 16 distinct OpKeys (CS plus 5 grids × 3 iteration
+// counts), so ops and geometry maps never exceed 16 entries, and the donor
+// route cache is an LRU capped at donorCacheCap.
+
+// DeltaStats counts what delta evaluation reused and what it recomputed.
+// The zero value is ready to use; Add merges.
+type DeltaStats struct {
+	// OpRuns counts operator computations with no reuse (a CS run or an
+	// LDA chain from iteration zero).
+	OpRuns int `json:"op_runs"`
+	// OpMemoHits counts operator placements replayed from the shared memo
+	// (exact OpKey hits and LDA prefix replays).
+	OpMemoHits int `json:"op_memo_hits"`
+	// OpArenaHits counts evaluations whose arena already held the operator
+	// placement from a previous evaluation — no rollback, no replay.
+	OpArenaHits int `json:"op_arena_hits"`
+	// OpIterSteps counts LDA iterations executed on top of a reused prefix
+	// (memoized or in-arena) rather than as part of a full chain.
+	OpIterSteps int `json:"op_iter_steps"`
+	// RoutesWarm / RoutesCold count route stages warm-started from a donor
+	// vs routed cold.
+	RoutesWarm int `json:"routes_warm"`
+	RoutesCold int `json:"routes_cold"`
+	// NetsReplayed / NetsRerouted count per-net outcomes across all route
+	// stages (cold routes count every routed net as rerouted).
+	NetsReplayed int `json:"nets_replayed"`
+	NetsRerouted int `json:"nets_rerouted"`
+}
+
+// Add accumulates o into d.
+func (d *DeltaStats) Add(o DeltaStats) {
+	d.OpRuns += o.OpRuns
+	d.OpMemoHits += o.OpMemoHits
+	d.OpArenaHits += o.OpArenaHits
+	d.OpIterSteps += o.OpIterSteps
+	d.RoutesWarm += o.RoutesWarm
+	d.RoutesCold += o.RoutesCold
+	d.NetsReplayed += o.NetsReplayed
+	d.NetsRerouted += o.NetsRerouted
+}
+
+// warmDirtyMaxFrac is the largest fraction of dirty nets for which a warm
+// start is attempted; past it, wholesale rerouting plus replay bookkeeping
+// costs more than a cold route.
+const warmDirtyMaxFrac = 0.35
+
+// donorCacheCap bounds the per-baseline donor route cache (each entry
+// holds one full route.Result).
+const donorCacheCap = 8
+
+// errOpAborted is what waiters on a shared operator computation see when
+// the computing evaluation failed; it is transient because the entry is
+// removed and the next attempt recomputes.
+var errOpAborted = &FlowError{
+	Stage: StageOperator,
+	Class: ClassTransient,
+	Err:   errors.New("shared operator computation aborted"),
+}
+
+// StageMemo is the cross-chromosome per-stage cache shared by every
+// evaluation arena over one baseline. Safe for concurrent use.
+type StageMemo struct {
+	mu sync.Mutex
+	// ops memoizes post-operator placements by OpKey with per-key
+	// singleflight: the first evaluation computes, concurrent ones wait on
+	// the entry, later ones replay.
+	ops map[string]*opEntry
+	// geos memoizes the placement-derived route geometry by OpKey.
+	geos map[string]*route.Geometry
+	// donors caches clean (zero-victim) route results by exact ScaleKey
+	// for warm-starting, in LRU order (most recent last).
+	donors     map[string]*donorEntry
+	donorOrder []string
+}
+
+// opEntry is one memoized operator output. ready closes when the compute
+// finishes; after that, err != nil means the compute failed (the entry is
+// also removed from the map, so the next evaluation retries).
+type opEntry struct {
+	ready chan struct{}
+	diff  []layout.InstMove
+	cs    CellShiftResult
+	lda   LDAResult
+	err   error
+}
+
+// donorEntry is one warm-start donor: a clean route under a specific NDR
+// scale, plus the placement (as a diff vs the baseline) it was routed on.
+type donorEntry struct {
+	opKey  string
+	diff   []layout.InstMove
+	routes *route.Result
+}
+
+func newStageMemo(b *Baseline) *StageMemo {
+	m := &StageMemo{
+		ops:    map[string]*opEntry{},
+		geos:   map[string]*route.Geometry{},
+		donors: map[string]*donorEntry{},
+	}
+	// The baseline route is the first donor: its placement diff is empty
+	// and its NDR is the unscaled default, so identity-scale chromosomes
+	// (every run evaluates at least the identity configuration) warm-start
+	// immediately, rerouting only the nets the operator touched.
+	if b != nil && b.Routes != nil && b.Routes.Victims == 0 && len(b.Routes.NDRScale) > 0 {
+		key := fmt.Sprintf("%v", b.Routes.NDRScale)
+		m.donors[key] = &donorEntry{routes: b.Routes}
+		m.donorOrder = append(m.donorOrder, key)
+	}
+	return m
+}
+
+// Memo returns the baseline's shared stage memo, creating it on first use.
+func (b *Baseline) Memo() *StageMemo {
+	b.memoOnce.Do(func() { b.memo = newStageMemo(b) })
+	return b.memo
+}
+
+// claimOp returns the entry for key. claimed is true when the caller owns
+// the computation and must publishOp or failOp it; false means another
+// evaluation is (or was) computing and the caller waits on entry.ready.
+func (m *StageMemo) claimOp(key string) (e *opEntry, claimed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.ops[key]; ok {
+		return e, false
+	}
+	e = &opEntry{ready: make(chan struct{})}
+	m.ops[key] = e
+	return e, true
+}
+
+// readyOp returns the completed entry for key, or nil if absent or still
+// computing (prefix lookups never wait — a shallower prefix or the
+// baseline is always available).
+func (m *StageMemo) readyOp(key string) *opEntry {
+	m.mu.Lock()
+	e, ok := m.ops[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return nil
+		}
+		return e
+	default:
+		return nil
+	}
+}
+
+// publishOp completes a claimed entry.
+func (m *StageMemo) publishOp(e *opEntry, diff []layout.InstMove, cs CellShiftResult, lda LDAResult) {
+	e.diff, e.cs, e.lda = diff, cs, lda
+	close(e.ready)
+}
+
+// failOp abandons a claimed entry: waiters get err and the key is removed
+// so the next evaluation recomputes.
+func (m *StageMemo) failOp(key string, e *opEntry, err error) {
+	e.err = err
+	close(e.ready)
+	m.mu.Lock()
+	if m.ops[key] == e {
+		delete(m.ops, key)
+	}
+	m.mu.Unlock()
+}
+
+// publishOpIfAbsent records an intermediate LDA chain link computed as a
+// byproduct. Links already present (ready or computing) are left alone —
+// a concurrent computer of the same link will publish the identical
+// result.
+func (m *StageMemo) publishOpIfAbsent(key string, diff []layout.InstMove, lda LDAResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.ops[key]; ok {
+		return
+	}
+	e := &opEntry{ready: make(chan struct{}), diff: diff, lda: lda}
+	close(e.ready)
+	m.ops[key] = e
+}
+
+// geometry returns the route geometry for the given operator placement,
+// building it from l (which must currently hold that placement) on first
+// use.
+func (m *StageMemo) geometry(opKey string, l *layout.Layout) *route.Geometry {
+	m.mu.Lock()
+	g, ok := m.geos[opKey]
+	m.mu.Unlock()
+	if ok {
+		return g
+	}
+	g = route.BuildGeometry(l)
+	m.mu.Lock()
+	if prev, ok := m.geos[opKey]; ok {
+		g = prev // a concurrent build won; both are identical
+	} else {
+		m.geos[opKey] = g
+	}
+	m.mu.Unlock()
+	return g
+}
+
+// donor returns the warm-start donor for an exact NDR scale key, or nil.
+func (m *StageMemo) donor(scaleKey string) *donorEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.donors[scaleKey]
+	if !ok {
+		return nil
+	}
+	for i, k := range m.donorOrder {
+		if k == scaleKey {
+			m.donorOrder = append(append(m.donorOrder[:i], m.donorOrder[i+1:]...), scaleKey)
+			break
+		}
+	}
+	return d
+}
+
+// putDonor caches a clean route result as the donor for its scale key,
+// evicting the least recently used donor past donorCacheCap.
+func (m *StageMemo) putDonor(scaleKey, opKey string, diff []layout.InstMove, routes *route.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.donors[scaleKey]; !ok {
+		if len(m.donors) >= donorCacheCap {
+			old := m.donorOrder[0]
+			m.donorOrder = m.donorOrder[1:]
+			delete(m.donors, old)
+		}
+		m.donorOrder = append(m.donorOrder, scaleKey)
+	}
+	m.donors[scaleKey] = &donorEntry{opKey: opKey, diff: diff, routes: routes}
+}
+
+// runDelta is the delta-evaluation counterpart of runOn: same stages, same
+// results, but the operator stage reuses memoized placements and the route
+// stage reuses geometry and warm-starts from donors. Bit-identical to
+// runOn by construction (golden- and property-tested).
+func (s *Scratch) runDelta(ctx context.Context, p Params) (*Result, error) {
+	l := s.l
+	start := time.Now()
+	Preprocess(l)
+
+	res := &Result{Layout: l, Params: p.Clone()}
+	if err := timedStage(StageOperator, func() error {
+		return s.applyOperator(ctx, p, res)
+	}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Routing Width Scaling: install the NDR, then (re-)route under it.
+	copy(l.NDR.Scale, p.ScaleM)
+	if err := s.evaluateDelta(ctx, p, res); err != nil {
+		return nil, err
+	}
+	res.Metrics.Runtime = time.Since(start)
+	return res, nil
+}
+
+// adopt records the arena's new post-operator state and its journal mark,
+// so subsequent evaluations sharing the OpKey skip the operator entirely.
+func (s *Scratch) adopt(opKey string, diff []layout.InstMove, cs CellShiftResult, lda LDAResult) {
+	s.haveCur = true
+	s.curOpKey = opKey
+	s.curDiff = diff
+	s.curCS, s.curLDA = cs, lda
+	s.opMark = s.l.JournalMark()
+}
+
+// rewindOperator returns the arena to the baseline placement.
+func (s *Scratch) rewindOperator() {
+	s.haveCur = false
+	s.curOpKey, s.curDiff = "", nil
+	s.l.RollbackJournal(0)
+	s.opMark = 0
+}
+
+// applyOperator brings the arena to the post-operator placement for p:
+// in order of preference, the placement is already in the arena, the
+// arena's LDA chain is extended in place, the memoized diff (or a
+// memoized LDA prefix) is replayed, or the operator runs from the
+// baseline — publishing what it computed for every later evaluation.
+func (s *Scratch) applyOperator(ctx context.Context, p Params, res *Result) error {
+	l, base, memo := s.l, s.base, s.memo
+	opKey := p.OpKey()
+
+	if s.haveCur && s.curOpKey == opKey {
+		res.CSResult, res.LDAResult = s.curCS, s.curLDA
+		s.stats.OpArenaHits++
+		deltaOperator.With("arena_hit").Inc()
+		return nil
+	}
+	if s.haveCur && p.Op == LDA {
+		if n, it, ok := ParseLDAOpKey(s.curOpKey); ok && n == p.LDAGridN && it < p.LDAIters {
+			if err := s.extendLDA(p, it, res); err != nil {
+				return err
+			}
+			deltaOperator.With("arena_extend").Inc()
+			return nil
+		}
+	}
+	s.rewindOperator()
+
+	entry, claimed := memo.claimOp(opKey)
+	if !claimed {
+		select {
+		case <-entry.ready:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if entry.err != nil {
+			return entry.err
+		}
+		if err := l.ApplyMoves(entry.diff); err != nil {
+			return err
+		}
+		s.adopt(opKey, entry.diff, entry.cs, entry.lda)
+		res.CSResult, res.LDAResult = entry.cs, entry.lda
+		s.stats.OpMemoHits++
+		deltaOperator.With("memo_hit").Inc()
+		return nil
+	}
+
+	// This evaluation owns the computation.
+	published := false
+	defer func() {
+		if !published {
+			memo.failOp(opKey, entry, errOpAborted)
+		}
+	}()
+
+	unpin := pinCritical(l, base.Timing, slackMarginPS)
+	defer unpin()
+
+	if p.Op == CS {
+		cs := CellShift(l, base.Config.Security.ThreshER)
+		diff := layout.DiffPlacements(base.Layout, l)
+		memo.publishOp(entry, diff, cs, LDAResult{})
+		published = true
+		s.adopt(opKey, diff, cs, LDAResult{})
+		res.CSResult = cs
+		s.stats.OpRuns++
+		deltaOperator.With("run").Inc()
+		return nil
+	}
+
+	// LDA: start from the deepest memoized prefix of the chain.
+	from := 0
+	var lda LDAResult
+	for it := p.LDAIters - 1; it >= 1; it-- {
+		if pe := memo.readyOp(LDAOpKey(p.LDAGridN, it)); pe != nil {
+			if err := l.ApplyMoves(pe.diff); err != nil {
+				return err
+			}
+			from, lda = it, pe.lda
+			s.stats.OpMemoHits++
+			deltaOperator.With("prefix_hit").Inc()
+			break
+		}
+	}
+	if from == 0 {
+		s.stats.OpRuns++
+		deltaOperator.With("run").Inc()
+	}
+	for it := from; it < p.LDAIters; it++ {
+		moved, satisfied := ldaIteration(l, p.LDAGridN, base.Config.Seed, it, base.Timing)
+		lda.Moved += moved
+		lda.Satisfied = satisfied
+		lda.Iterations++
+		if from > 0 {
+			s.stats.OpIterSteps++
+		}
+		if it+1 < p.LDAIters {
+			memo.publishOpIfAbsent(LDAOpKey(p.LDAGridN, it+1),
+				layout.DiffPlacements(base.Layout, l), lda)
+		}
+	}
+	l.ClearBlockages()
+	diff := layout.DiffPlacements(base.Layout, l)
+	memo.publishOp(entry, diff, CellShiftResult{}, lda)
+	published = true
+	s.adopt(opKey, diff, CellShiftResult{}, lda)
+	res.LDAResult = lda
+	return nil
+}
+
+// extendLDA runs only the missing iterations of p's LDA chain on top of
+// the arena's current chain state, publishing each newly completed link.
+func (s *Scratch) extendLDA(p Params, from int, res *Result) error {
+	l, base, memo := s.l, s.base, s.memo
+	lda := s.curLDA
+	unpin := pinCritical(l, base.Timing, slackMarginPS)
+	defer unpin()
+	for it := from; it < p.LDAIters; it++ {
+		moved, satisfied := ldaIteration(l, p.LDAGridN, base.Config.Seed, it, base.Timing)
+		lda.Moved += moved
+		lda.Satisfied = satisfied
+		lda.Iterations++
+		s.stats.OpIterSteps++
+		if it+1 < p.LDAIters {
+			memo.publishOpIfAbsent(LDAOpKey(p.LDAGridN, it+1),
+				layout.DiffPlacements(base.Layout, l), lda)
+		}
+	}
+	l.ClearBlockages()
+	diff := layout.DiffPlacements(base.Layout, l)
+	memo.publishOpIfAbsent(p.OpKey(), diff, lda)
+	s.adopt(p.OpKey(), diff, CellShiftResult{}, lda)
+	res.LDAResult = lda
+	return nil
+}
+
+// dirtyVsDonor marks every net with a terminal on a cell placed
+// differently by the donor and the arena, and returns the dirty fraction.
+// Both placements are diffs against the same baseline, so the moved set is
+// computable without touching either layout.
+func (s *Scratch) dirtyVsDonor(d *donorEntry) ([]bool, float64) {
+	nl := s.l.Netlist
+	dirty := make([]bool, len(nl.Nets))
+	marked := 0
+	markInst := func(id int) {
+		for _, c := range nl.Insts[id].Conns {
+			if !dirty[c.Net.ID] {
+				dirty[c.Net.ID] = true
+				marked++
+			}
+		}
+	}
+	donorTo := make(map[int]layout.Placement, len(d.diff))
+	for _, m := range d.diff {
+		donorTo[m.Inst] = m.To
+	}
+	curHas := make(map[int]bool, len(s.curDiff))
+	for _, m := range s.curDiff {
+		curHas[m.Inst] = true
+		if to, ok := donorTo[m.Inst]; !ok || to != m.To {
+			markInst(m.Inst)
+		}
+	}
+	for _, m := range d.diff {
+		if !curHas[m.Inst] {
+			markInst(m.Inst) // donor moved it; the arena has it at baseline
+		}
+	}
+	total := len(nl.Nets)
+	if total == 0 {
+		total = 1
+	}
+	return dirty, float64(marked) / float64(total)
+}
+
+// evaluateDelta is EvaluateCtx with a geometry-cached, warm-startable
+// route stage. Everything downstream of route is identical.
+func (s *Scratch) evaluateDelta(ctx context.Context, p Params, res *Result) (err error) {
+	l, base, memo := s.l, s.base, s.memo
+	cfg := base.Config
+	start := time.Now()
+	end := beginEval()
+	defer func() { end(err) }()
+	var (
+		routes *route.Result
+		timing *sta.Result
+		pw     power.Result
+		assess *security.Assessment
+		checks drc.Result
+	)
+	scaleKey := p.ScaleKey()
+	routeStage := func() (err error) {
+		geo := memo.geometry(s.curOpKey, l)
+		if d := memo.donor(scaleKey); d != nil {
+			if dirty, frac := s.dirtyVsDonor(d); frac <= warmDirtyMaxFrac {
+				wres, wst, werr := route.Warm(l, cfg.RouteOpts, geo, d.routes, dirty)
+				if werr != nil {
+					return werr
+				}
+				if wres != nil {
+					routes = wres
+					s.stats.RoutesWarm++
+					s.stats.NetsReplayed += wst.Replayed
+					s.stats.NetsRerouted += wst.Rerouted
+					deltaRoutes.With("warm").Inc()
+					deltaNets.With("replayed").Add(float64(wst.Replayed))
+					deltaNets.With("rerouted").Add(float64(wst.Rerouted))
+					return nil
+				}
+			}
+		}
+		routes, err = route.RouteWithGeometry(l, cfg.RouteOpts, geo)
+		if err != nil {
+			return err
+		}
+		routed := 0
+		for _, nr := range routes.NetRoutes {
+			if nr != nil {
+				routed++
+			}
+		}
+		s.stats.RoutesCold++
+		s.stats.NetsRerouted += routed
+		deltaRoutes.With("cold").Inc()
+		deltaNets.With("rerouted").Add(float64(routed))
+		return nil
+	}
+	stages := []struct {
+		stage Stage
+		f     func() (err error)
+	}{
+		{StageRoute, routeStage},
+		{StageTiming, func() (err error) {
+			timing, err = sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
+			return err
+		}},
+		{StagePower, func() (err error) {
+			pw, err = power.Analyze(l, power.Options{Constraints: cfg.Constraints, Routes: routes, Activity: cfg.Activity})
+			return err
+		}},
+		{StageSecurity, func() (err error) {
+			assess, err = security.Assess(l, routes, timing, cfg.Security)
+			return err
+		}},
+		{StageDRC, func() error {
+			checks = drc.Check(l, routes)
+			return nil
+		}},
+	}
+	for _, st := range stages {
+		if err := timedStage(st.stage, st.f); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	// A clean result becomes the donor for its scale key — including the
+	// very first route of a fresh scale, so later chromosomes sharing it
+	// warm-start even across islands and workers.
+	if routes.Victims == 0 {
+		memo.putDonor(scaleKey, s.curOpKey, s.curDiff, routes)
+	}
+
+	res.Layout = l
+	res.Config = cfg
+	res.Routes = routes
+	res.Timing = timing
+	res.Assessment = assess
+	res.Metrics = Metrics{
+		Security:      security.Score(assess, base.Assessment, cfg.Alpha),
+		ERSites:       assess.ERSites,
+		ERTracks:      assess.ERTracks,
+		TNS:           timing.TNS,
+		WNS:           timing.WNS,
+		PowerMW:       pw.TotalMW,
+		DRC:           checks.Violations,
+		WirelengthDBU: routes.TotalWL,
+		Runtime:       time.Since(start),
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"sync"
 	"time"
 
 	"gdsiiguard/internal/drc"
@@ -88,6 +89,13 @@ type Baseline struct {
 	Assessment *security.Assessment
 	Metrics    Metrics
 	Config     FlowConfig
+
+	// memo is the lazily built cross-chromosome stage cache (see delta.go),
+	// created on first Memo() call. It hangs off the baseline so every
+	// consumer sharing one — nsga2 arena pools, the service design cache,
+	// cluster worker baselines — shares memoized stages automatically.
+	memoOnce sync.Once
+	memo     *StageMemo
 }
 
 // EvalBaseline routes and analyzes the baseline layout and computes its

@@ -36,45 +36,61 @@ func LocalDensityAdjust(l *layout.Layout, gridN, iters int, seed int64, timing *
 	}
 	var res LDAResult
 	for it := 0; it < iters; it++ {
-		l.ClearBlockages()
-		counts := assetCounts(l, gridN)
-		mean, std := meanStd(counts)
-
-		rowsPer := (l.NumRows + gridN - 1) / gridN
-		sitesPer := (l.SitesPerRow + gridN - 1) / gridN
-		// Density caps must admit the design: floor at a fraction of the
-		// current utilization so the aggregate remains feasible.
-		util := l.Utilization()
-		floor := util * 0.55
-		for gi := 0; gi < gridN; gi++ {
-			for gj := 0; gj < gridN; gj++ {
-				z := 0.0
-				if std > 0 {
-					z = (counts[gi][gj] - mean) / std
-				}
-				dens := sigmoid(z)
-				if dens < floor {
-					dens = floor
-				}
-				l.AddBlockage(layout.Blockage{
-					Row0: gi * rowsPer, Row1: (gi + 1) * rowsPer,
-					Site0: gj * sitesPer, Site1: (gj + 1) * sitesPer,
-					MaxDensity: dens,
-				})
-			}
-		}
-		eco := place.ECO(l, seed+int64(it))
-		res.Moved += eco.Moved
-		res.Satisfied = eco.Satisfied
-		// Density elevation: pull nearby movable cells into asset tiles up
-		// to their (higher) caps, eliminating free sites next to the
-		// assets themselves.
-		res.Moved += attractIntoAssetTiles(l, gridN, counts, timing)
+		moved, satisfied := ldaIteration(l, gridN, seed, it, timing)
+		res.Moved += moved
+		res.Satisfied = satisfied
 		res.Iterations++
 	}
 	// Blockages are transient scaffolding of the operator.
 	l.ClearBlockages()
 	return res
+}
+
+// ldaIteration runs one iteration of Algorithm 2 with absolute iteration
+// index it (the ECO placement seed is seed+it, so a chain resumed from a
+// memoized prefix draws the same randomness as an uninterrupted run).
+//
+// Each iteration begins by deleting the previous iteration's blockages and
+// ends with its own installed, so the only state an iteration hands to the
+// next is the placement itself — which is what makes the LDA chain
+// memoizable as placement diffs: LDA(N, k+1) ≡ LDA(N, k) + ldaIteration(k)
+// regardless of whether the k-iteration state was computed or replayed.
+func ldaIteration(l *layout.Layout, gridN int, seed int64, it int, timing *sta.Result) (moved int, satisfied bool) {
+	l.ClearBlockages()
+	counts := assetCounts(l, gridN)
+	mean, std := meanStd(counts)
+
+	rowsPer := (l.NumRows + gridN - 1) / gridN
+	sitesPer := (l.SitesPerRow + gridN - 1) / gridN
+	// Density caps must admit the design: floor at a fraction of the
+	// current utilization so the aggregate remains feasible.
+	util := l.Utilization()
+	floor := util * 0.55
+	for gi := 0; gi < gridN; gi++ {
+		for gj := 0; gj < gridN; gj++ {
+			z := 0.0
+			if std > 0 {
+				z = (counts[gi][gj] - mean) / std
+			}
+			dens := sigmoid(z)
+			if dens < floor {
+				dens = floor
+			}
+			l.AddBlockage(layout.Blockage{
+				Row0: gi * rowsPer, Row1: (gi + 1) * rowsPer,
+				Site0: gj * sitesPer, Site1: (gj + 1) * sitesPer,
+				MaxDensity: dens,
+			})
+		}
+	}
+	eco := place.ECO(l, seed+int64(it))
+	moved = eco.Moved
+	satisfied = eco.Satisfied
+	// Density elevation: pull nearby movable cells into asset tiles up
+	// to their (higher) caps, eliminating free sites next to the
+	// assets themselves.
+	moved += attractIntoAssetTiles(l, gridN, counts, timing)
+	return moved, satisfied
 }
 
 // attractIntoAssetTiles fills asset-holding tiles toward their density caps

@@ -29,6 +29,32 @@ var (
 	evalsInflightPeak = obs.Default().Gauge(
 		"gdsiiguard_flow_evals_inflight_peak",
 		"High watermark of concurrently executing layout evaluations.").With()
+	// deltaEvals splits arena evaluations into delta (memo-backed) vs
+	// scratch (full from-baseline) runs.
+	deltaEvals = obs.Default().Counter(
+		"gdsiiguard_delta_evaluations_total",
+		"Arena evaluations by mode: delta (stage-memoized) or scratch.",
+		"mode")
+	// deltaOperator records how each delta evaluation satisfied its
+	// operator stage: run (computed in full), memo_hit (diff replay),
+	// prefix_hit (LDA chain resumed from a memoized prefix), arena_hit
+	// (placement already in the arena), arena_extend (LDA chain extended
+	// in place).
+	deltaOperator = obs.Default().Counter(
+		"gdsiiguard_delta_operator_total",
+		"Operator-stage outcomes of delta evaluations.",
+		"outcome")
+	// deltaRoutes counts route stages warm-started from a donor route vs
+	// routed cold.
+	deltaRoutes = obs.Default().Counter(
+		"gdsiiguard_delta_route_total",
+		"Route stages of delta evaluations by mode: warm or cold.",
+		"mode")
+	// deltaNets counts per-net routing outcomes across delta evaluations.
+	deltaNets = obs.Default().Counter(
+		"gdsiiguard_delta_route_nets_total",
+		"Nets replayed from a donor route vs pattern-routed fresh.",
+		"kind")
 )
 
 // EvalsInflightGauge exposes the evaluation-occupancy gauge so callers

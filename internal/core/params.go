@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // Operator selects the ECO placement operator.
@@ -115,10 +116,62 @@ func (p Params) Clone() Params {
 // Key returns a canonical string identity for deduplication. CS
 // configurations ignore the LDA genes (they are inactive).
 func (p Params) Key() string {
+	return p.OpKey() + "|" + p.ScaleKey()
+}
+
+// Gene→stage dependency map. Each flow stage depends on a prefix of the
+// chromosome, which is what makes per-stage memoization sound:
+//
+//	stage      depends on genes            key
+//	operator   Op, LDAGridN, LDAIters      OpKey()   (placement diff)
+//	route      operator output + ScaleM    OpKey()+ScaleKey()
+//	timing     route output                —
+//	power      route output                —
+//	security   route + timing output       —
+//	drc        route output                —
+//
+// The post-operator placement is independent of ScaleM because the NDR is
+// installed after the operator runs; everything downstream of route is a
+// deterministic function of the routed layout. Two chromosomes sharing an
+// OpKey therefore share a post-operator placement bit-identically, and two
+// chromosomes sharing a full Key share every stage (the nsga2 evaluator
+// cache). StageMemo exploits the intermediate levels.
+
+// OpKey returns the canonical identity of the operator-gene prefix — the
+// genes the ECO placement stage depends on. CS has no sub-genes; LDA keys
+// by grid count and iteration count. An LDA key is a chain: LDA:N:k+1 is
+// LDA:N:k extended by one iteration (see ldaIteration).
+func (p Params) OpKey() string {
 	if p.Op == CS {
-		return fmt.Sprintf("CS|%v", p.ScaleM)
+		return "CS"
 	}
-	return fmt.Sprintf("LDA:%d:%d|%v", p.LDAGridN, p.LDAIters, p.ScaleM)
+	return fmt.Sprintf("LDA:%d:%d", p.LDAGridN, p.LDAIters)
+}
+
+// LDAOpKey returns the OpKey of an LDA configuration with the given grid
+// and iteration counts (the memo uses it to name intermediate chain links).
+func LDAOpKey(gridN, iters int) string {
+	return fmt.Sprintf("LDA:%d:%d", gridN, iters)
+}
+
+// ParseLDAOpKey parses an LDA OpKey back into its grid and iteration
+// counts; ok is false for anything else (including "CS" and "").
+func ParseLDAOpKey(key string) (gridN, iters int, ok bool) {
+	if !strings.HasPrefix(key, "LDA:") {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(key, "LDA:%d:%d", &gridN, &iters); err != nil {
+		return 0, 0, false
+	}
+	return gridN, iters, true
+}
+
+// ScaleKey returns the canonical identity of the routing-width genes
+// (RWS::scale_M). Routes from two evaluations are interchangeable only
+// when their ScaleKeys match exactly: the NDR scale multiplies every
+// track-usage commit, so any difference changes congestion globally.
+func (p Params) ScaleKey() string {
+	return fmt.Sprintf("%v", p.ScaleM)
 }
 
 // SpaceSize returns |D| for a K-layer process: CS contributes 3^K

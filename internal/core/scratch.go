@@ -26,16 +26,51 @@ import (
 type Scratch struct {
 	base *Baseline
 	l    *layout.Layout
+	// memo is the baseline's shared cross-chromosome stage cache; nil
+	// disables delta evaluation (every run goes through runOn from the
+	// baseline placement).
+	memo *StageMemo
 
 	// Pristine state the arena is rewound to before each evaluation.
 	baseFixed     []bool
 	baseScale     []float64
 	baseBlockages []layout.Blockage
+
+	// Arena lineage: the post-operator state currently materialized in l.
+	// haveCur means the journal up to opMark reproduces curOpKey's
+	// placement (curDiff against the baseline, curCS/curLDA telemetry), so
+	// an evaluation with the same operator genes rolls back only past the
+	// route/evaluate mutations and skips the operator stage entirely, and
+	// a longer LDA chain extends in place. Cleared on any rewind to the
+	// baseline; an errored evaluation leaves it intact only if the
+	// operator stage completed (the state is still the committed one).
+	haveCur  bool
+	curOpKey string
+	curDiff  []layout.InstMove
+	curCS    CellShiftResult
+	curLDA   LDAResult
+	opMark   int
+
+	stats DeltaStats
 }
 
-// NewScratch builds an evaluation arena over the baseline. The baseline
-// layout itself is never modified.
+// NewScratch builds a delta-evaluating arena over the baseline: operator
+// placements, route geometry and warm-start donors are shared through the
+// baseline's StageMemo. The baseline layout itself is never modified.
 func NewScratch(base *Baseline) *Scratch {
+	s := newScratch(base)
+	s.memo = base.Memo()
+	return s
+}
+
+// NewScratchPlain builds an arena that evaluates every chromosome from
+// scratch (no memo, no lineage reuse). Results are bit-identical to
+// NewScratch's; this exists for A/B verification and as an escape hatch.
+func NewScratchPlain(base *Baseline) *Scratch {
+	return newScratch(base)
+}
+
+func newScratch(base *Baseline) *Scratch {
 	l := base.Layout.Clone()
 	s := &Scratch{
 		base:          base,
@@ -53,13 +88,37 @@ func NewScratch(base *Baseline) *Scratch {
 	return s
 }
 
-// reset rewinds the arena to its pristine (clone-time) state.
+// Lineage reports the OpKey of the post-operator placement currently held
+// by the arena ("" when the arena is at the baseline). Exploration loops
+// use it to route a child chromosome to the arena already holding its
+// parent's placement.
+func (s *Scratch) Lineage() string {
+	if !s.haveCur {
+		return ""
+	}
+	return s.curOpKey
+}
+
+// Stats returns what this arena's delta evaluations reused so far.
+func (s *Scratch) Stats() DeltaStats { return s.stats }
+
+// reset rewinds the arena to its pristine (clone-time) state — or, when
+// the arena holds a committed post-operator placement, only back to it:
+// the non-journaled snapshots (Fixed flags, NDR scale, blockages) are
+// restored either way, because the post-operator placement by
+// construction has baseline Fixed flags and no blockages (operators unpin
+// and clear blockages before committing).
 func (s *Scratch) reset() {
 	l := s.l
 	if !l.Journaling() {
 		l.BeginJournal()
 	}
-	l.RollbackJournal(0)
+	if s.haveCur {
+		l.RollbackJournal(s.opMark)
+	} else {
+		l.RollbackJournal(0)
+		s.opMark = 0
+	}
 	for i, in := range l.Netlist.Insts {
 		in.Fixed = s.baseFixed[i]
 	}
@@ -86,7 +145,15 @@ func (s *Scratch) RunCtx(ctx context.Context, p Params) (*Result, error) {
 		return nil, err
 	}
 	s.reset()
-	res, err := runOn(ctx, s.base, s.l, p)
+	var res *Result
+	var err error
+	if s.memo != nil {
+		deltaEvals.With("delta").Inc()
+		res, err = s.runDelta(ctx, p)
+	} else {
+		deltaEvals.With("scratch").Inc()
+		res, err = runOn(ctx, s.base, s.l, p)
+	}
 	if err != nil {
 		return nil, err
 	}

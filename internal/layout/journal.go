@@ -1,6 +1,10 @@
 package layout
 
-import "gdsiiguard/internal/netlist"
+import (
+	"fmt"
+
+	"gdsiiguard/internal/netlist"
+)
 
 // The placement journal records every Place/Unplace (and therefore every
 // ShiftLeft/ShiftRight, which go through Place) performed while journaling
@@ -80,6 +84,68 @@ func (l *Layout) RollbackJournal(mark int) {
 		l.placements[r.inst.ID] = r.old
 	}
 	l.journal = l.journal[:mark]
+}
+
+// InstMove is one entry of a placement diff: the instance (by ID) and the
+// placement it holds in the target state. A diff is replayed with
+// ApplyMoves; because Place/Unplace record into any open journal, a replay
+// remains fully rollback-able (RollbackJournal restores the pre-replay
+// state bit-identically).
+type InstMove struct {
+	Inst int
+	To   Placement
+}
+
+// DiffPlacements returns the moves that transform from's placement state
+// into to's. Both layouts must be clones of the same design (identical
+// instance sets in identical order — Clone preserves IDs). The diff
+// contains exactly the instances whose placements differ, in instance-ID
+// order, so it is a canonical, deterministic encoding of "what the
+// operator did" suitable for memoization.
+func DiffPlacements(from, to *Layout) []InstMove {
+	from.grow()
+	to.grow()
+	n := len(from.placements)
+	if m := len(to.placements); m < n {
+		n = m
+	}
+	var moves []InstMove
+	for i := 0; i < n; i++ {
+		if from.placements[i] != to.placements[i] {
+			moves = append(moves, InstMove{Inst: i, To: to.placements[i]})
+		}
+	}
+	return moves
+}
+
+// ApplyMoves replays a placement diff produced by DiffPlacements onto l,
+// which must currently be in the diff's "from" state. Every changed
+// instance is unplaced first and then placed at its target, so transient
+// overlaps between moving cells cannot fail the replay (an instance that
+// does not move can never occupy another's target, because the target
+// state is a valid placement). All mutations go through Place/Unplace and
+// are therefore journaled.
+func (l *Layout) ApplyMoves(moves []InstMove) error {
+	l.grow()
+	for _, m := range moves {
+		if m.Inst < 0 || m.Inst >= len(l.Netlist.Insts) {
+			return fmt.Errorf("layout: replay move for unknown instance %d", m.Inst)
+		}
+		cur := l.placements[m.Inst]
+		if cur == m.To || !cur.Placed {
+			continue
+		}
+		l.Unplace(l.Netlist.Insts[m.Inst])
+	}
+	for _, m := range moves {
+		if !m.To.Placed || l.placements[m.Inst] == m.To {
+			continue
+		}
+		if err := l.Place(l.Netlist.Insts[m.Inst], m.To.Row, m.To.Site); err != nil {
+			return fmt.Errorf("layout: replay: %w", err)
+		}
+	}
+	return nil
 }
 
 // record appends one mutation to the journal when journaling is active.

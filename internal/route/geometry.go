@@ -1,0 +1,106 @@
+package route
+
+import (
+	"sort"
+
+	"gdsiiguard/internal/geom"
+	"gdsiiguard/internal/layout"
+)
+
+// Geometry is the placement-derived routing precomputation for one layout
+// state: the routable-net list, each net's two-pin connection decomposition
+// (nearest-terminal spanning tree), its terminal bounding box, and the
+// routing order (descending HPWL, stable). Everything the router derives
+// from the placement before touching congestion state lives here, so two
+// evaluations that share a post-operator placement (same operator-gene
+// prefix) can share one Geometry and skip straight to congestion-aware
+// pattern routing.
+//
+// A Geometry is arena-independent — it stores net IDs and DBU points, not
+// pointers into any particular layout clone — and immutable once built, so
+// it is safe to cache in a cross-worker memo and use concurrently.
+type Geometry struct {
+	// NetIDs lists the routable nets (≥2 terminals, driver present) in
+	// netlist order.
+	NetIDs []int32
+	// Order holds indices into NetIDs in routing order: descending
+	// half-perimeter wirelength, ties kept in netlist order (long nets
+	// first — they need the scarce upper layers).
+	Order []int32
+	// Conns[i] is NetIDs[i]'s two-pin connection sequence.
+	Conns [][]Conn
+	// BBox[i] is the bounding box of NetIDs[i]'s located terminals. Every
+	// L/Z candidate waypoint of every connection lies inside it, so it
+	// bounds the GCells the net's routing can ever read or write.
+	BBox []geom.Rect
+}
+
+// Conn is one two-pin connection between DBU terminal points.
+type Conn struct {
+	A, B geom.Point
+}
+
+// BuildGeometry computes the routing geometry of the layout's current
+// placement. The decomposition reproduces the router's historical
+// Prim-style nearest-terminal order bit-identically.
+func BuildGeometry(l *layout.Layout) *Geometry {
+	nl := l.Netlist
+	g := &Geometry{}
+	for _, n := range nl.Nets {
+		if n.NumTerms() >= 2 && n.HasDriver() {
+			g.NetIDs = append(g.NetIDs, int32(n.ID))
+		}
+	}
+	g.Conns = make([][]Conn, len(g.NetIDs))
+	g.BBox = make([]geom.Rect, len(g.NetIDs))
+	g.Order = make([]int32, len(g.NetIDs))
+	hpwl := make([]int64, len(g.NetIDs))
+	for i, id := range g.NetIDs {
+		n := nl.Nets[id]
+		g.Order[i] = int32(i)
+		hpwl[i] = l.NetHPWL(n)
+		pts := l.NetTermPoints(n)
+		if len(pts) < 2 {
+			continue
+		}
+		bb := geom.Rect{Lo: pts[0], Hi: pts[0]}
+		for _, p := range pts[1:] {
+			if p.X < bb.Lo.X {
+				bb.Lo.X = p.X
+			}
+			if p.Y < bb.Lo.Y {
+				bb.Lo.Y = p.Y
+			}
+			if p.X > bb.Hi.X {
+				bb.Hi.X = p.X
+			}
+			if p.Y > bb.Hi.Y {
+				bb.Hi.Y = p.Y
+			}
+		}
+		g.BBox[i] = bb
+		// Prim-style: start from the driver (pts[0]), connect the nearest
+		// unconnected terminal to its nearest connected terminal.
+		connected := []geom.Point{pts[0]}
+		remaining := append([]geom.Point(nil), pts[1:]...)
+		conns := make([]Conn, 0, len(remaining))
+		for len(remaining) > 0 {
+			bi, bj, best := 0, 0, int64(1)<<62
+			for ri, p := range remaining {
+				for ci, q := range connected {
+					if d := p.ManhattanDist(q); d < best {
+						bi, bj, best = ri, ci, d
+					}
+				}
+			}
+			conns = append(conns, Conn{A: connected[bj], B: remaining[bi]})
+			connected = append(connected, remaining[bi])
+			remaining = append(remaining[:bi], remaining[bi+1:]...)
+		}
+		g.Conns[i] = conns
+	}
+	sort.SliceStable(g.Order, func(a, b int) bool {
+		return hpwl[g.Order[a]] > hpwl[g.Order[b]]
+	})
+	return g
+}

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/geom"
@@ -149,6 +148,17 @@ type Result struct {
 	TotalWL int64
 	// Core is the core rectangle capacities were clipped to.
 	Core geom.Rect
+	// NDRScale is the per-layer NDR width scale the routing was committed
+	// under (a snapshot of the layout's NDR at route time). Warm-starting
+	// from this result requires an exactly equal NDR, since the scale
+	// multiplies every track-usage commit.
+	NDRScale []float64
+	// Victims counts nets ripped up across all rip-up-and-reroute passes.
+	// Only a result with zero victims can donate routes to a warm start:
+	// with victims, the final per-net routes no longer reflect the usage
+	// state each net saw at its main-loop turn, so replay equivalence
+	// cannot be argued net by net.
+	Victims int
 }
 
 // Route globally routes every net of the layout under its current NDR.
@@ -156,6 +166,21 @@ func Route(l *layout.Layout, opt Options) (*Result, error) {
 	if err := fault.Hit(fault.Route); err != nil {
 		return nil, err
 	}
+	return routeWithGeometry(l, opt, BuildGeometry(l))
+}
+
+// RouteWithGeometry is Route with a precomputed placement geometry (which
+// must describe l's current placement). It produces bit-identical results
+// to Route; callers that evaluate many NDR variants of one placement build
+// the geometry once.
+func RouteWithGeometry(l *layout.Layout, opt Options, geo *Geometry) (*Result, error) {
+	if err := fault.Hit(fault.Route); err != nil {
+		return nil, err
+	}
+	return routeWithGeometry(l, opt, geo)
+}
+
+func routeWithGeometry(l *layout.Layout, opt Options, geo *Geometry) (*Result, error) {
 	defer routeSeconds.Start().Stop()
 	opt = opt.withDefaults()
 	lib := l.Lib()
@@ -167,6 +192,7 @@ func Route(l *layout.Layout, opt Options) (*Result, error) {
 		Grid:      grid,
 		NetRoutes: make([]*NetRoute, len(l.Netlist.Nets)),
 		Core:      l.CoreRect(),
+		NDRScale:  append([]float64(nil), l.NDR.Scale...),
 	}
 	n := grid.Cols * grid.Rows
 	for li := 0; li < lib.NumLayers(); li++ {
@@ -175,17 +201,12 @@ func Route(l *layout.Layout, opt Options) (*Result, error) {
 	}
 	fillCapacity(l, res)
 
-	r := &router{l: l, res: res, rng: rand.New(rand.NewSource(opt.Seed))}
-	nets := routableNets(l.Netlist)
-	// Long nets first: they need the scarce upper layers.
-	sort.SliceStable(nets, func(i, j int) bool {
-		return l.NetHPWL(nets[i]) > l.NetHPWL(nets[j])
-	})
-	for _, net := range nets {
-		r.routeNet(net)
+	r := &router{l: l, res: res, geo: geo, rng: rand.New(rand.NewSource(opt.Seed))}
+	for _, oi := range geo.Order {
+		r.routeGeoNet(int(oi))
 	}
 	for p := 0; p < opt.RipupPasses; p++ {
-		r.ripupAndReroute(nets)
+		r.ripupAndReroute()
 	}
 	res.finalize()
 	return res, nil
@@ -240,47 +261,25 @@ func fillCapacity(l *layout.Layout, res *Result) {
 	}
 }
 
-// routableNets returns nets with at least two located terminals.
-func routableNets(nl *netlist.Netlist) []*netlist.Net {
-	var out []*netlist.Net
-	for _, n := range nl.Nets {
-		if n.NumTerms() >= 2 && n.HasDriver() {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
 type router struct {
 	l   *layout.Layout
 	res *Result
+	geo *Geometry
 	rng *rand.Rand
 }
 
-// routeNet decomposes the net into two-pin connections (nearest-terminal
-// spanning tree) and pattern-routes each.
-func (r *router) routeNet(net *netlist.Net) {
-	pts := r.l.NetTermPoints(net)
-	if len(pts) < 2 {
+// routeGeoNet pattern-routes the oi-th geometry net's precomputed two-pin
+// connections. Nets whose geometry has no connections (fewer than two
+// located terminals) stay unrouted, exactly as before.
+func (r *router) routeGeoNet(oi int) {
+	conns := r.geo.Conns[oi]
+	if len(conns) == 0 {
 		return
 	}
+	net := r.l.Netlist.Nets[r.geo.NetIDs[oi]]
 	nr := &NetRoute{Net: net, LenByMetal: make([]int64, r.l.Lib().NumLayers()+1)}
-	// Prim-style: start from the driver (pts[0]), connect the nearest
-	// unconnected terminal to its nearest connected terminal.
-	connected := []geom.Point{pts[0]}
-	remaining := append([]geom.Point(nil), pts[1:]...)
-	for len(remaining) > 0 {
-		bi, bj, best := 0, 0, int64(1)<<62
-		for i, p := range remaining {
-			for j, q := range connected {
-				if d := p.ManhattanDist(q); d < best {
-					bi, bj, best = i, j, d
-				}
-			}
-		}
-		r.routeTwoPin(nr, connected[bj], remaining[bi], net.IsClock)
-		connected = append(connected, remaining[bi])
-		remaining = append(remaining[:bi], remaining[bi+1:]...)
+	for _, c := range conns {
+		r.routeTwoPin(nr, c.A, c.B, net.IsClock)
 	}
 	r.res.NetRoutes[net.ID] = nr
 }
@@ -459,7 +458,7 @@ func (r *router) uncommit(nr *NetRoute) {
 
 // ripupAndReroute rips up nets that cross overflowed GCells and re-routes
 // them in a congestion-aware order.
-func (r *router) ripupAndReroute(nets []*netlist.Net) {
+func (r *router) ripupAndReroute() {
 	over := make([]bool, r.res.Grid.Cols*r.res.Grid.Rows)
 	any := false
 	for li := range r.res.Usage {
@@ -473,9 +472,9 @@ func (r *router) ripupAndReroute(nets []*netlist.Net) {
 	if !any {
 		return
 	}
-	var victims []*netlist.Net
-	for _, net := range nets {
-		nr := r.res.NetRoutes[net.ID]
+	var victims []int32
+	for _, oi := range r.geo.Order {
+		nr := r.res.NetRoutes[r.geo.NetIDs[oi]]
 		if nr == nil {
 			continue
 		}
@@ -491,13 +490,14 @@ func (r *router) ripupAndReroute(nets []*netlist.Net) {
 			}
 		}
 		if hit {
-			victims = append(victims, net)
+			victims = append(victims, oi)
 			r.uncommit(nr)
 		}
 	}
+	r.res.Victims += len(victims)
 	r.rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
-	for _, net := range victims {
-		r.routeNet(net)
+	for _, oi := range victims {
+		r.routeGeoNet(int(oi))
 	}
 }
 

@@ -1,0 +1,281 @@
+package route
+
+import (
+	"math/rand"
+
+	"gdsiiguard/internal/fault"
+	"gdsiiguard/internal/geom"
+	"gdsiiguard/internal/layout"
+)
+
+// WarmStats reports what a warm-started routing reused.
+type WarmStats struct {
+	// Replayed nets had their donor route copied verbatim.
+	Replayed int
+	// Rerouted nets were pattern-routed fresh (dirty nets plus promotions).
+	Rerouted int
+	// Promoted counts clean nets that still had to reroute because their
+	// terminal bounding box intersected the accumulated change region.
+	Promoted int
+}
+
+// Warm routes l by replaying a donor result's routes for every net whose
+// routing decision provably cannot have changed, and pattern-routing only
+// the rest. The caller marks dirty[netID] for every net with a terminal on
+// a cell that moved between the donor's placement and l's.
+//
+// The result is bit-identical to RouteWithGeometry(l, opt, geo). The
+// argument is decision equality along the main routing loop:
+//
+//   - Nets route in descending-HPWL order; a clean (not dirty) net has the
+//     same terminals, hence the same HPWL and the same position relative
+//     to every other clean net, so the replayed loop visits clean nets in
+//     the donor's relative order.
+//   - The router's only inputs besides geometry are Usage/Cap over the
+//     GCells of the net's candidate paths, all of which lie inside the
+//     endpoint rectangles of its two-pin connections (see touchesDelta).
+//     A change region Δ — a per-GCell mask —
+//     covers every cell where usage can differ from the donor run at the
+//     equivalent point: it starts as the donor paths of all dirty nets
+//     (their usage is absent or different here) and grows by the old and
+//     new paths of every net routed fresh. Segments are axis-aligned and
+//     commit marks exactly the cells on the straight run between segment
+//     endpoints, so Δ stays thin even for die-spanning nets like the
+//     clock tree. A clean net whose connection rectangles all miss Δ
+//     therefore reads exactly the usage the donor's run read at its turn
+//     and must decide identically — its donor route is committed
+//     verbatim. Anything else reroutes, which only grows Δ and keeps the
+//     invariant.
+//   - Rip-up passes then run on a usage/route state identical to the cold
+//     run's, with a fresh rng(seed) — the shuffle draws the same stream.
+//
+// Preconditions (checked; failing any returns a nil Result and the caller
+// falls back to a cold route): the donor routed the same netlist under an
+// exactly equal NDR scale and grid, and had zero rip-up victims — a donor
+// whose final routes were reshaped by rip-up no longer reflects the usage
+// each net saw at its main-loop turn, so the equivalence cannot be argued.
+func Warm(l *layout.Layout, opt Options, geo *Geometry, donor *Result, dirty []bool) (*Result, WarmStats, error) {
+	var st WarmStats
+	if err := fault.Hit(fault.Route); err != nil {
+		return nil, st, err
+	}
+	opt = opt.withDefaults()
+	lib := l.Lib()
+	if lib.NumLayers() < 2 || donor == nil || donor.Victims != 0 ||
+		len(donor.NetRoutes) != len(l.Netlist.Nets) || len(dirty) != len(l.Netlist.Nets) {
+		return nil, st, nil
+	}
+	if len(donor.NDRScale) != len(l.NDR.Scale) {
+		return nil, st, nil
+	}
+	for i, s := range donor.NDRScale {
+		if s != l.NDR.Scale[i] {
+			return nil, st, nil
+		}
+	}
+	grid := buildGrid(l, opt)
+	if grid != donor.Grid {
+		return nil, st, nil
+	}
+
+	defer routeSeconds.Start().Stop()
+	res := &Result{
+		Grid:      grid,
+		NetRoutes: make([]*NetRoute, len(l.Netlist.Nets)),
+		Core:      l.CoreRect(),
+		NDRScale:  append([]float64(nil), l.NDR.Scale...),
+	}
+	n := grid.Cols * grid.Rows
+	for li := 0; li < lib.NumLayers(); li++ {
+		res.Usage = append(res.Usage, make([]float64, n))
+		res.Cap = append(res.Cap, make([]float64, n))
+	}
+	fillCapacity(l, res)
+	r := &router{l: l, res: res, geo: geo, rng: rand.New(rand.NewSource(opt.Seed))}
+
+	// Δ starts as the donor paths of every dirty net: wherever those
+	// committed usage in the donor run, usage here is already different —
+	// regardless of where the dirty net lands in the order.
+	delta := newDeltaMask(grid)
+	for _, id := range geo.NetIDs {
+		if dirty[id] {
+			if dnr := donor.NetRoutes[id]; dnr != nil {
+				delta.addSegments(dnr.Segments)
+			}
+		}
+	}
+
+	for _, oi := range geo.Order {
+		id := geo.NetIDs[oi]
+		dnr := donor.NetRoutes[id]
+		clean := !dirty[id] && dnr != nil
+		if clean && !r.touchesDelta(delta, oi) {
+			r.replay(int(id), dnr)
+			st.Replayed++
+			continue
+		}
+		if clean {
+			st.Promoted++
+		}
+		if len(geo.Conns[oi]) == 0 {
+			continue
+		}
+		r.routeGeoNet(int(oi))
+		st.Rerouted++
+		nr := res.NetRoutes[id]
+		if clean && nr != nil && sameSegments(nr.Segments, dnr.Segments) {
+			// The promoted net re-decided identically: it commits exactly
+			// the increments the donor run committed at this turn, so the
+			// usage-difference set — and therefore Δ — is unchanged. This
+			// is what stops one promotion from cascading down a chain of
+			// spatially adjacent nets.
+			continue
+		}
+		if clean {
+			// Its donor usage is not being committed where the donor
+			// committed it, so the donor path joins Δ too (dirty nets'
+			// donor paths are in Δ from initialization).
+			delta.addSegments(dnr.Segments)
+		}
+		if nr != nil {
+			delta.addSegments(nr.Segments)
+		}
+	}
+	for p := 0; p < opt.RipupPasses; p++ {
+		r.ripupAndReroute()
+	}
+	res.finalize()
+	return res, st, nil
+}
+
+func sameSegments(a, b []Segment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// touchesDelta reports whether routing the net could read a cell of Δ.
+// The router evaluates L- and Z-shaped candidates per two-pin connection,
+// all of whose waypoints lie inside the connection's endpoint rectangle,
+// so the net's true read set is the union of its per-connection
+// rectangles — much tighter than the whole-net terminal bounding box for
+// multi-terminal nets like the clock tree (the net bbox serves as a cheap
+// pre-filter only).
+func (r *router) touchesDelta(delta *deltaMask, oi int32) bool {
+	if !delta.overlaps(gcellRectOf(r.res.Grid, r.geo.BBox[oi])) {
+		return false
+	}
+	for _, c := range r.geo.Conns[oi] {
+		q := gcellRectOf(r.res.Grid, geom.Rect{
+			Lo: geom.Pt(minI64(c.A.X, c.B.X), minI64(c.A.Y, c.B.Y)),
+			Hi: geom.Pt(maxI64(c.A.X, c.B.X), maxI64(c.A.Y, c.B.Y)),
+		})
+		if delta.overlaps(q) {
+			return true
+		}
+	}
+	return false
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// replay commits a donor net route verbatim: usage is booked along every
+// segment exactly as commit would, and the route record is copied. The
+// donor's segment slice is shared (donor results are immutable; a later
+// rip-up of this net replaces the NetRoute rather than mutating segments),
+// while LenByMetal is copied because uncommit zeroes it in place.
+func (r *router) replay(id int, dnr *NetRoute) {
+	nr := &NetRoute{
+		Net:        r.l.Netlist.Nets[id],
+		Segments:   dnr.Segments,
+		LenByMetal: append([]int64(nil), dnr.LenByMetal...),
+	}
+	for _, s := range nr.Segments {
+		scale := r.l.NDR.LayerScale(s.Metal)
+		r.walk(s.A, s.B, func(idx int) {
+			r.res.Usage[s.Metal-1][idx] += scale
+		})
+	}
+	r.res.NetRoutes[id] = nr
+}
+
+// gcellRect is an inclusive GCell-index rectangle.
+type gcellRect struct {
+	c0, r0, c1, r1 int
+}
+
+// gcellRectOf converts a DBU rectangle to the inclusive GCell rectangle
+// containing it (AtDBU is monotonic and clamped, so any DBU point inside
+// the rectangle maps into it).
+func gcellRectOf(g Grid, bb geom.Rect) gcellRect {
+	c0, r0 := g.AtDBU(bb.Lo)
+	c1, r1 := g.AtDBU(bb.Hi)
+	return gcellRect{c0: c0, r0: r0, c1: c1, r1: r1}
+}
+
+// deltaMask is the change region Δ: one bit per GCell. Segment-granular
+// (each axis-aligned segment marks only the cells on its straight run), so
+// a die-spanning net contributes thin lines rather than its bounding box.
+type deltaMask struct {
+	g Grid
+	m []bool
+}
+
+func newDeltaMask(g Grid) *deltaMask {
+	return &deltaMask{g: g, m: make([]bool, g.Cols*g.Rows)}
+}
+
+// addSegments marks the GCells of every straight run — exactly the cells
+// walk visits when committing or uncommitting these segments.
+func (d *deltaMask) addSegments(segs []Segment) {
+	for _, s := range segs {
+		c0, r0 := d.g.AtDBU(s.A)
+		c1, r1 := d.g.AtDBU(s.B)
+		if c1 < c0 {
+			c0, c1 = c1, c0
+		}
+		if r1 < r0 {
+			r0, r1 = r1, r0
+		}
+		for r := r0; r <= r1; r++ {
+			row := d.m[r*d.g.Cols : (r+1)*d.g.Cols]
+			for c := c0; c <= c1; c++ {
+				row[c] = true
+			}
+		}
+	}
+}
+
+// overlaps reports whether any GCell of the inclusive rectangle is marked.
+func (d *deltaMask) overlaps(q gcellRect) bool {
+	if q.c1 < q.c0 || q.r1 < q.r0 {
+		return false
+	}
+	for r := q.r0; r <= q.r1; r++ {
+		row := d.m[r*d.g.Cols : (r+1)*d.g.Cols]
+		for c := q.c0; c <= q.c1; c++ {
+			if row[c] {
+				return true
+			}
+		}
+	}
+	return false
+}

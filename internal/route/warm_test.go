@@ -1,0 +1,239 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdsiiguard/internal/layout"
+	"gdsiiguard/internal/netlist"
+)
+
+// placedLocalMesh places a mesh netlist with strong locality: instances go
+// into rows in netlist order (chains are built consecutively), with free
+// sites interleaved so cells can relocate nearby. Global placement at low
+// utilization scatters connected cells across the die, which makes every
+// two-pin connection span most of the routing grid and leaves a warm start
+// nothing provably unaffected to replay; real ECO placements keep
+// connected cells close, and so does this.
+func placedLocalMesh(t testing.TB, chains, stages, numRows, sitesPerRow int) *layout.Layout {
+	t.Helper()
+	nl := meshNetlist(t, chains, stages)
+	l, err := layout.New(nl, numRows, sitesPerRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serpentine fill: odd rows run right-to-left, so the connection
+	// across a row boundary stays short instead of spanning the die.
+	// site is the next free start (dir > 0) or the exclusive right edge
+	// of the free span (dir < 0).
+	row, site, dir := 0, 0, 1
+	for _, in := range nl.Insts {
+		w := in.Master.WidthSites
+		if (dir > 0 && site+w > sitesPerRow) || (dir < 0 && site-w < 0) {
+			row, dir = row+1, -dir
+			if row >= numRows {
+				t.Fatal("mesh does not fit the die")
+			}
+			if dir > 0 {
+				site = 0
+			} else {
+				site = sitesPerRow
+			}
+		}
+		at := site
+		if dir < 0 {
+			at = site - w
+		}
+		if err := l.Place(in, row, at); err != nil {
+			t.Fatal(err)
+		}
+		site += dir * (w + 2) // leave free sites for local relocation
+	}
+	return l
+}
+
+// perturb relocates up to n movable instances of l to random free sites
+// and returns the dirty-net mask (nets with a terminal on a moved cell).
+func perturb(t *testing.T, l *layout.Layout, n int, rng *rand.Rand) []bool {
+	t.Helper()
+	dirty := make([]bool, len(l.Netlist.Nets))
+	moved := 0
+	var cands []*netlist.Instance
+	for _, in := range l.Netlist.Insts {
+		if !in.Fixed && l.PlacementOf(in).Placed {
+			cands = append(cands, in)
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	for _, in := range cands {
+		if moved >= n {
+			break
+		}
+		w := in.Master.WidthSites
+		// Relocate near the current position (ECO operators move cells
+		// locally, which is what keeps the change region small).
+		from := l.PlacementOf(in)
+		row, site := -1, -1
+		for dr := -2; dr <= 2 && site < 0; dr++ {
+			r := from.Row + dr
+			if r < 0 || r >= l.NumRows {
+				continue
+			}
+			for _, run := range l.FreeRuns(r) {
+				if run.Len >= w && (r != from.Row || run.Start != from.Site) {
+					row, site = r, run.Start
+					break
+				}
+			}
+		}
+		if site < 0 {
+			continue
+		}
+		l.Unplace(in)
+		if err := l.Place(in, row, site); err != nil {
+			t.Fatalf("re-place %s: %v", in.Name, err)
+		}
+		for _, c := range in.Conns {
+			dirty[c.Net.ID] = true
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("perturb moved nothing")
+	}
+	return dirty
+}
+
+func sameResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.TotalWL != want.TotalWL {
+		t.Errorf("%s: TotalWL %d != %d", label, got.TotalWL, want.TotalWL)
+	}
+	if got.Victims != want.Victims {
+		t.Errorf("%s: Victims %d != %d", label, got.Victims, want.Victims)
+	}
+	if got.Grid != want.Grid {
+		t.Fatalf("%s: grids differ", label)
+	}
+	for id := range want.NetRoutes {
+		g, w := got.NetRoutes[id], want.NetRoutes[id]
+		if (g == nil) != (w == nil) {
+			t.Fatalf("%s: net %d routed-ness differs", label, id)
+			continue
+		}
+		if g == nil {
+			continue
+		}
+		if len(g.Segments) != len(w.Segments) {
+			t.Fatalf("%s: net %d has %d segments, want %d", label, id, len(g.Segments), len(w.Segments))
+		}
+		for i := range w.Segments {
+			if g.Segments[i] != w.Segments[i] {
+				t.Fatalf("%s: net %d segment %d %+v != %+v", label, id, i, g.Segments[i], w.Segments[i])
+			}
+		}
+		for m := range w.LenByMetal {
+			if g.LenByMetal[m] != w.LenByMetal[m] {
+				t.Errorf("%s: net %d LenByMetal[%d] %d != %d", label, id, m, g.LenByMetal[m], w.LenByMetal[m])
+			}
+		}
+	}
+	for li := range want.Usage {
+		for i := range want.Usage[li] {
+			if got.Usage[li][i] != want.Usage[li][i] {
+				t.Fatalf("%s: usage[%d][%d] %g != %g", label, li, i, got.Usage[li][i], want.Usage[li][i])
+			}
+		}
+	}
+}
+
+// TestWarmMatchesColdChain is the warm-start equivalence gate: across a
+// chain of placement perturbations, routing warm from the previous clean
+// result must be bit-identical — routes, usage grid, wirelength — to
+// routing the same layout cold, while actually replaying most nets.
+func TestWarmMatchesColdChain(t *testing.T) {
+	l := placedLocalMesh(t, 8, 60, 40, 160)
+	opt := Options{Seed: 1}
+	rng := rand.New(rand.NewSource(5))
+
+	donor, err := Route(l, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if donor.Victims != 0 {
+		t.Fatal("fixture routes with rip-up victims; warm start needs a clean donor")
+	}
+	totalReplayed := 0
+	for step := 0; step < 4; step++ {
+		dirty := perturb(t, l, 3+step, rng)
+		geo := BuildGeometry(l)
+		cold, err := RouteWithGeometry(l, opt, geo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, st, err := Warm(l, opt, geo, donor, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm == nil {
+			t.Fatalf("step %d: warm start declined; preconditions should hold", step)
+		}
+		sameResults(t, "step", warm, cold)
+		if st.Replayed == 0 {
+			t.Errorf("step %d: no nets replayed (stats %+v)", step, st)
+		}
+		totalReplayed += st.Replayed
+		if cold.Victims == 0 {
+			donor = warm // chain: the new clean result donates to the next step
+		}
+	}
+	if totalReplayed == 0 {
+		t.Fatal("chain never replayed a net")
+	}
+}
+
+// TestWarmPreconditions checks that Warm declines (returning a nil result,
+// signalling cold fallback) whenever the donor cannot prove equivalence:
+// NDR mismatch, rip-up victims in the donor, or a missing donor.
+func TestWarmPreconditions(t *testing.T) {
+	l := placedMesh(t, 4, 10, 0.5)
+	opt := Options{Seed: 1}
+	donor, err := Route(l, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := BuildGeometry(l)
+	dirty := make([]bool, len(l.Netlist.Nets))
+
+	if res, _, err := Warm(l, opt, geo, nil, dirty); err != nil || res != nil {
+		t.Errorf("nil donor: got (%v, %v), want decline", res, err)
+	}
+
+	if donor.Victims == 0 {
+		bad := *donor
+		bad.Victims = 3
+		if res, _, err := Warm(l, opt, geo, &bad, dirty); err != nil || res != nil {
+			t.Errorf("victim donor: got (%v, %v), want decline", res, err)
+		}
+	}
+
+	l.NDR.Scale[0] *= 1.5
+	if res, _, err := Warm(l, opt, geo, donor, dirty); err != nil || res != nil {
+		t.Errorf("NDR mismatch: got (%v, %v), want decline", res, err)
+	}
+	l.NDR.Scale[0] /= 1.5
+
+	// With matching state and an all-clean mask, warm must replay all
+	// routed nets and reproduce the donor exactly.
+	res, st, err := Warm(l, opt, geo, donor, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("identity warm start declined")
+	}
+	if st.Rerouted != 0 || st.Promoted != 0 {
+		t.Errorf("identity warm start rerouted nets: %+v", st)
+	}
+	sameResults(t, "identity", res, donor)
+}

@@ -61,6 +61,16 @@ func (m *Manager) executeClusterExplore(ctx context.Context, job *Job) (*gdsiigu
 		Failures:    res.Failures,
 		Islands:     res.Islands,
 		Migrations:  res.Migrations,
+		Delta: gdsiiguard.DeltaStats{
+			OpRuns:       res.Delta.OpRuns,
+			OpMemoHits:   res.Delta.OpMemoHits,
+			OpArenaHits:  res.Delta.OpArenaHits,
+			OpIterSteps:  res.Delta.OpIterSteps,
+			RoutesWarm:   res.Delta.RoutesWarm,
+			RoutesCold:   res.Delta.RoutesCold,
+			NetsReplayed: res.Delta.NetsReplayed,
+			NetsRerouted: res.Delta.NetsRerouted,
+		},
 	}
 	for _, in := range res.Front {
 		out.Front = append(out.Front, gdsiiguard.ParetoPoint{

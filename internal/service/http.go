@@ -266,6 +266,9 @@ type explorationJSON struct {
 	Islands    int                     `json:"islands,omitempty"`
 	Migrations int                     `json:"migrations,omitempty"`
 	Degraded   []islandDegradationJSON `json:"degraded,omitempty"`
+	// Delta reports cross-chromosome evaluation reuse (operator memo and
+	// arena hits, warm-started routes); see gdsiiguard.DeltaStats.
+	Delta gdsiiguard.DeltaStats `json:"delta"`
 }
 
 type islandDegradationJSON struct {
@@ -336,6 +339,7 @@ func jobJSON(s Snapshot) jobResponse {
 			Failures:    res.Exploration.Failures,
 			Islands:     res.Exploration.Islands,
 			Migrations:  res.Exploration.Migrations,
+			Delta:       res.Exploration.Delta,
 			Front:       []paretoPointJSON{},
 		}
 		for _, d := range res.Exploration.Degraded {

@@ -95,6 +95,10 @@ func stripRuntime(ex *gdsiiguard.Exploration) *gdsiiguard.Exploration {
 	for i := range out.Front {
 		out.Front[i].Metrics.Runtime = 0
 	}
+	// Delta reuse counters depend on how many evaluations the resumed run
+	// actually executed (a resume re-runs only the tail), not on the
+	// results; the front/metric equality below is the real gate.
+	out.Delta = gdsiiguard.DeltaStats{}
 	return &out
 }
 
