@@ -7,9 +7,11 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"gdsiiguard/internal/gdsii"
 )
@@ -27,42 +29,83 @@ func main() {
 	}
 }
 
+// structCount is one structure's per-kind element tally.
+type structCount struct {
+	name           string
+	nb, np, nr, nt int
+}
+
 func run(path string, verbose bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	lib, err := gdsii.Read(f)
+
+	// One streaming pass with O(record) memory: the library is never
+	// materialized, so SoC-scale files dump without loading.
+	var (
+		libName  string
+		uu, mu   float64
+		st       gdsii.Stats
+		layers   = map[int16]bool{}
+		cur      structCount
+		perLines []structCount
+	)
+	err = gdsii.ReadStream(bufio.NewReader(f), gdsii.StreamHandler{
+		OnLibrary: func(name string, userUnit, meterUnit float64) error {
+			libName, uu, mu = name, userUnit, meterUnit
+			return nil
+		},
+		OnBeginStruct: func(name string) error {
+			st.Structs++
+			cur = structCount{name: name}
+			return nil
+		},
+		OnElement: func(e gdsii.Element) error {
+			switch el := e.(type) {
+			case gdsii.Boundary:
+				st.Boundaries++
+				cur.nb++
+				layers[el.Layer] = true
+			case gdsii.Path:
+				st.Paths++
+				cur.np++
+				layers[el.Layer] = true
+			case gdsii.SRef:
+				st.SRefs++
+				cur.nr++
+			case gdsii.Text:
+				st.Texts++
+				cur.nt++
+				layers[el.Layer] = true
+			}
+			return nil
+		},
+		OnEndStruct: func(string) error {
+			if verbose {
+				perLines = append(perLines, cur)
+			}
+			return nil
+		},
+	})
 	if err != nil {
 		return err
 	}
-	st := lib.Stats()
-	fmt.Printf("library   %s\n", lib.Name)
-	fmt.Printf("units     user=%g meter=%g\n", lib.UserUnit, lib.MeterUnit)
+	for ly := range layers {
+		st.LayersUsed = append(st.LayersUsed, ly)
+	}
+	sort.Slice(st.LayersUsed, func(i, j int) bool { return st.LayersUsed[i] < st.LayersUsed[j] })
+
+	fmt.Printf("library   %s\n", libName)
+	fmt.Printf("units     user=%g meter=%g\n", uu, mu)
 	fmt.Printf("structs   %d\n", st.Structs)
 	fmt.Printf("elements  %d boundaries, %d paths, %d srefs, %d texts\n",
 		st.Boundaries, st.Paths, st.SRefs, st.Texts)
 	fmt.Printf("layers    %v\n", st.LayersUsed)
-	if !verbose {
-		return nil
-	}
-	for _, s := range lib.Structs {
-		var nb, np, nr, nt int
-		for _, e := range s.Elements {
-			switch e.(type) {
-			case gdsii.Boundary:
-				nb++
-			case gdsii.Path:
-				np++
-			case gdsii.SRef:
-				nr++
-			case gdsii.Text:
-				nt++
-			}
-		}
+	for _, s := range perLines {
 		fmt.Printf("  %-24s %5d boundaries %5d paths %5d srefs %5d texts\n",
-			s.Name, nb, np, nr, nt)
+			s.name, s.nb, s.np, s.nr, s.nt)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -146,16 +147,16 @@ func run(design, defIn string, clockPS float64, assets string, explore bool, op,
 		fmt.Println("wrote", outDEF)
 	}
 	if outGDS != "" {
-		lib, err := gdsii.FromLayout(result.Layout, result.Routes.GDSWires(result.Layout))
-		if err != nil {
-			return err
-		}
 		f, err := os.Create(outGDS)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := gdsii.Write(f, lib); err != nil {
+		bw := bufio.NewWriter(f)
+		if err := gdsii.StreamLayout(bw, result.Layout, result.Routes.WireSource(result.Layout)); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
 			return err
 		}
 		fmt.Println("wrote", outGDS)

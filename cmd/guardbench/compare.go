@@ -27,6 +27,12 @@ func loadReport(path string) (*Report, error) {
 // relative tolerance would turn that noise into CI failures.
 const regressionFloorSecs = 0.005
 
+// regressionFloorBytes is the analogous absolute floor for allocation
+// volume in the SoC streaming stages: small-object churn varies a little
+// with scheduling, but a streaming path that regresses to whole-library
+// buffering allocates tens of megabytes more, far above this floor.
+const regressionFloorBytes = 4 << 20
+
 // compareReports diffs two benchmark reports design by design: per-stage
 // mean latencies and the per-phase end-to-end wall times, each with a
 // percentage delta against the old report. It returns the rendered diff
@@ -98,6 +104,60 @@ func compareReports(old, cur *Report, tolerance float64) (string, bool) {
 		}
 		if !found {
 			fmt.Fprintf(&b, "%-16s (not in new report)\n", d.Design)
+		}
+	}
+
+	// SoC streaming stages: gate both wall time and allocation volume.
+	// Missing entries (e.g. a -short run that skipped SoC) are noted, never
+	// regressions — mirroring how missing designs are handled above.
+	byteLine := func(design, metric string, was, now uint64) {
+		pct := 0.0
+		if was > 0 {
+			pct = (float64(now) - float64(was)) / float64(was) * 100
+		}
+		flag := ""
+		if was > 0 && float64(now) > float64(was)*(1+tolerance) && now-was > regressionFloorBytes {
+			flag = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(&b, "%-16s %-18s %7.1fMB -> %7.1fMB  (%+7.1f%%)%s\n",
+			design, metric, float64(was)/(1<<20), float64(now)/(1<<20), pct, flag)
+	}
+	oldSoC := map[string]SoCBench{}
+	for _, s := range old.SoC {
+		oldSoC[s.Design] = s
+	}
+	for _, s := range cur.SoC {
+		prev, ok := oldSoC[s.Design]
+		if !ok {
+			fmt.Fprintf(&b, "%-16s (no old SoC data: skipped)\n", s.Design)
+			continue
+		}
+		var stages []string
+		for st := range s.Stages {
+			stages = append(stages, st)
+		}
+		sort.Strings(stages)
+		for _, st := range stages {
+			ps, ok := prev.Stages[st]
+			if !ok {
+				fmt.Fprintf(&b, "%-16s soc %-14s (no old data: skipped)\n", s.Design, st)
+				continue
+			}
+			line(s.Design, "soc "+st, ps.Seconds, s.Stages[st].Seconds)
+			byteLine(s.Design, "soc "+st+" alloc", ps.AllocBytes, s.Stages[st].AllocBytes)
+		}
+	}
+	for _, s := range old.SoC {
+		found := false
+		for _, c := range cur.SoC {
+			if c.Design == s.Design {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(&b, "%-16s (SoC not in new report)\n", s.Design)
 		}
 	}
 	return b.String(), regressed

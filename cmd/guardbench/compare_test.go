@@ -65,6 +65,55 @@ func TestCompareReportsWithinTolerance(t *testing.T) {
 	}
 }
 
+func socReport(stages map[string]SoCStage) *Report {
+	return &Report{SoC: []SoCBench{{Design: "SoC_100k", Cells: 134954, Stages: stages}}}
+}
+
+func TestCompareReportsSoCAllocRegression(t *testing.T) {
+	old := socReport(map[string]SoCStage{
+		"import": {Seconds: 0.1, AllocBytes: 20 << 20},
+	})
+	// Same wall time, 3x the allocation volume: the memory gate alone
+	// must flag it — a streaming path silently buffering the whole
+	// library barely moves latency on small inputs.
+	cur := socReport(map[string]SoCStage{
+		"import": {Seconds: 0.1, AllocBytes: 60 << 20},
+	})
+	diff, regressed := compareReports(old, cur, 0.25)
+	if !regressed {
+		t.Fatalf("3x alloc growth not flagged:\n%s", diff)
+	}
+	if !strings.Contains(diff, "soc import alloc") {
+		t.Errorf("diff lacks alloc line:\n%s", diff)
+	}
+}
+
+func TestCompareReportsSoCAllocWithinFloor(t *testing.T) {
+	// +50% relative but only +1MB absolute: below regressionFloorBytes,
+	// so small-object churn jitter never fails a run.
+	old := socReport(map[string]SoCStage{
+		"mass_seq": {Seconds: 0.006, AllocBytes: 2 << 20},
+	})
+	cur := socReport(map[string]SoCStage{
+		"mass_seq": {Seconds: 0.006, AllocBytes: 3 << 20},
+	})
+	if diff, regressed := compareReports(old, cur, 0.25); regressed {
+		t.Fatalf("sub-floor alloc growth flagged:\n%s", diff)
+	}
+}
+
+func TestCompareReportsSoCMissing(t *testing.T) {
+	// A -short run skips SoC entirely; that is a note, not a regression.
+	old := socReport(map[string]SoCStage{"import": {Seconds: 0.1, AllocBytes: 20 << 20}})
+	diff, regressed := compareReports(old, &Report{}, 0.25)
+	if regressed {
+		t.Fatalf("missing SoC section treated as regression:\n%s", diff)
+	}
+	if !strings.Contains(diff, "SoC not in new report") {
+		t.Errorf("diff lacks missing-SoC note:\n%s", diff)
+	}
+}
+
 func TestCompareReportsMissingData(t *testing.T) {
 	old := report("PRESENT", 1.0, map[string]StageLatency{
 		"operator": {MeanSeconds: 0.1},

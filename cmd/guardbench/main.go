@@ -60,16 +60,20 @@ type DesignBench struct {
 
 // Report is the full benchmark output.
 type Report struct {
-	GeneratedBy  string        `json:"generated_by"`
-	Timestamp    string        `json:"timestamp"`
-	GoVersion    string        `json:"go_version"`
-	NumCPU       int           `json:"num_cpu"`
-	Short        bool          `json:"short"`
-	PopSize      int           `json:"pop_size"`
-	Generations  int           `json:"generations"`
-	Seed         int64         `json:"seed"`
-	Designs      []DesignBench `json:"designs"`
-	SuiteSeconds float64       `json:"suite_seconds"`
+	GeneratedBy string        `json:"generated_by"`
+	Timestamp   string        `json:"timestamp"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Short       bool          `json:"short"`
+	PopSize     int           `json:"pop_size"`
+	Generations int           `json:"generations"`
+	Seed        int64         `json:"seed"`
+	Designs     []DesignBench `json:"designs"`
+	// SoC holds the SoC-scale streaming-pipeline results: wall time AND
+	// allocation volume per stage, so -compare gates memory regressions in
+	// the streaming paths, not just latency. Skipped under -short.
+	SoC          []SoCBench `json:"soc,omitempty"`
+	SuiteSeconds float64    `json:"suite_seconds"`
 }
 
 func main() {
@@ -79,6 +83,7 @@ func main() {
 		pop     = flag.Int("pop", 8, "exploration population size")
 		gens    = flag.Int("gens", 3, "exploration generations")
 		seed    = flag.Int64("seed", 1, "exploration seed")
+		soc     = flag.String("soc", "SoC_100k", "comma-separated SoC-scale designs for the streaming pipeline bench (skipped with -short; empty disables)")
 		out     = flag.String("out", "BENCH_baseline.json", "output JSON path")
 		compare = flag.String("compare", "", "old report JSON to diff against; exit 3 on regression")
 		tol     = flag.Float64("tolerance", 0.25, "fractional slowdown allowed before -compare reports a regression")
@@ -116,6 +121,21 @@ func main() {
 			name, db.BaselineSeconds, db.HardenSeconds, db.ExploreSeconds,
 			db.Evaluations, db.FrontSize,
 			db.Delta.OpMemoHits+db.Delta.OpArenaHits, db.Delta.RoutesWarm)
+	}
+	if *soc != "" && !*short {
+		for _, name := range strings.Split(*soc, ",") {
+			name = strings.TrimSpace(name)
+			sb, err := benchSoC(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "guardbench: soc %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			rep.SoC = append(rep.SoC, *sb)
+			fmt.Printf("%-16s %d cells  generate %5.2fs  export %5.2fs (%s)  import %5.2fs  mass x%.1f (%d workers)\n",
+				name, sb.Cells, sb.Stages["generate"].Seconds,
+				sb.Stages["export"].Seconds, fmtBytes(sb.GDSBytes),
+				sb.Stages["import"].Seconds, sb.MassSpeedup, sb.MassWorkers)
+		}
 	}
 	rep.SuiteSeconds = time.Since(t0).Seconds()
 

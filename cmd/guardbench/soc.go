@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"gdsiiguard/internal/benchdesigns"
+	"gdsiiguard/internal/core"
+	"gdsiiguard/internal/gdsii"
+)
+
+// SoCStage is one SoC pipeline stage: wall time plus bytes allocated while
+// it ran. Allocation volume is the memory gate for the streaming paths — a
+// change that regresses the codec back to whole-library buffering shows up
+// here long before it shows up in wall time.
+type SoCStage struct {
+	Seconds    float64 `json:"seconds"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+// SoCBench is the measured result for one SoC-scale design. The pipeline is
+// generate -> streaming export -> streaming import -> operator-stage mass
+// (sequential, then band-parallel); a full harden/explore at 10^5+ cells is
+// out of scope for a smoke benchmark, and the four stages cover exactly the
+// code paths this scale exercises.
+type SoCBench struct {
+	Design   string `json:"design"`
+	Cells    int    `json:"cells"`
+	GDSBytes int64  `json:"gds_bytes"`
+	// MassWorkers is how many band workers the parallel mass stage resolved
+	// to on this machine; 1 means mass_band degenerated to the sequential
+	// path (single-CPU runner) and MassSpeedup is just run-to-run noise.
+	MassWorkers int                 `json:"mass_workers"`
+	MassSpeedup float64             `json:"mass_speedup"`
+	Stages      map[string]SoCStage `json:"stages"`
+}
+
+// socThreshER is the exploitable-region threshold used for the mass stages;
+// it matches the core package's default hardening parameters.
+const socThreshER = 20
+
+// measureSoC runs fn and returns its wall time and allocation volume
+// (MemStats.TotalAlloc delta — cumulative, unaffected by GC timing).
+func measureSoC(fn func() error) (SoCStage, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	err := fn()
+	secs := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&m1)
+	return SoCStage{Seconds: secs, AllocBytes: m1.TotalAlloc - m0.TotalAlloc}, err
+}
+
+// benchSoC measures one SoC-scale design through the streaming pipeline.
+func benchSoC(name string) (*SoCBench, error) {
+	sb := &SoCBench{Design: name, Stages: map[string]SoCStage{}}
+
+	var d *benchdesigns.SoCDesign
+	st, err := measureSoC(func() error {
+		var err error
+		d, err = benchdesigns.BuildSoC(name)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("generate: %w", err)
+	}
+	sb.Stages["generate"] = st
+	sb.Cells = d.Cells
+
+	dir, err := os.MkdirTemp("", "guardbench-soc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, name+".gds")
+
+	st, err = measureSoC(func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		if err := gdsii.StreamLayoutTiles(w, d.Layout, nil, d.Grid()); err != nil {
+			return err
+		}
+		return w.Flush()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	sb.Stages["export"] = st
+	if fi, err := os.Stat(path); err == nil {
+		sb.GDSBytes = fi.Size()
+	}
+
+	st, err = measureSoC(func() error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, _, err = gdsii.StreamStats(bufio.NewReader(f))
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("import: %w", err)
+	}
+	sb.Stages["import"] = st
+
+	// Best of three for the mass stages: a single 50ms run jitters badly
+	// with GC timing, and the baseline must be stable enough to gate on.
+	bestMass := func() (SoCStage, int) {
+		best, mass := SoCStage{}, 0
+		for i := 0; i < 3; i++ {
+			runtime.GC() // don't bill one iteration for another's garbage
+			st, _ := measureSoC(func() error {
+				mass = core.ExploitableFreeMass(d.Layout, socThreshER)
+				return nil
+			})
+			if i == 0 || st.Seconds < best.Seconds {
+				best = st
+			}
+		}
+		return best, mass
+	}
+	core.SetOperatorBandWorkers(1)
+	st, massSeq := bestMass()
+	sb.Stages["mass_seq"] = st
+	core.SetOperatorBandWorkers(0) // all cores
+	sb.MassWorkers = core.ResolvedOperatorBandWorkers(d.Layout.NumRows)
+	st, massBand := bestMass()
+	sb.Stages["mass_band"] = st
+	if massSeq != massBand {
+		return nil, fmt.Errorf("band-parallel mass %d != sequential %d", massBand, massSeq)
+	}
+	if band := sb.Stages["mass_band"].Seconds; band > 0 {
+		sb.MassSpeedup = sb.Stages["mass_seq"].Seconds / band
+	}
+	return sb, nil
+}
+
+// fmtBytes renders a byte count human-readably for the progress line.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -223,13 +223,10 @@ func (h *Hardened) WriteDEF(w io.Writer) error {
 }
 
 // WriteGDSII exports the hardened layout (cells and routed wires) as a
-// binary GDSII stream.
+// binary GDSII stream. The export streams record by record — the library
+// is never materialized — so it holds at SoC scale in O(record) memory.
 func (h *Hardened) WriteGDSII(w io.Writer) error {
-	lib, err := gdsii.FromLayout(h.result.Layout, h.result.Routes.GDSWires(h.result.Layout))
-	if err != nil {
-		return err
-	}
-	return gdsii.Write(w, lib)
+	return gdsii.StreamLayout(w, h.result.Layout, h.result.Routes.WireSource(h.result.Layout))
 }
 
 // ExploreOptions sizes the NSGA-II exploration.

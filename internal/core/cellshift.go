@@ -55,6 +55,7 @@ type shiftEngine struct {
 	// pass, so a rolled-back pass also rolls its CellsMoved entries back.
 	passAdded []*netlist.Instance
 	dice      diceScratch
+	bands     bandScratch
 
 	// massTrace, when non-nil, receives every exploitableMass checkpoint
 	// (set by the golden equivalence test to compare trajectories).
@@ -114,18 +115,25 @@ func (e *shiftEngine) run(l *layout.Layout, threshER int, dice bool) CellShiftRe
 // exploitableMass sums the weights of empty-site components at or above the
 // threshold over the whole layout (timing-agnostic: the operator's own
 // progress measure). The index and row buffers are reused across calls.
+// SoC-scale layouts dispatch to the band-parallel build (see band.go),
+// which is bit-identical to the sequential one.
 func (e *shiftEngine) exploitableMass(l *layout.Layout, threshER int) int {
-	ix := &e.ix
-	ix.reset()
-	for r := 0; r < l.NumRows; r++ {
-		buf := ix.nextTopBuf()
-		e.runBuf = l.AppendFreeRuns(r, e.runBuf[:0])
-		for _, run := range e.runBuf {
-			buf = append(buf, freeRun{run.Start, run.Len})
+	var m int
+	if w := resolveBandWorkers(l.NumRows); w > 1 {
+		m = e.bands.mass(l.NumRows, threshER, w, layoutRowSource(l))
+	} else {
+		ix := &e.ix
+		ix.reset()
+		for r := 0; r < l.NumRows; r++ {
+			buf := ix.nextTopBuf()
+			e.runBuf = l.AppendFreeRuns(r, e.runBuf[:0])
+			for _, run := range e.runBuf {
+				buf = append(buf, freeRun{run.Start, run.Len})
+			}
+			ix.extend(buf)
 		}
-		ix.extend(buf)
+		m = ix.mass(threshER)
 	}
-	m := ix.mass(threshER)
 	if e.massTrace != nil {
 		*e.massTrace = append(*e.massTrace, m)
 	}

@@ -2,6 +2,7 @@ package gdsii
 
 import (
 	"fmt"
+	"io"
 
 	"gdsiiguard/internal/geom"
 	"gdsiiguard/internal/layout"
@@ -25,39 +26,90 @@ type Wire struct {
 	Pts   []geom.Point
 }
 
-// FromLayout converts a placed layout (plus optional routed wires) into a
-// GDSII library: one structure per used master cell holding its outline
-// boundary, and a top structure with the die outline, one SRef per placed
-// instance, a name label per security-critical instance, and one Path per
-// wire segment.
-func FromLayout(l *layout.Layout, wires []Wire) (*Library, error) {
-	lib := NewLibrary(l.Netlist.Name)
-	techLib := l.Lib()
+// WireSource streams routed wires to the exporter one at a time, so a
+// SoC-scale route never has to be materialized as a []Wire. It must call
+// emit once per wire and propagate emit's error.
+type WireSource func(emit func(Wire) error) error
 
-	// Master structures for every used cell type.
+// SliceWires adapts an in-memory wire list to a WireSource.
+func SliceWires(ws []Wire) WireSource {
+	return func(emit func(Wire) error) error {
+		for _, w := range ws {
+			if err := emit(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// masterSink receives the per-master outline structures of a layout export.
+type masterSink func(name string, outline Boundary) error
+
+// emitMasters sends one outline structure per used master cell, in first-use
+// (instance) order for deterministic output.
+func emitMasters(l *layout.Layout, sink masterSink) error {
+	techLib := l.Lib()
 	used := map[string]bool{}
 	for _, in := range l.Netlist.Insts {
 		if !l.PlacementOf(in).Placed || used[in.Master.Name] {
 			continue
 		}
 		used[in.Master.Name] = true
-		s := lib.AddStruct(in.Master.Name)
 		w := int64(in.Master.WidthSites) * techLib.Site.Width
 		h := techLib.Site.Height
-		s.Elements = append(s.Elements, Boundary{
+		outline := Boundary{
 			Layer: OutlineLayer,
 			XY:    []geom.Point{geom.Pt(0, 0), geom.Pt(w, 0), geom.Pt(w, h), geom.Pt(0, h)},
-		})
+		}
+		if err := sink(in.Master.Name, outline); err != nil {
+			return err
+		}
 	}
+	return nil
+}
 
-	top := lib.AddStruct(l.Netlist.Name)
+// dieBoundary returns the die-outline boundary of the layout.
+func dieBoundary(l *layout.Layout) Boundary {
 	core := l.CoreRect()
-	top.Elements = append(top.Elements, Boundary{
+	return Boundary{
 		Layer: DieLayer,
 		XY: []geom.Point{
 			core.Lo, geom.Pt(core.Hi.X, core.Lo.Y), core.Hi, geom.Pt(core.Lo.X, core.Hi.Y),
 		},
+	}
+}
+
+// wireElement converts one routed wire to its Path element.
+func wireElement(w Wire) (Path, error) {
+	if len(w.Pts) < 2 {
+		return Path{}, fmt.Errorf("gdsii: wire on metal%d with %d points", w.Metal, len(w.Pts))
+	}
+	return Path{
+		Layer: int16(WireLayerBase + w.Metal),
+		Width: int32(w.Width),
+		XY:    w.Pts,
+	}, nil
+}
+
+// FromLayout converts a placed layout (plus optional routed wires) into an
+// in-memory GDSII library: one structure per used master cell holding its
+// outline boundary, and a top structure with the die outline, one SRef per
+// placed instance, a name label per security-critical instance, and one
+// Path per wire segment. For SoC-scale layouts prefer StreamLayout, which
+// writes the identical stream without materializing the library.
+func FromLayout(l *layout.Layout, wires []Wire) (*Library, error) {
+	lib := NewLibrary(l.Netlist.Name)
+	err := emitMasters(l, func(name string, outline Boundary) error {
+		s := lib.AddStruct(name)
+		s.Elements = append(s.Elements, outline)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	top := lib.AddStruct(l.Netlist.Name)
+	top.Elements = append(top.Elements, dieBoundary(l))
 	for _, in := range l.Netlist.Insts {
 		p := l.PlacementOf(in)
 		if !p.Placed {
@@ -72,14 +124,200 @@ func FromLayout(l *layout.Layout, wires []Wire) (*Library, error) {
 		}
 	}
 	for _, w := range wires {
-		if len(w.Pts) < 2 {
-			return nil, fmt.Errorf("gdsii: wire on metal%d with %d points", w.Metal, len(w.Pts))
+		p, err := wireElement(w)
+		if err != nil {
+			return nil, err
 		}
-		top.Elements = append(top.Elements, Path{
-			Layer: int16(WireLayerBase + w.Metal),
-			Width: int32(w.Width),
-			XY:    w.Pts,
-		})
+		top.Elements = append(top.Elements, p)
 	}
 	return lib, nil
+}
+
+// StreamLayout writes a placed layout (plus streamed routed wires) as a
+// GDSII stream with O(record) memory: elements are emitted as they are
+// produced and the library is never materialized. The stream is byte-for-
+// byte identical to Write(FromLayout(...)) for the same inputs. wires may
+// be nil.
+func StreamLayout(w io.Writer, l *layout.Layout, wires WireSource) error {
+	sw := NewStreamWriter(w)
+	if err := sw.BeginLibrary(l.Netlist.Name, 1e-3, 1e-9); err != nil {
+		return err
+	}
+	err := emitMasters(l, func(name string, outline Boundary) error {
+		if err := sw.BeginStruct(name); err != nil {
+			return err
+		}
+		if err := sw.Element(outline); err != nil {
+			return err
+		}
+		return sw.EndStruct()
+	})
+	if err != nil {
+		return err
+	}
+	if err := sw.BeginStruct(l.Netlist.Name); err != nil {
+		return err
+	}
+	if err := sw.Element(dieBoundary(l)); err != nil {
+		return err
+	}
+	for _, in := range l.Netlist.Insts {
+		p := l.PlacementOf(in)
+		if !p.Placed {
+			continue
+		}
+		at := l.SiteDBU(p.Row, p.Site)
+		if err := sw.Element(SRef{Name: in.Master.Name, At: at}); err != nil {
+			return err
+		}
+		if in.SecurityCritical {
+			if err := sw.Element(Text{Layer: LabelLayer, At: at, String: in.Name}); err != nil {
+				return err
+			}
+		}
+	}
+	if wires != nil {
+		err := wires(func(wi Wire) error {
+			p, err := wireElement(wi)
+			if err != nil {
+				return err
+			}
+			return sw.Element(p)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := sw.EndStruct(); err != nil {
+		return err
+	}
+	return sw.EndLibrary()
+}
+
+// TileGrid describes a uniform tile hierarchy over the core in site
+// coordinates: tiles are TileRows × TileSites site-rectangles anchored at
+// the core origin. SoC-scale generated designs carry their stamping grid
+// here so the export preserves the hierarchy as SREFs.
+type TileGrid struct {
+	TileRows, TileSites int
+	// NamePrefix names the tile structures (default "TILE"); tile (r,c)
+	// becomes NamePrefix_r_c.
+	NamePrefix string
+}
+
+// StreamLayoutTiles writes the layout as a hierarchical GDSII stream: one
+// structure per used master, one structure per non-empty tile of the grid
+// holding its cells' SRefs in tile-local coordinates, and a top structure
+// SRef-ing each tile at its origin (plus the die outline, critical-asset
+// labels in absolute coordinates, and wires). Peak memory is O(record)
+// plus one instance-id bucket list for the tile partition.
+func StreamLayoutTiles(w io.Writer, l *layout.Layout, wires WireSource, grid TileGrid) error {
+	if grid.TileRows <= 0 || grid.TileSites <= 0 {
+		return fmt.Errorf("gdsii: non-positive tile grid %dx%d", grid.TileRows, grid.TileSites)
+	}
+	prefix := grid.NamePrefix
+	if prefix == "" {
+		prefix = "TILE"
+	}
+	tilesY := (l.NumRows + grid.TileRows - 1) / grid.TileRows
+	tilesX := (l.SitesPerRow + grid.TileSites - 1) / grid.TileSites
+
+	// Partition placed instances by tile (the only O(instances) state).
+	buckets := make([][]int32, tilesY*tilesX)
+	for _, in := range l.Netlist.Insts {
+		p := l.PlacementOf(in)
+		if !p.Placed {
+			continue
+		}
+		t := (p.Row/grid.TileRows)*tilesX + p.Site/grid.TileSites
+		buckets[t] = append(buckets[t], int32(in.ID))
+	}
+
+	sw := NewStreamWriter(w)
+	if err := sw.BeginLibrary(l.Netlist.Name, 1e-3, 1e-9); err != nil {
+		return err
+	}
+	err := emitMasters(l, func(name string, outline Boundary) error {
+		if err := sw.BeginStruct(name); err != nil {
+			return err
+		}
+		if err := sw.Element(outline); err != nil {
+			return err
+		}
+		return sw.EndStruct()
+	})
+	if err != nil {
+		return err
+	}
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			ids := buckets[ty*tilesX+tx]
+			if len(ids) == 0 {
+				continue
+			}
+			origin := l.SiteDBU(ty*grid.TileRows, tx*grid.TileSites)
+			if err := sw.BeginStruct(fmt.Sprintf("%s_%d_%d", prefix, ty, tx)); err != nil {
+				return err
+			}
+			for _, id := range ids {
+				in := l.Netlist.Insts[id]
+				p := l.PlacementOf(in)
+				at := l.SiteDBU(p.Row, p.Site)
+				local := geom.Pt(at.X-origin.X, at.Y-origin.Y)
+				if err := sw.Element(SRef{Name: in.Master.Name, At: local}); err != nil {
+					return err
+				}
+			}
+			if err := sw.EndStruct(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sw.BeginStruct(l.Netlist.Name); err != nil {
+		return err
+	}
+	if err := sw.Element(dieBoundary(l)); err != nil {
+		return err
+	}
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			if len(buckets[ty*tilesX+tx]) == 0 {
+				continue
+			}
+			name := fmt.Sprintf("%s_%d_%d", prefix, ty, tx)
+			at := l.SiteDBU(ty*grid.TileRows, tx*grid.TileSites)
+			if err := sw.Element(SRef{Name: name, At: at}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, in := range l.Netlist.Insts {
+		if !in.SecurityCritical {
+			continue
+		}
+		p := l.PlacementOf(in)
+		if !p.Placed {
+			continue
+		}
+		at := l.SiteDBU(p.Row, p.Site)
+		if err := sw.Element(Text{Layer: LabelLayer, At: at, String: in.Name}); err != nil {
+			return err
+		}
+	}
+	if wires != nil {
+		err := wires(func(wi Wire) error {
+			p, err := wireElement(wi)
+			if err != nil {
+				return err
+			}
+			return sw.Element(p)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := sw.EndStruct(); err != nil {
+		return err
+	}
+	return sw.EndLibrary()
 }

@@ -9,6 +9,8 @@ import (
 )
 
 // Library is a GDSII stream library: named structures holding geometry.
+// It is the in-memory view of a stream; SoC-scale flows should prefer the
+// streaming reader/writer (see stream.go), which never materialize it.
 type Library struct {
 	Name string
 	// UserUnit is database units per user unit (typically 1e-3: 1 DBU =
@@ -102,266 +104,64 @@ type Text struct {
 
 func (Text) elem() {}
 
-// Write emits the library as a GDSII stream.
+// Write emits the library as a GDSII stream. It is a thin adapter over
+// StreamWriter; element point lists of any length are legal (long XY
+// payloads are split across consecutive XY records).
 func Write(w io.Writer, lib *Library) error {
-	if err := writeRecord(w, recHEADER, int16Data(600)); err != nil {
-		return err
-	}
-	// Fixed timestamps keep output deterministic.
-	ts := int16Data(2023, 1, 1, 0, 0, 0, 2023, 1, 1, 0, 0, 0)
-	if err := writeRecord(w, recBGNLIB, ts); err != nil {
-		return err
-	}
-	if err := writeRecord(w, recLIBNAME, stringData(lib.Name)); err != nil {
-		return err
-	}
-	units := append(encodeReal8(lib.UserUnit), encodeReal8(lib.MeterUnit)...)
-	if err := writeRecord(w, recUNITS, units); err != nil {
+	sw := NewStreamWriter(w)
+	if err := sw.BeginLibrary(lib.Name, lib.UserUnit, lib.MeterUnit); err != nil {
 		return err
 	}
 	for _, s := range lib.Structs {
-		if err := writeStruct(w, s, ts); err != nil {
+		if err := sw.BeginStruct(s.Name); err != nil {
+			return err
+		}
+		for _, e := range s.Elements {
+			if err := sw.Element(e); err != nil {
+				return err
+			}
+		}
+		if err := sw.EndStruct(); err != nil {
 			return err
 		}
 	}
-	return writeRecord(w, recENDLIB, nil)
+	return sw.EndLibrary()
 }
 
-func writeStruct(w io.Writer, s *Struct, ts []byte) error {
-	if err := writeRecord(w, recBGNSTR, ts); err != nil {
-		return err
-	}
-	if err := writeRecord(w, recSTRNAME, stringData(s.Name)); err != nil {
-		return err
-	}
-	for _, e := range s.Elements {
-		if err := writeElement(w, e); err != nil {
-			return err
-		}
-	}
-	return writeRecord(w, recENDSTR, nil)
-}
-
-func writeElement(w io.Writer, e Element) error {
-	emitXY := func(pts []geom.Point) error {
-		vals := make([]int32, 0, 2*len(pts))
-		for _, p := range pts {
-			vals = append(vals, int32(p.X), int32(p.Y))
-		}
-		return writeRecord(w, recXY, int32Data(vals...))
-	}
-	switch el := e.(type) {
-	case Boundary:
-		if len(el.XY) < 3 {
-			return fmt.Errorf("gdsii: boundary with %d points", len(el.XY))
-		}
-		if err := writeRecord(w, recBOUNDARY, nil); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recDATATYPE, int16Data(el.DataType)); err != nil {
-			return err
-		}
-		ring := el.XY
-		if ring[0] != ring[len(ring)-1] {
-			ring = append(append([]geom.Point(nil), ring...), ring[0])
-		}
-		if err := emitXY(ring); err != nil {
-			return err
-		}
-	case Path:
-		if len(el.XY) < 2 {
-			return fmt.Errorf("gdsii: path with %d points", len(el.XY))
-		}
-		if err := writeRecord(w, recPATH, nil); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recDATATYPE, int16Data(el.DataType)); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recPATHTYPE, int16Data(el.PathType)); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recWIDTH, int32Data(el.Width)); err != nil {
-			return err
-		}
-		if err := emitXY(el.XY); err != nil {
-			return err
-		}
-	case SRef:
-		if err := writeRecord(w, recSREF, nil); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recSNAME, stringData(el.Name)); err != nil {
-			return err
-		}
-		if err := emitXY([]geom.Point{el.At}); err != nil {
-			return err
-		}
-	case Text:
-		if err := writeRecord(w, recTEXT, nil); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recTEXTTYPE, int16Data(el.TextType)); err != nil {
-			return err
-		}
-		if err := emitXY([]geom.Point{el.At}); err != nil {
-			return err
-		}
-		if err := writeRecord(w, recSTRING, stringData(el.String)); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("gdsii: unknown element %T", e)
-	}
-	return writeRecord(w, recENDEL, nil)
-}
-
-// Read parses a GDSII stream into a Library.
+// Read parses a GDSII stream into a Library. It is a thin adapter over
+// ReadStream; malformed streams — truncation, ENDLIB with an open
+// structure, duplicate structure names — are errors, never silent loss.
 func Read(r io.Reader) (*Library, error) {
 	lib := NewLibrary("")
 	var cur *Struct
-	var el *elemBuilder
-	sawHeader := false
-	for {
-		rec, err := readRecord(r)
-		if err == io.EOF {
-			return nil, fmt.Errorf("gdsii: missing ENDLIB")
-		}
-		if err != nil {
-			return nil, err
-		}
-		switch rec.Type {
-		case recHEADER:
-			sawHeader = true
-		case recBGNLIB, recBGNSTR:
-			if rec.Type == recBGNSTR {
-				cur = &Struct{}
+	err := ReadStream(r, StreamHandler{
+		OnLibrary: func(name string, uu, mu float64) error {
+			lib.Name, lib.UserUnit, lib.MeterUnit = name, uu, mu
+			return nil
+		},
+		OnBeginStruct: func(name string) error {
+			if lib.Struct(name) != nil {
+				return fmt.Errorf("gdsii: duplicate structure %q", name)
 			}
-		case recLIBNAME:
-			lib.Name = decodeString(rec.Data)
-		case recUNITS:
-			if len(rec.Data) < 16 {
-				return nil, fmt.Errorf("gdsii: short UNITS record")
-			}
-			uu, err := decodeReal8(rec.Data[0:8])
-			if err != nil {
-				return nil, err
-			}
-			mu, err := decodeReal8(rec.Data[8:16])
-			if err != nil {
-				return nil, err
-			}
-			lib.UserUnit, lib.MeterUnit = uu, mu
-		case recSTRNAME:
-			if cur == nil {
-				return nil, fmt.Errorf("gdsii: STRNAME outside structure")
-			}
-			cur.Name = decodeString(rec.Data)
-		case recENDSTR:
-			if cur == nil {
-				return nil, fmt.Errorf("gdsii: ENDSTR outside structure")
-			}
-			s := lib.AddStruct(cur.Name)
-			s.Elements = cur.Elements
+			cur = lib.AddStruct(name)
+			return nil
+		},
+		OnElement: func(e Element) error {
+			cur.Elements = append(cur.Elements, e)
+			return nil
+		},
+		OnEndStruct: func(string) error {
 			cur = nil
-		case recBOUNDARY, recPATH, recSREF, recTEXT:
-			if cur == nil {
-				return nil, fmt.Errorf("gdsii: element outside structure")
-			}
-			el = &elemBuilder{kind: rec.Type}
-		case recLAYER:
-			v, err := decodeInt16(rec.Data)
-			if err != nil {
-				return nil, err
-			}
-			if el != nil {
-				el.layer = v
-			}
-		case recDATATYPE:
-			v, err := decodeInt16(rec.Data)
-			if err != nil {
-				return nil, err
-			}
-			if el != nil {
-				el.dataType = v
-			}
-		case recTEXTTYPE:
-			v, err := decodeInt16(rec.Data)
-			if err != nil {
-				return nil, err
-			}
-			if el != nil {
-				el.textType = v
-			}
-		case recPATHTYPE:
-			v, err := decodeInt16(rec.Data)
-			if err != nil {
-				return nil, err
-			}
-			if el != nil {
-				el.pathType = v
-			}
-		case recWIDTH:
-			vals, err := decodeInt32s(rec.Data)
-			if err != nil {
-				return nil, err
-			}
-			if el != nil && len(vals) > 0 {
-				el.width = vals[0]
-			}
-		case recXY:
-			vals, err := decodeInt32s(rec.Data)
-			if err != nil {
-				return nil, err
-			}
-			if len(vals)%2 != 0 {
-				return nil, fmt.Errorf("gdsii: odd XY coordinate count")
-			}
-			if el != nil {
-				for i := 0; i < len(vals); i += 2 {
-					el.xy = append(el.xy, geom.Pt(int64(vals[i]), int64(vals[i+1])))
-				}
-			}
-		case recSNAME:
-			if el != nil {
-				el.sname = decodeString(rec.Data)
-			}
-		case recSTRING:
-			if el != nil {
-				el.str = decodeString(rec.Data)
-			}
-		case recSTRANS, recPRESENTATION:
-			// orientation/presentation flags: accepted, not modeled
-		case recENDEL:
-			if cur == nil || el == nil {
-				return nil, fmt.Errorf("gdsii: ENDEL without element")
-			}
-			built, err := el.build()
-			if err != nil {
-				return nil, err
-			}
-			cur.Elements = append(cur.Elements, built)
-			el = nil
-		case recENDLIB:
-			if !sawHeader {
-				return nil, fmt.Errorf("gdsii: missing HEADER")
-			}
-			return lib, nil
-		default:
-			// Unknown records are legal to skip per the format.
-		}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
+	return lib, nil
 }
 
+// elemBuilder assembles one element from its records.
 type elemBuilder struct {
 	kind     uint16
 	layer    int16
@@ -410,6 +210,30 @@ type Stats struct {
 	LayersUsed                               []int16
 }
 
+// add folds one element into the stats.
+func (s *Stats) add(e Element, layers map[int16]bool) {
+	switch el := e.(type) {
+	case Boundary:
+		s.Boundaries++
+		layers[el.Layer] = true
+	case Path:
+		s.Paths++
+		layers[el.Layer] = true
+	case SRef:
+		s.SRefs++
+	case Text:
+		s.Texts++
+		layers[el.Layer] = true
+	}
+}
+
+func finishLayers(s *Stats, layers map[int16]bool) {
+	for ly := range layers {
+		s.LayersUsed = append(s.LayersUsed, ly)
+	}
+	sort.Slice(s.LayersUsed, func(i, j int) bool { return s.LayersUsed[i] < s.LayersUsed[j] })
+}
+
 // Stats computes summary statistics over the library.
 func (l *Library) Stats() Stats {
 	var s Stats
@@ -417,24 +241,37 @@ func (l *Library) Stats() Stats {
 	s.Structs = len(l.Structs)
 	for _, st := range l.Structs {
 		for _, e := range st.Elements {
-			switch el := e.(type) {
-			case Boundary:
-				s.Boundaries++
-				layers[el.Layer] = true
-			case Path:
-				s.Paths++
-				layers[el.Layer] = true
-			case SRef:
-				s.SRefs++
-			case Text:
-				s.Texts++
-				layers[el.Layer] = true
-			}
+			s.add(e, layers)
 		}
 	}
-	for ly := range layers {
-		s.LayersUsed = append(s.LayersUsed, ly)
-	}
-	sort.Slice(s.LayersUsed, func(i, j int) bool { return s.LayersUsed[i] < s.LayersUsed[j] })
+	finishLayers(&s, layers)
 	return s
+}
+
+// StreamStats computes the same summary as Library.Stats directly from a
+// stream, with O(record) memory — the inspection path for SoC-scale files.
+// It also returns the library name.
+func StreamStats(r io.Reader) (Stats, string, error) {
+	var s Stats
+	var name string
+	layers := map[int16]bool{}
+	err := ReadStream(r, StreamHandler{
+		OnLibrary: func(n string, _, _ float64) error {
+			name = n
+			return nil
+		},
+		OnBeginStruct: func(string) error {
+			s.Structs++
+			return nil
+		},
+		OnElement: func(e Element) error {
+			s.add(e, layers)
+			return nil
+		},
+	})
+	if err != nil {
+		return Stats{}, "", err
+	}
+	finishLayers(&s, layers)
+	return s, name, nil
 }

@@ -40,12 +40,6 @@ const (
 	recPATHTYPE     = 0x2102
 )
 
-// record is one raw GDSII record.
-type record struct {
-	Type uint16
-	Data []byte
-}
-
 // writeRecord emits a record with its 4-byte header. GDSII record payloads
 // must be even-length; strings are padded with a NUL.
 func writeRecord(w io.Writer, typ uint16, data []byte) error {
@@ -66,27 +60,6 @@ func writeRecord(w io.Writer, typ uint16, data []byte) error {
 	return err
 }
 
-// readRecord reads the next record; io.EOF at a clean record boundary.
-func readRecord(r io.Reader) (record, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return record{}, fmt.Errorf("gdsii: truncated record header")
-		}
-		return record{}, err
-	}
-	size := binary.BigEndian.Uint16(hdr[0:2])
-	typ := binary.BigEndian.Uint16(hdr[2:4])
-	if size < 4 {
-		return record{}, fmt.Errorf("gdsii: record 0x%04x with impossible size %d", typ, size)
-	}
-	data := make([]byte, size-4)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return record{}, fmt.Errorf("gdsii: truncated record 0x%04x", typ)
-	}
-	return record{Type: typ, Data: data}, nil
-}
-
 // int16Data encodes int16 values big-endian.
 func int16Data(vals ...int16) []byte {
 	out := make([]byte, 2*len(vals))
@@ -103,18 +76,6 @@ func int32Data(vals ...int32) []byte {
 		binary.BigEndian.PutUint32(out[4*i:], uint32(v))
 	}
 	return out
-}
-
-// decodeInt32s decodes a big-endian int32 array.
-func decodeInt32s(data []byte) ([]int32, error) {
-	if len(data)%4 != 0 {
-		return nil, fmt.Errorf("gdsii: int32 payload of %d bytes", len(data))
-	}
-	out := make([]int32, len(data)/4)
-	for i := range out {
-		out[i] = int32(binary.BigEndian.Uint32(data[4*i:]))
-	}
-	return out, nil
 }
 
 // decodeInt16 decodes the first int16 of a payload.

@@ -1,0 +1,527 @@
+package gdsii
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gdsiiguard/internal/geom"
+)
+
+// This file is the streaming half of the codec: a record-at-a-time reader
+// and writer with O(record) memory, on top of which the in-memory
+// Read/Write of gdsii.go are thin adapters. SoC-scale layouts (10⁵–10⁶
+// cells) export and re-import through these without the library ever being
+// materialized: the writer holds one element's encoding, the reader one
+// record plus the element currently being assembled.
+
+// maxXYPoints is the most points a single XY record can carry: the record
+// length field is a uint16 counting the 4-byte header plus 8 bytes per
+// point, so ⌊(65535−4)/8⌋ = 8191. Longer point lists are split across
+// consecutive XY records on write; the reader accumulates repeated XY
+// records into one element, so the split is invisible on read.
+const maxXYPoints = 8191
+
+// StreamHandler receives the parsed stream one event at a time. Nil
+// callbacks are skipped (the record is still validated and consumed). Any
+// callback error aborts the parse and is returned from ReadStream.
+//
+// The Element passed to OnElement owns its XY slice; handlers may retain
+// it. Everything else a handler needs must be copied out during the call.
+type StreamHandler struct {
+	// OnLibrary fires once the library header (BGNLIB/LIBNAME/UNITS) is
+	// complete, before the first structure.
+	OnLibrary func(name string, userUnit, meterUnit float64) error
+	// OnBeginStruct fires at each structure's STRNAME.
+	OnBeginStruct func(name string) error
+	// OnElement fires once per fully assembled element, in stream order.
+	OnElement func(e Element) error
+	// OnEndStruct fires at each ENDSTR.
+	OnEndStruct func(name string) error
+}
+
+// StreamReader parses a GDSII stream record by record. Memory use is one
+// record buffer (reused across records) plus the element under assembly;
+// the library is never materialized. Structural errors — truncated
+// streams, ENDLIB with an open structure or element, duplicate structure
+// names — are reported as errors, never silently dropped.
+type StreamReader struct {
+	r       io.Reader
+	recBuf  []byte
+	seen    map[string]bool // structure names, for duplicate detection
+	started bool
+}
+
+// NewStreamReader returns a streaming parser over r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: r, seen: make(map[string]bool)}
+}
+
+// ReadStream parses the whole stream from r into the handler's callbacks.
+// It is the one-shot form of NewStreamReader(r).Run(h).
+func ReadStream(r io.Reader, h StreamHandler) error {
+	return NewStreamReader(r).Run(h)
+}
+
+// readRecord reads the next record into the reader's reusable buffer. The
+// returned data slice is only valid until the next call.
+func (sr *StreamReader) readRecord() (uint16, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("gdsii: truncated record header")
+		}
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint16(hdr[0:2])
+	typ := binary.BigEndian.Uint16(hdr[2:4])
+	if size < 4 {
+		return 0, nil, fmt.Errorf("gdsii: record 0x%04x with impossible size %d", typ, size)
+	}
+	n := int(size) - 4
+	if cap(sr.recBuf) < n {
+		sr.recBuf = make([]byte, n, n+512)
+	}
+	data := sr.recBuf[:n]
+	if _, err := io.ReadFull(sr.r, data); err != nil {
+		return 0, nil, fmt.Errorf("gdsii: truncated record 0x%04x", typ)
+	}
+	return typ, data, nil
+}
+
+// Run parses the stream until ENDLIB, dispatching to h. A clean stream
+// yields exactly one OnLibrary call, balanced OnBeginStruct/OnEndStruct
+// pairs, and elements only between them.
+func (sr *StreamReader) Run(h StreamHandler) error {
+	if sr.started {
+		return fmt.Errorf("gdsii: StreamReader.Run called twice")
+	}
+	sr.started = true
+
+	var (
+		sawHeader     bool
+		libReported   bool
+		libName       string
+		userUnit      float64
+		meterUnit     float64
+		curName       string
+		inStruct      bool
+		el            *elemBuilder
+		pendingStruct bool // between BGNSTR and STRNAME
+	)
+	reportLib := func() error {
+		if libReported {
+			return nil
+		}
+		libReported = true
+		if h.OnLibrary != nil {
+			return h.OnLibrary(libName, userUnit, meterUnit)
+		}
+		return nil
+	}
+	for {
+		typ, data, err := sr.readRecord()
+		if err == io.EOF {
+			return fmt.Errorf("gdsii: missing ENDLIB")
+		}
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case recHEADER:
+			sawHeader = true
+		case recBGNLIB:
+			// timestamps: accepted, not modeled
+		case recLIBNAME:
+			libName = decodeString(data)
+		case recUNITS:
+			if len(data) < 16 {
+				return fmt.Errorf("gdsii: short UNITS record")
+			}
+			uu, err := decodeReal8(data[0:8])
+			if err != nil {
+				return err
+			}
+			mu, err := decodeReal8(data[8:16])
+			if err != nil {
+				return err
+			}
+			userUnit, meterUnit = uu, mu
+		case recBGNSTR:
+			if inStruct || pendingStruct {
+				return fmt.Errorf("gdsii: BGNSTR inside structure %q", curName)
+			}
+			if err := reportLib(); err != nil {
+				return err
+			}
+			pendingStruct = true
+		case recSTRNAME:
+			if !pendingStruct {
+				return fmt.Errorf("gdsii: STRNAME outside structure")
+			}
+			curName = decodeString(data)
+			if sr.seen[curName] {
+				return fmt.Errorf("gdsii: duplicate structure %q", curName)
+			}
+			sr.seen[curName] = true
+			pendingStruct, inStruct = false, true
+			if h.OnBeginStruct != nil {
+				if err := h.OnBeginStruct(curName); err != nil {
+					return err
+				}
+			}
+		case recENDSTR:
+			if !inStruct {
+				return fmt.Errorf("gdsii: ENDSTR outside structure")
+			}
+			if el != nil {
+				return fmt.Errorf("gdsii: ENDSTR with unterminated element in %q", curName)
+			}
+			inStruct = false
+			if h.OnEndStruct != nil {
+				if err := h.OnEndStruct(curName); err != nil {
+					return err
+				}
+			}
+			curName = ""
+		case recBOUNDARY, recPATH, recSREF, recTEXT:
+			if !inStruct {
+				return fmt.Errorf("gdsii: element outside structure")
+			}
+			if el != nil {
+				return fmt.Errorf("gdsii: element begun inside element")
+			}
+			el = &elemBuilder{kind: typ}
+		case recLAYER:
+			v, err := decodeInt16(data)
+			if err != nil {
+				return err
+			}
+			if el != nil {
+				el.layer = v
+			}
+		case recDATATYPE:
+			v, err := decodeInt16(data)
+			if err != nil {
+				return err
+			}
+			if el != nil {
+				el.dataType = v
+			}
+		case recTEXTTYPE:
+			v, err := decodeInt16(data)
+			if err != nil {
+				return err
+			}
+			if el != nil {
+				el.textType = v
+			}
+		case recPATHTYPE:
+			v, err := decodeInt16(data)
+			if err != nil {
+				return err
+			}
+			if el != nil {
+				el.pathType = v
+			}
+		case recWIDTH:
+			if len(data) < 4 {
+				return fmt.Errorf("gdsii: int32 payload of %d bytes", len(data))
+			}
+			if el != nil {
+				el.width = int32(binary.BigEndian.Uint32(data))
+			}
+		case recXY:
+			if len(data)%4 != 0 {
+				return fmt.Errorf("gdsii: int32 payload of %d bytes", len(data))
+			}
+			if len(data)%8 != 0 {
+				return fmt.Errorf("gdsii: odd XY coordinate count")
+			}
+			if el != nil {
+				// Consecutive XY records accumulate into one element: this
+				// is how point lists beyond maxXYPoints are carried.
+				for i := 0; i+8 <= len(data); i += 8 {
+					x := int32(binary.BigEndian.Uint32(data[i:]))
+					y := int32(binary.BigEndian.Uint32(data[i+4:]))
+					el.xy = append(el.xy, geom.Pt(int64(x), int64(y)))
+				}
+			}
+		case recSNAME:
+			if el != nil {
+				el.sname = decodeString(data)
+			}
+		case recSTRING:
+			if el != nil {
+				el.str = decodeString(data)
+			}
+		case recSTRANS, recPRESENTATION:
+			// orientation/presentation flags: accepted, not modeled
+		case recENDEL:
+			if !inStruct || el == nil {
+				return fmt.Errorf("gdsii: ENDEL without element")
+			}
+			built, err := el.build()
+			if err != nil {
+				return err
+			}
+			el = nil
+			if h.OnElement != nil {
+				if err := h.OnElement(built); err != nil {
+					return err
+				}
+			}
+		case recENDLIB:
+			if !sawHeader {
+				return fmt.Errorf("gdsii: missing HEADER")
+			}
+			// A truncated writer that died mid-structure must not read as a
+			// smaller-but-valid library: ENDLIB with an open structure or a
+			// pending element is a hard error, not silent loss.
+			if el != nil {
+				return fmt.Errorf("gdsii: ENDLIB with unterminated element in structure %q", curName)
+			}
+			if inStruct || pendingStruct {
+				return fmt.Errorf("gdsii: ENDLIB with unterminated structure %q", curName)
+			}
+			return reportLib()
+		default:
+			// Unknown records are legal to skip per the format.
+		}
+	}
+}
+
+// StreamWriter emits a GDSII stream structure by structure with O(record)
+// memory: one element's worth of coordinate encoding is buffered at a
+// time. Calls must follow the grammar BeginLibrary (BeginStruct Element*
+// EndStruct)* EndLibrary; violations are reported as errors. After any
+// error the writer is poisoned and every further call returns that error.
+type StreamWriter struct {
+	w        io.Writer
+	err      error
+	inLib    bool
+	inStruct bool
+	done     bool
+	seen     map[string]bool // structure names, duplicate detection
+	xyBuf    []byte          // reusable XY record payload
+	ts       []byte          // fixed timestamp payload
+}
+
+// NewStreamWriter returns a streaming writer over w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{
+		w:    w,
+		seen: make(map[string]bool),
+		// Fixed timestamps keep output deterministic.
+		ts: int16Data(2023, 1, 1, 0, 0, 0, 2023, 1, 1, 0, 0, 0),
+	}
+}
+
+func (sw *StreamWriter) fail(err error) error {
+	if sw.err == nil {
+		sw.err = err
+	}
+	return sw.err
+}
+
+// BeginLibrary writes the HEADER/BGNLIB/LIBNAME/UNITS prologue.
+func (sw *StreamWriter) BeginLibrary(name string, userUnit, meterUnit float64) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.inLib || sw.done {
+		return sw.fail(fmt.Errorf("gdsii: BeginLibrary called twice"))
+	}
+	sw.inLib = true
+	if err := writeRecord(sw.w, recHEADER, int16Data(600)); err != nil {
+		return sw.fail(err)
+	}
+	if err := writeRecord(sw.w, recBGNLIB, sw.ts); err != nil {
+		return sw.fail(err)
+	}
+	if err := writeRecord(sw.w, recLIBNAME, stringData(name)); err != nil {
+		return sw.fail(err)
+	}
+	units := append(encodeReal8(userUnit), encodeReal8(meterUnit)...)
+	if err := writeRecord(sw.w, recUNITS, units); err != nil {
+		return sw.fail(err)
+	}
+	return nil
+}
+
+// BeginStruct opens a structure. Structure names must be unique within the
+// library.
+func (sw *StreamWriter) BeginStruct(name string) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.inLib || sw.done {
+		return sw.fail(fmt.Errorf("gdsii: BeginStruct outside library"))
+	}
+	if sw.inStruct {
+		return sw.fail(fmt.Errorf("gdsii: BeginStruct inside structure"))
+	}
+	if sw.seen[name] {
+		return sw.fail(fmt.Errorf("gdsii: duplicate structure %q", name))
+	}
+	sw.seen[name] = true
+	sw.inStruct = true
+	if err := writeRecord(sw.w, recBGNSTR, sw.ts); err != nil {
+		return sw.fail(err)
+	}
+	if err := writeRecord(sw.w, recSTRNAME, stringData(name)); err != nil {
+		return sw.fail(err)
+	}
+	return nil
+}
+
+// Element writes one element into the open structure.
+func (sw *StreamWriter) Element(e Element) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.inStruct {
+		return sw.fail(fmt.Errorf("gdsii: Element outside structure"))
+	}
+	if err := sw.writeElement(e); err != nil {
+		return sw.fail(err)
+	}
+	return nil
+}
+
+// EndStruct closes the open structure.
+func (sw *StreamWriter) EndStruct() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.inStruct {
+		return sw.fail(fmt.Errorf("gdsii: EndStruct outside structure"))
+	}
+	sw.inStruct = false
+	if err := writeRecord(sw.w, recENDSTR, nil); err != nil {
+		return sw.fail(err)
+	}
+	return nil
+}
+
+// EndLibrary writes ENDLIB. The writer cannot be reused afterwards.
+func (sw *StreamWriter) EndLibrary() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.inLib || sw.done {
+		return sw.fail(fmt.Errorf("gdsii: EndLibrary outside library"))
+	}
+	if sw.inStruct {
+		return sw.fail(fmt.Errorf("gdsii: EndLibrary with open structure"))
+	}
+	sw.done = true
+	if err := writeRecord(sw.w, recENDLIB, nil); err != nil {
+		return sw.fail(err)
+	}
+	return nil
+}
+
+// emitXY writes the point list as one or more XY records of at most
+// maxXYPoints points each. The GDSII record length is a uint16, so a
+// single record caps out at 8191 points — the seed writer hard-failed on
+// anything longer; splitting across consecutive XY records is the format's
+// escape hatch, and the reader reassembles them transparently.
+func (sw *StreamWriter) emitXY(pts []geom.Point) error {
+	for len(pts) > 0 {
+		n := len(pts)
+		if n > maxXYPoints {
+			n = maxXYPoints
+		}
+		if cap(sw.xyBuf) < 8*n {
+			sw.xyBuf = make([]byte, 8*maxXYPoints)
+		}
+		buf := sw.xyBuf[:8*n]
+		for i, p := range pts[:n] {
+			binary.BigEndian.PutUint32(buf[8*i:], uint32(int32(p.X)))
+			binary.BigEndian.PutUint32(buf[8*i+4:], uint32(int32(p.Y)))
+		}
+		if err := writeRecord(sw.w, recXY, buf); err != nil {
+			return err
+		}
+		pts = pts[n:]
+	}
+	return nil
+}
+
+func (sw *StreamWriter) writeElement(e Element) error {
+	w := sw.w
+	switch el := e.(type) {
+	case Boundary:
+		if len(el.XY) < 3 {
+			return fmt.Errorf("gdsii: boundary with %d points", len(el.XY))
+		}
+		if err := writeRecord(w, recBOUNDARY, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recDATATYPE, int16Data(el.DataType)); err != nil {
+			return err
+		}
+		ring := el.XY
+		if ring[0] != ring[len(ring)-1] {
+			ring = append(append([]geom.Point(nil), ring...), ring[0])
+		}
+		if err := sw.emitXY(ring); err != nil {
+			return err
+		}
+	case Path:
+		if len(el.XY) < 2 {
+			return fmt.Errorf("gdsii: path with %d points", len(el.XY))
+		}
+		if err := writeRecord(w, recPATH, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recDATATYPE, int16Data(el.DataType)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recPATHTYPE, int16Data(el.PathType)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recWIDTH, int32Data(el.Width)); err != nil {
+			return err
+		}
+		if err := sw.emitXY(el.XY); err != nil {
+			return err
+		}
+	case SRef:
+		if err := writeRecord(w, recSREF, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recSNAME, stringData(el.Name)); err != nil {
+			return err
+		}
+		if err := sw.emitXY([]geom.Point{el.At}); err != nil {
+			return err
+		}
+	case Text:
+		if err := writeRecord(w, recTEXT, nil); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recLAYER, int16Data(el.Layer)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recTEXTTYPE, int16Data(el.TextType)); err != nil {
+			return err
+		}
+		if err := sw.emitXY([]geom.Point{el.At}); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recSTRING, stringData(el.String)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("gdsii: unknown element %T", e)
+	}
+	return writeRecord(w, recENDEL, nil)
+}

@@ -1,0 +1,458 @@
+package gdsii
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gdsiiguard/internal/geom"
+)
+
+// rawStream hand-assembles a GDSII byte stream record by record, bypassing
+// the StreamWriter's grammar checks, so tests can craft the malformed
+// streams the reader must reject.
+type rawStream struct {
+	buf bytes.Buffer
+}
+
+func (rs *rawStream) rec(t *testing.T, typ uint16, data []byte) *rawStream {
+	t.Helper()
+	if err := writeRecord(&rs.buf, typ, data); err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func (rs *rawStream) prologue(t *testing.T, libName string) *rawStream {
+	ts := int16Data(2023, 1, 1, 0, 0, 0, 2023, 1, 1, 0, 0, 0)
+	rs.rec(t, recHEADER, int16Data(600))
+	rs.rec(t, recBGNLIB, ts)
+	rs.rec(t, recLIBNAME, stringData(libName))
+	rs.rec(t, recUNITS, append(encodeReal8(1e-3), encodeReal8(1e-9)...))
+	return rs
+}
+
+func (rs *rawStream) beginStruct(t *testing.T, name string) *rawStream {
+	ts := int16Data(2023, 1, 1, 0, 0, 0, 2023, 1, 1, 0, 0, 0)
+	rs.rec(t, recBGNSTR, ts)
+	rs.rec(t, recSTRNAME, stringData(name))
+	return rs
+}
+
+func (rs *rawStream) boundary(t *testing.T) *rawStream {
+	rs.rec(t, recBOUNDARY, nil)
+	rs.rec(t, recLAYER, int16Data(1))
+	rs.rec(t, recDATATYPE, int16Data(0))
+	rs.rec(t, recXY, int32Data(0, 0, 10, 0, 10, 10, 0, 0))
+	rs.rec(t, recENDEL, nil)
+	return rs
+}
+
+// spiral returns n distinct points (no accidental ring closure).
+func spiral(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(int64(i*3), int64(i*i%100003))
+	}
+	return pts
+}
+
+// countXYRecords scans the raw stream and counts XY records.
+func countXYRecords(t *testing.T, stream []byte) int {
+	t.Helper()
+	n := 0
+	for off := 0; off < len(stream); {
+		if off+4 > len(stream) {
+			t.Fatalf("trailing bytes at %d", off)
+		}
+		size := int(binary.BigEndian.Uint16(stream[off:]))
+		typ := binary.BigEndian.Uint16(stream[off+2:])
+		if size < 4 {
+			t.Fatalf("bad record size %d at %d", size, off)
+		}
+		if typ == recXY {
+			n++
+		}
+		off += size
+	}
+	return n
+}
+
+// TestLongXYSplitRoundTrip is the regression test for the >8191-point
+// writer hard-failure: long point lists must split across consecutive XY
+// records and reassemble on read. The seed writer returned "record too
+// long" for every case here beyond 8191 points.
+func TestLongXYSplitRoundTrip(t *testing.T) {
+	for _, n := range []int{8000, 8191, 8192, 16000} {
+		t.Run(fmt.Sprintf("path%d", n), func(t *testing.T) {
+			lib := NewLibrary("long")
+			s := lib.AddStruct("S")
+			pts := spiral(n)
+			s.Elements = append(s.Elements, Path{Layer: 11, Width: 70, XY: pts})
+			var buf bytes.Buffer
+			if err := Write(&buf, lib); err != nil {
+				t.Fatalf("Write with %d points: %v", n, err)
+			}
+			wantRecs := (n + maxXYPoints - 1) / maxXYPoints
+			if got := countXYRecords(t, buf.Bytes()); got != wantRecs {
+				t.Errorf("XY records = %d, want %d", got, wantRecs)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			p, ok := got.Struct("S").Elements[0].(Path)
+			if !ok {
+				t.Fatalf("element is %T, want Path", got.Struct("S").Elements[0])
+			}
+			if len(p.XY) != n {
+				t.Fatalf("points = %d, want %d", len(p.XY), n)
+			}
+			for i := range pts {
+				if p.XY[i] != pts[i] {
+					t.Fatalf("point %d = %v, want %v", i, p.XY[i], pts[i])
+				}
+			}
+		})
+	}
+	// Boundary: the writer appends the closing point (n+1 total on the
+	// wire), the reader strips it back off.
+	for _, n := range []int{8191, 16000} {
+		t.Run(fmt.Sprintf("boundary%d", n), func(t *testing.T) {
+			lib := NewLibrary("long")
+			s := lib.AddStruct("S")
+			pts := spiral(n)
+			s.Elements = append(s.Elements, Boundary{Layer: 2, XY: pts})
+			var buf bytes.Buffer
+			if err := Write(&buf, lib); err != nil {
+				t.Fatalf("Write with %d points: %v", n, err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			b := got.Struct("S").Elements[0].(Boundary)
+			if len(b.XY) != n {
+				t.Fatalf("points = %d, want %d", len(b.XY), n)
+			}
+			for i := range pts {
+				if b.XY[i] != pts[i] {
+					t.Fatalf("point %d = %v, want %v", i, b.XY[i], pts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDuplicateStructureRead is the regression test for silent overwrite on
+// duplicate structure names: the seed Read merged both bodies into one
+// struct via AddStruct; now it must be a hard error.
+func TestDuplicateStructureRead(t *testing.T) {
+	var rs rawStream
+	rs.prologue(t, "dup")
+	rs.beginStruct(t, "A").boundary(t).rec(t, recENDSTR, nil)
+	rs.beginStruct(t, "A").boundary(t).rec(t, recENDSTR, nil)
+	rs.rec(t, recENDLIB, nil)
+	_, err := Read(&rs.buf)
+	if err == nil {
+		t.Fatal("duplicate structure accepted")
+	}
+	if !strings.Contains(err.Error(), `duplicate structure "A"`) {
+		t.Errorf("error = %v, want duplicate structure", err)
+	}
+}
+
+// TestENDLIBWithOpenStructure is the regression test for silent loss of an
+// open structure: a stream whose writer died between ENDSTR and ENDLIB used
+// to read as a smaller-but-valid library.
+func TestENDLIBWithOpenStructure(t *testing.T) {
+	var rs rawStream
+	rs.prologue(t, "trunc")
+	rs.beginStruct(t, "A").boundary(t)
+	// no ENDSTR
+	rs.rec(t, recENDLIB, nil)
+	_, err := Read(&rs.buf)
+	if err == nil {
+		t.Fatal("ENDLIB with open structure accepted")
+	}
+	if !strings.Contains(err.Error(), `unterminated structure "A"`) {
+		t.Errorf("error = %v, want unterminated structure", err)
+	}
+}
+
+// TestENDLIBWithOpenElement: ENDLIB while an element is still being
+// assembled must also be a hard error, not a dropped element.
+func TestENDLIBWithOpenElement(t *testing.T) {
+	var rs rawStream
+	rs.prologue(t, "trunc")
+	rs.beginStruct(t, "A")
+	rs.rec(t, recBOUNDARY, nil)
+	rs.rec(t, recLAYER, int16Data(1))
+	rs.rec(t, recXY, int32Data(0, 0, 10, 0, 10, 10, 0, 0))
+	// no ENDEL, no ENDSTR
+	rs.rec(t, recENDLIB, nil)
+	_, err := Read(&rs.buf)
+	if err == nil {
+		t.Fatal("ENDLIB with open element accepted")
+	}
+	if !strings.Contains(err.Error(), "unterminated element") {
+		t.Errorf("error = %v, want unterminated element", err)
+	}
+}
+
+func TestENDSTRWithOpenElement(t *testing.T) {
+	var rs rawStream
+	rs.prologue(t, "trunc")
+	rs.beginStruct(t, "A")
+	rs.rec(t, recBOUNDARY, nil)
+	rs.rec(t, recENDSTR, nil)
+	rs.rec(t, recENDLIB, nil)
+	_, err := Read(&rs.buf)
+	if err == nil || !strings.Contains(err.Error(), "unterminated element") {
+		t.Errorf("error = %v, want unterminated element", err)
+	}
+}
+
+func TestStreamReaderStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *rawStream
+		want  string
+	}{
+		{"element outside structure", func(t *testing.T) *rawStream {
+			var rs rawStream
+			rs.prologue(t, "x").rec(t, recBOUNDARY, nil)
+			return &rs
+		}, "element outside structure"},
+		{"nested BGNSTR", func(t *testing.T) *rawStream {
+			var rs rawStream
+			rs.prologue(t, "x").beginStruct(t, "A").beginStruct(t, "B")
+			return &rs
+		}, "BGNSTR inside structure"},
+		{"ENDEL without element", func(t *testing.T) *rawStream {
+			var rs rawStream
+			rs.prologue(t, "x").beginStruct(t, "A").rec(t, recENDEL, nil)
+			return &rs
+		}, "ENDEL without element"},
+		{"missing HEADER", func(t *testing.T) *rawStream {
+			var rs rawStream
+			rs.rec(t, recBGNLIB, int16Data(0)).rec(t, recENDLIB, nil)
+			return &rs
+		}, "missing HEADER"},
+		{"odd coordinate count", func(t *testing.T) *rawStream {
+			var rs rawStream
+			rs.prologue(t, "x").beginStruct(t, "A").rec(t, recBOUNDARY, nil)
+			rs.rec(t, recXY, int32Data(0, 0, 1))
+			return &rs
+		}, "odd XY coordinate count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(&tc.build(t).buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStreamWriterGrammar(t *testing.T) {
+	t.Run("element outside structure", func(t *testing.T) {
+		sw := NewStreamWriter(&bytes.Buffer{})
+		if err := sw.BeginLibrary("x", 1e-3, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Element(SRef{Name: "A", At: geom.Pt(0, 0)}); err == nil {
+			t.Error("Element outside structure accepted")
+		}
+	})
+	t.Run("duplicate struct", func(t *testing.T) {
+		sw := NewStreamWriter(&bytes.Buffer{})
+		_ = sw.BeginLibrary("x", 1e-3, 1e-9)
+		_ = sw.BeginStruct("A")
+		_ = sw.EndStruct()
+		if err := sw.BeginStruct("A"); err == nil || !strings.Contains(err.Error(), "duplicate structure") {
+			t.Errorf("duplicate BeginStruct: %v", err)
+		}
+	})
+	t.Run("end library with open structure", func(t *testing.T) {
+		sw := NewStreamWriter(&bytes.Buffer{})
+		_ = sw.BeginLibrary("x", 1e-3, 1e-9)
+		_ = sw.BeginStruct("A")
+		if err := sw.EndLibrary(); err == nil {
+			t.Error("EndLibrary with open structure accepted")
+		}
+	})
+	t.Run("poisoned after error", func(t *testing.T) {
+		sw := NewStreamWriter(&bytes.Buffer{})
+		first := sw.BeginStruct("A") // outside library → error
+		if first == nil {
+			t.Fatal("BeginStruct outside library accepted")
+		}
+		if err := sw.BeginLibrary("x", 1e-3, 1e-9); err != first {
+			t.Errorf("poisoned writer returned %v, want %v", err, first)
+		}
+	})
+}
+
+// TestWriteStreamEquivalence: the in-memory Write and a hand-driven
+// StreamWriter must produce byte-identical output.
+func TestWriteStreamEquivalence(t *testing.T) {
+	lib := NewLibrary("eq")
+	a := lib.AddStruct("A")
+	a.Elements = append(a.Elements,
+		Boundary{Layer: 1, XY: spiral(5)},
+		Path{Layer: 11, Width: 70, XY: spiral(4)},
+	)
+	top := lib.AddStruct("TOP")
+	top.Elements = append(top.Elements,
+		SRef{Name: "A", At: geom.Pt(100, 200)},
+		Text{Layer: 63, At: geom.Pt(5, 6), String: "crit"},
+	)
+	var whole bytes.Buffer
+	if err := Write(&whole, lib); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	sw := NewStreamWriter(&streamed)
+	if err := sw.BeginLibrary("eq", 1e-3, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range lib.Structs {
+		if err := sw.BeginStruct(s.Name); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range s.Elements {
+			if err := sw.Element(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.EndStruct(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.EndLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Error("Write and StreamWriter output differ")
+	}
+}
+
+func TestStreamStatsMatchesLibraryStats(t *testing.T) {
+	lib := NewLibrary("stats")
+	a := lib.AddStruct("A")
+	a.Elements = append(a.Elements, Boundary{Layer: 1, XY: spiral(4)})
+	top := lib.AddStruct("TOP")
+	top.Elements = append(top.Elements,
+		SRef{Name: "A", At: geom.Pt(0, 0)},
+		Path{Layer: 12, Width: 70, XY: spiral(3)},
+		Text{Layer: 63, At: geom.Pt(1, 1), String: "x"},
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	want := lib.Stats()
+	got, name, err := StreamStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "stats" {
+		t.Errorf("name = %q", name)
+	}
+	if got.Structs != want.Structs || got.Boundaries != want.Boundaries ||
+		got.Paths != want.Paths || got.SRefs != want.SRefs || got.Texts != want.Texts ||
+		len(got.LayersUsed) != len(want.LayersUsed) {
+		t.Errorf("StreamStats = %+v, want %+v", got, want)
+	}
+}
+
+// TestStreamLayoutMatchesFromLayout: the streaming layout export must be
+// byte-identical to the in-memory FromLayout+Write path.
+func TestStreamLayoutMatchesFromLayout(t *testing.T) {
+	l, g := exportToy(t)
+	var whole bytes.Buffer
+	if err := Write(&whole, g); err != nil {
+		t.Fatal(err)
+	}
+	wires := []Wire{
+		{Metal: 1, Width: 70, Pts: []geom.Point{geom.Pt(0, 700), geom.Pt(1000, 700)}},
+		{Metal: 2, Width: 70, Pts: []geom.Point{geom.Pt(1000, 700), geom.Pt(1000, 2100)}},
+	}
+	var streamed bytes.Buffer
+	if err := StreamLayout(&streamed, l, SliceWires(wires)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Error("StreamLayout and Write(FromLayout) output differ")
+	}
+}
+
+// TestStreamLayoutTiles: the hierarchical export SRefs each non-empty tile
+// from the top and keeps per-cell SRefs tile-local; a re-import sees the
+// same cell count through one extra level of hierarchy.
+func TestStreamLayoutTiles(t *testing.T) {
+	l, _ := exportToy(t)
+	var buf bytes.Buffer
+	grid := TileGrid{TileRows: 2, TileSites: 20}
+	if err := StreamLayoutTiles(&buf, l, nil, grid); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placements: u1 (0,0) tile (0,0); u2 (1,5) tile (0,0); u3 (2,10) tile (1,0).
+	for _, name := range []string{"TILE_0_0", "TILE_1_0", "toy"} {
+		if got.Struct(name) == nil {
+			t.Errorf("struct %s missing", name)
+		}
+	}
+	var cellRefs, tileRefs int
+	for _, s := range got.Structs {
+		for _, e := range s.Elements {
+			sr, ok := e.(SRef)
+			if !ok {
+				continue
+			}
+			if strings.HasPrefix(sr.Name, "TILE_") {
+				tileRefs++
+			} else if got.Struct(sr.Name) != nil && s.Name != "toy" {
+				cellRefs++
+			}
+		}
+	}
+	if cellRefs != 3 {
+		t.Errorf("cell SRefs in tiles = %d, want 3", cellRefs)
+	}
+	if tileRefs != 2 {
+		t.Errorf("tile SRefs in top = %d, want 2", tileRefs)
+	}
+	// Tile-local coordinate of u3 (row 2, site 10) in TILE_1_0 anchored at
+	// row 2, site 0: the absolute delta.
+	origin := l.SiteDBU(2, 0)
+	at := l.SiteDBU(2, 10)
+	wantLocal := geom.Pt(at.X-origin.X, at.Y-origin.Y)
+	found := false
+	for _, e := range got.Struct("TILE_1_0").Elements {
+		if sr, ok := e.(SRef); ok && sr.Name == "DFF_X1" && sr.At == wantLocal {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("u3 SRef at local %v missing in TILE_1_0", wantLocal)
+	}
+	// Critical label stays absolute in the top struct.
+	foundLabel := false
+	for _, e := range got.Struct("toy").Elements {
+		if txt, ok := e.(Text); ok && txt.String == "u3" && txt.At == at {
+			foundLabel = true
+		}
+	}
+	if !foundLabel {
+		t.Error("critical label missing or not absolute in top")
+	}
+}

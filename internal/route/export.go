@@ -7,25 +7,43 @@ import (
 )
 
 // GDSWires converts the routed segments into GDSII path descriptors, with
-// widths from the layer stack scaled by the layout's active NDR.
+// widths from the layer stack scaled by the layout's active NDR. For
+// SoC-scale exports prefer WireSource, which streams the same wires without
+// materializing the slice.
 func (res *Result) GDSWires(l *layout.Layout) []gdsii.Wire {
-	lib := l.Lib()
 	var wires []gdsii.Wire
-	for _, nr := range res.NetRoutes {
-		if nr == nil {
-			continue
-		}
-		for _, s := range nr.Segments {
-			layer := lib.Layer(s.Metal)
-			if layer == nil || s.A == s.B {
+	_ = res.WireSource(l)(func(w gdsii.Wire) error {
+		wires = append(wires, w)
+		return nil
+	})
+	return wires
+}
+
+// WireSource streams the routed segments as GDSII wires one at a time —
+// the streaming-export counterpart of GDSWires. The emitted Wire's Pts
+// slice is freshly allocated per wire (the exporter may retain it).
+func (res *Result) WireSource(l *layout.Layout) gdsii.WireSource {
+	lib := l.Lib()
+	return func(emit func(gdsii.Wire) error) error {
+		for _, nr := range res.NetRoutes {
+			if nr == nil {
 				continue
 			}
-			wires = append(wires, gdsii.Wire{
-				Metal: s.Metal,
-				Width: int64(float64(layer.Width) * l.NDR.LayerScale(s.Metal)),
-				Pts:   []geom.Point{s.A, s.B},
-			})
+			for _, s := range nr.Segments {
+				layer := lib.Layer(s.Metal)
+				if layer == nil || s.A == s.B {
+					continue
+				}
+				err := emit(gdsii.Wire{
+					Metal: s.Metal,
+					Width: int64(float64(layer.Width) * l.NDR.LayerScale(s.Metal)),
+					Pts:   []geom.Point{s.A, s.B},
+				})
+				if err != nil {
+					return err
+				}
+			}
 		}
+		return nil
 	}
-	return wires
 }
