@@ -33,6 +33,38 @@ const regressionFloorSecs = 0.005
 // buffering allocates tens of megabytes more, far above this floor.
 const regressionFloorBytes = 4 << 20
 
+// workersMismatch reports how the two reports' worker configurations
+// differ, or "" when they are comparable. Reports written before the
+// workers section existed carry no configuration and compare as before
+// (there is nothing to refuse on).
+func workersMismatch(old, cur *Report) string {
+	if old.Workers == nil || cur.Workers == nil {
+		return ""
+	}
+	if *old.Workers == *cur.Workers {
+		return ""
+	}
+	return fmt.Sprintf(
+		"worker configuration mismatch: old cpu=%d route=%d sta=%d band=%d, new cpu=%d route=%d sta=%d band=%d",
+		old.Workers.NumCPU, old.Workers.Route, old.Workers.STA, old.Workers.Band,
+		cur.Workers.NumCPU, cur.Workers.Route, cur.Workers.STA, cur.Workers.Band)
+}
+
+// shapeMismatch reports why the two runs' latencies are not comparable when
+// their exploration shapes differ ("" when they match). Per-stage means are
+// composition-sensitive under delta evaluation — a smaller exploration
+// amortizes reuse over fewer evaluations, so its per-call operator mean is
+// legitimately higher — which makes a short-vs-full comparison a phantom
+// regression generator, not a gate.
+func shapeMismatch(old, cur *Report) string {
+	if old.Short == cur.Short && old.PopSize == cur.PopSize && old.Generations == cur.Generations {
+		return ""
+	}
+	return fmt.Sprintf(
+		"exploration shape mismatch: old short=%t pop=%d gens=%d, new short=%t pop=%d gens=%d",
+		old.Short, old.PopSize, old.Generations, cur.Short, cur.PopSize, cur.Generations)
+}
+
 // compareReports diffs two benchmark reports design by design: per-stage
 // mean latencies and the per-phase end-to-end wall times, each with a
 // percentage delta against the old report. It returns the rendered diff
@@ -40,10 +72,23 @@ const regressionFloorBytes = 4 << 20
 // (tolerance 0.25 = new may be up to 25% slower before it counts, and the
 // absolute slowdown must also exceed regressionFloorSecs).
 // Designs or stages present in only one report are noted but never count
-// as regressions.
+// as regressions. Neither do any latency deltas when the two reports were
+// measured under different worker configurations or exploration shapes:
+// wall times from different parallelism (or per-call means from different
+// reuse composition) are not comparable, so the diff leads with a warning
+// and regression gating is refused for the whole comparison.
 func compareReports(old, cur *Report, tolerance float64) (string, bool) {
 	var b strings.Builder
 	regressed := false
+	gate := true
+	for _, msg := range []string{workersMismatch(old, cur), shapeMismatch(old, cur)} {
+		if msg == "" {
+			continue
+		}
+		gate = false
+		fmt.Fprintf(&b, "WARNING: %s\n", msg)
+		fmt.Fprintf(&b, "WARNING: latency deltas below are informational; regression gating refused\n")
+	}
 
 	oldByName := map[string]DesignBench{}
 	for _, d := range old.Designs {
@@ -56,7 +101,7 @@ func compareReports(old, cur *Report, tolerance float64) (string, bool) {
 			pct = (now - was) / was * 100
 		}
 		flag := ""
-		if was > 0 && now > was*(1+tolerance) && now-was > regressionFloorSecs {
+		if gate && was > 0 && now > was*(1+tolerance) && now-was > regressionFloorSecs {
 			flag = "  REGRESSION"
 			regressed = true
 		}
@@ -116,7 +161,7 @@ func compareReports(old, cur *Report, tolerance float64) (string, bool) {
 			pct = (float64(now) - float64(was)) / float64(was) * 100
 		}
 		flag := ""
-		if was > 0 && float64(now) > float64(was)*(1+tolerance) && now-was > regressionFloorBytes {
+		if gate && was > 0 && float64(now) > float64(was)*(1+tolerance) && now-was > regressionFloorBytes {
 			flag = "  REGRESSION"
 			regressed = true
 		}

@@ -114,6 +114,72 @@ func TestCompareReportsSoCMissing(t *testing.T) {
 	}
 }
 
+func TestCompareReportsWorkerMismatch(t *testing.T) {
+	old := report("PRESENT", 1.0, map[string]StageLatency{
+		"route": {Count: 28, TotalSecs: 3.0, MeanSeconds: 0.107},
+	})
+	old.Workers = &WorkersReport{NumCPU: 1, Route: 1, STA: 1, Band: 1}
+	cur := report("PRESENT", 10.0, map[string]StageLatency{
+		"route": {Count: 28, TotalSecs: 18.0, MeanSeconds: 0.644},
+	})
+	cur.Workers = &WorkersReport{NumCPU: 8, Route: 8, STA: 8, Band: 8}
+
+	// A 6x slowdown would normally flag; under mismatched worker configs
+	// the numbers are not comparable, so the diff must warn and refuse.
+	diff, regressed := compareReports(old, cur, 0.25)
+	if regressed {
+		t.Fatalf("regression gated despite worker mismatch:\n%s", diff)
+	}
+	if !strings.Contains(diff, "worker configuration mismatch") {
+		t.Errorf("diff lacks mismatch warning:\n%s", diff)
+	}
+	if strings.Contains(diff, "REGRESSION") {
+		t.Errorf("diff flags REGRESSION despite refusal:\n%s", diff)
+	}
+
+	// Matching configs gate as usual.
+	cur.Workers = &WorkersReport{NumCPU: 1, Route: 1, STA: 1, Band: 1}
+	if _, regressed := compareReports(old, cur, 0.25); !regressed {
+		t.Fatal("6x slowdown not flagged with matching worker configs")
+	}
+
+	// Old reports without a workers section stay comparable (upgrade path).
+	old.Workers = nil
+	if _, regressed := compareReports(old, cur, 0.25); !regressed {
+		t.Fatal("6x slowdown not flagged when old report predates workers section")
+	}
+}
+
+func TestCompareReportsShapeMismatch(t *testing.T) {
+	old := report("PRESENT", 1.0, map[string]StageLatency{
+		"operator": {Count: 28, TotalSecs: 3.0, MeanSeconds: 0.107},
+	})
+	old.PopSize, old.Generations = 8, 3
+	cur := report("PRESENT", 10.0, map[string]StageLatency{
+		"operator": {Count: 16, TotalSecs: 10.0, MeanSeconds: 0.644},
+	})
+	cur.Short, cur.PopSize, cur.Generations = true, 6, 2
+
+	// Per-stage means from different exploration shapes carry different
+	// reuse composition; the diff must warn and refuse to gate.
+	diff, regressed := compareReports(old, cur, 0.25)
+	if regressed {
+		t.Fatalf("regression gated despite shape mismatch:\n%s", diff)
+	}
+	if !strings.Contains(diff, "exploration shape mismatch") {
+		t.Errorf("diff lacks shape warning:\n%s", diff)
+	}
+	if strings.Contains(diff, "REGRESSION") {
+		t.Errorf("diff flags REGRESSION despite refusal:\n%s", diff)
+	}
+
+	// Matching shapes gate as usual.
+	cur.Short, cur.PopSize, cur.Generations = false, 8, 3
+	if _, regressed := compareReports(old, cur, 0.25); !regressed {
+		t.Fatal("6x slowdown not flagged with matching shapes")
+	}
+}
+
 func TestCompareReportsMissingData(t *testing.T) {
 	old := report("PRESENT", 1.0, map[string]StageLatency{
 		"operator": {MeanSeconds: 0.1},

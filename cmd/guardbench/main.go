@@ -13,12 +13,17 @@
 //	guardbench [-designs PRESENT,openMSP430_1] [-short] [-pop 8] [-gens 3]
 //	           [-seed 1] [-out BENCH_baseline.json]
 //	           [-compare old.json] [-tolerance 0.25]
+//	           [-route-workers N] [-sta-workers N]
 //
 // -short shrinks the exploration (pop 6, 2 generations) for CI smoke runs.
 // -compare diffs the fresh report against a previously written one: every
 // per-phase wall time and per-stage mean latency is printed with its
 // percentage delta, and the process exits 3 when any of them is more than
-// -tolerance (fractional) slower than before.
+// -tolerance (fractional) slower than before. Reports record the per-stage
+// worker counts they were measured under; when those differ between the
+// two reports (different machine, different -route-workers/-sta-workers),
+// -compare still prints the deltas but warns and refuses to flag latency
+// regressions — the numbers are not comparable.
 package main
 
 import (
@@ -31,7 +36,10 @@ import (
 	"time"
 
 	"gdsiiguard"
+	"gdsiiguard/internal/core"
 	"gdsiiguard/internal/obs"
+	"gdsiiguard/internal/route"
+	"gdsiiguard/internal/sta"
 )
 
 // StageLatency is the aggregated latency of one flow stage over a phase.
@@ -58,17 +66,49 @@ type DesignBench struct {
 	Delta gdsiiguard.DeltaStats `json:"delta"`
 }
 
+// WorkersReport records the parallelism the run resolved to, stage by
+// stage: the wave-parallel router, the level-parallel STA engine and the
+// band-parallel operator mass scans. Each count is what the stage would
+// use on a large input on this machine under the run's -route-workers /
+// -sta-workers settings (1 means the stage degenerated to its sequential
+// path). Wall times measured under different worker counts are not
+// comparable, so -compare warns and refuses to gate latencies when these
+// differ between reports.
+type WorkersReport struct {
+	NumCPU int `json:"num_cpu"`
+	Route  int `json:"route"`
+	STA    int `json:"sta"`
+	Band   int `json:"band"`
+}
+
+// resolvedWorkers snapshots the per-stage worker counts for the report,
+// resolved at an input size large enough that only the setting and the
+// machine's core count bind.
+func resolvedWorkers() *WorkersReport {
+	const large = 1 << 20
+	return &WorkersReport{
+		NumCPU: runtime.NumCPU(),
+		Route:  route.ResolvedWorkers(large),
+		STA:    sta.ResolvedWorkers(large),
+		Band:   core.ResolvedOperatorBandWorkers(large),
+	}
+}
+
 // Report is the full benchmark output.
 type Report struct {
-	GeneratedBy string        `json:"generated_by"`
-	Timestamp   string        `json:"timestamp"`
-	GoVersion   string        `json:"go_version"`
-	NumCPU      int           `json:"num_cpu"`
-	Short       bool          `json:"short"`
-	PopSize     int           `json:"pop_size"`
-	Generations int           `json:"generations"`
-	Seed        int64         `json:"seed"`
-	Designs     []DesignBench `json:"designs"`
+	GeneratedBy string `json:"generated_by"`
+	Timestamp   string `json:"timestamp"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Short       bool   `json:"short"`
+	PopSize     int    `json:"pop_size"`
+	Generations int    `json:"generations"`
+	Seed        int64  `json:"seed"`
+	// Workers is the per-stage parallelism this report was measured under;
+	// -compare refuses to gate latency deltas between reports whose worker
+	// configurations differ.
+	Workers *WorkersReport `json:"workers,omitempty"`
+	Designs []DesignBench  `json:"designs"`
 	// SoC holds the SoC-scale streaming-pipeline results: wall time AND
 	// allocation volume per stage, so -compare gates memory regressions in
 	// the streaming paths, not just latency. Skipped under -short.
@@ -87,8 +127,13 @@ func main() {
 		out     = flag.String("out", "BENCH_baseline.json", "output JSON path")
 		compare = flag.String("compare", "", "old report JSON to diff against; exit 3 on regression")
 		tol     = flag.Float64("tolerance", 0.25, "fractional slowdown allowed before -compare reports a regression")
+
+		routeWorkers = flag.Int("route-workers", 0, "wave-parallel routing workers (0: GOMAXPROCS, 1: sequential)")
+		staWorkers   = flag.Int("sta-workers", 0, "level-parallel STA workers (0: GOMAXPROCS, 1: sequential)")
 	)
 	flag.Parse()
+	route.SetWorkers(*routeWorkers)
+	sta.SetWorkers(*staWorkers)
 	if *short {
 		*pop, *gens = 6, 2
 	}
@@ -107,6 +152,7 @@ func main() {
 		PopSize:     *pop,
 		Generations: *gens,
 		Seed:        *seed,
+		Workers:     resolvedWorkers(),
 	}
 	t0 := time.Now()
 	for _, name := range names {
@@ -131,10 +177,12 @@ func main() {
 				os.Exit(1)
 			}
 			rep.SoC = append(rep.SoC, *sb)
-			fmt.Printf("%-16s %d cells  generate %5.2fs  export %5.2fs (%s)  import %5.2fs  mass x%.1f (%d workers)\n",
+			fmt.Printf("%-16s %d cells  generate %5.2fs  export %5.2fs (%s)  import %5.2fs  mass x%.1f (%d workers)  harden %6.2fs+%5.2fs (delta STA cones %d insts)\n",
 				name, sb.Cells, sb.Stages["generate"].Seconds,
 				sb.Stages["export"].Seconds, fmtBytes(sb.GDSBytes),
-				sb.Stages["import"].Seconds, sb.MassSpeedup, sb.MassWorkers)
+				sb.Stages["import"].Seconds, sb.MassSpeedup, sb.MassWorkers,
+				sb.Stages["harden_baseline"].Seconds, sb.Stages["harden_eco"].Seconds,
+				sb.HardenDelta.StaConeInsts)
 		}
 	}
 	rep.SuiteSeconds = time.Since(t0).Seconds()
@@ -164,7 +212,11 @@ func main() {
 				*tol*100, *compare)
 			os.Exit(3)
 		}
-		fmt.Printf("no regression beyond %.0f%% tolerance vs %s\n", *tol*100, *compare)
+		if msg := workersMismatch(old, &rep); msg != "" {
+			fmt.Fprintf(os.Stderr, "guardbench: -compare: %s; latency gating refused\n", msg)
+		} else {
+			fmt.Printf("no regression beyond %.0f%% tolerance vs %s\n", *tol*100, *compare)
+		}
 	}
 }
 

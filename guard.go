@@ -299,6 +299,14 @@ type DeltaStats struct {
 	RoutesCold   int `json:"routes_cold"`
 	NetsReplayed int `json:"nets_replayed"`
 	NetsRerouted int `json:"nets_rerouted"`
+	// StaFull / StaDelta count timing stages analyzed over the whole graph
+	// versus delta-analyzed over changed-net cones; StaConeInsts /
+	// StaConeNets total the cone sizes (combinational instances
+	// re-evaluated, net required times recomputed) across the delta runs.
+	StaFull      int `json:"sta_full"`
+	StaDelta     int `json:"sta_delta"`
+	StaConeInsts int `json:"sta_cone_insts"`
+	StaConeNets  int `json:"sta_cone_nets"`
 }
 
 func deltaFromCore(d core.DeltaStats) DeltaStats {
@@ -311,6 +319,10 @@ func deltaFromCore(d core.DeltaStats) DeltaStats {
 		RoutesCold:   d.RoutesCold,
 		NetsReplayed: d.NetsReplayed,
 		NetsRerouted: d.NetsRerouted,
+		StaFull:      d.StaFull,
+		StaDelta:     d.StaDelta,
+		StaConeInsts: d.StaConeInsts,
+		StaConeNets:  d.StaConeNets,
 	}
 }
 

@@ -32,23 +32,37 @@ type SoCSpec struct {
 	// zero-density placement blockage. 0 disables macros. Tile position 0
 	// is never a macro (it anchors the input stitching).
 	MacroEvery int
+	// ChannelRows and ChannelSites open an empty routing channel above and
+	// to the right of every tile. The stitch and clock nets that cross
+	// tile boundaries route through these channels instead of competing
+	// with intra-tile wiring — at SoC scale that is what keeps the full
+	// design first-pass routable (zero rip-up), which the warm-start /
+	// delta-STA hardening path requires of its donor.
+	ChannelRows, ChannelSites int
 	// Tile is the per-tile generator spec.
 	Tile Spec
 }
 
 // SoCSpecs are the SoC-scale presets: SoC_100k exceeds 10⁵ cells, SoC_1M
-// approaches 10⁶. They are excluded from guardbench -short runs.
+// approaches 10⁶. They are excluded from guardbench -short runs. Both are
+// sized to route first-pass clean (zero rip-up victims): the full-harden
+// stage of the SoC bench evaluates its ECO as a warm-start + delta-STA
+// against the baseline route, and route.Warm requires a victimless donor.
 var SoCSpecs = []SoCSpec{
-	{Name: "SoC_100k", TilesX: 10, TilesY: 10, ClockDomains: 4, MacroEvery: 13, Tile: socTile(201)},
-	{Name: "SoC_1M", TilesX: 28, TilesY: 28, ClockDomains: 8, MacroEvery: 19, Tile: socTile(202)},
+	{Name: "SoC_100k", TilesX: 13, TilesY: 13, ClockDomains: 4, MacroEvery: 13,
+		ChannelRows: 4, ChannelSites: 40, Tile: socTile(201)},
+	{Name: "SoC_1M", TilesX: 38, TilesY: 38, ClockDomains: 8, MacroEvery: 19,
+		ChannelRows: 4, ChannelSites: 40, Tile: socTile(202)},
 }
 
-// socTile is the stamped crypto-core tile: ~1.3k cells at a moderate
-// utilization so stamped regions keep ECO headroom.
+// socTile is the stamped crypto-core tile: ~650 cells at a deliberately low
+// utilization. ECO hardening needs headroom twice over — free sites for the
+// operators to move cells into, and routing slack so the baseline routes
+// without rip-up (the precondition for warm-started delta evaluation).
 func socTile(seed int64) Spec {
 	return Spec{
-		Name: "soc_tile", StateBits: 128, KeyBits: 128, Depth: 8, Width: 120,
-		Util: 0.62, TimingMargin: 1.10, Activity: 0.18, Seed: seed,
+		Name: "soc_tile", StateBits: 128, KeyBits: 128, Depth: 3, Width: 80,
+		Util: 0.25, TimingMargin: 1.10, Activity: 0.18, Seed: seed,
 	}
 }
 
@@ -78,8 +92,9 @@ type SoCDesign struct {
 	Cons   *sdc.Constraints
 	// Assets are the names of the security-critical instances.
 	Assets []string
-	// TileRows × TileSites is the stamped tile footprint in site
-	// coordinates; the tile grid anchors at row 0, site 0.
+	// TileRows × TileSites is the stamping stride in site coordinates —
+	// tile footprint plus its routing channel; the tile grid anchors at
+	// row 0, site 0.
 	TileRows, TileSites int
 	// Cells is the total instance count (including macro fillers).
 	Cells int
@@ -273,14 +288,18 @@ func (s SoCSpec) Build() (*SoCDesign, error) {
 	}
 
 	// Stamp the tile placement; no global placement runs at SoC scale.
-	l, err := layout.New(nl, s.TilesY*tileRows, s.TilesX*tileSites)
+	// Each tile occupies the lower-left of its stride cell; the remaining
+	// ChannelRows × ChannelSites band is the inter-tile routing channel.
+	strideRows := tileRows + s.ChannelRows
+	strideSites := tileSites + s.ChannelSites
+	l, err := layout.New(nl, s.TilesY*strideRows, s.TilesX*strideSites)
 	if err != nil {
 		return nil, err
 	}
 	for ty := 0; ty < s.TilesY; ty++ {
 		for tx := 0; tx < s.TilesX; tx++ {
 			idx := ty*s.TilesX + tx
-			rowOff, siteOff := ty*tileRows, tx*tileSites
+			rowOff, siteOff := ty*strideRows, tx*strideSites
 			if s.macroAt(idx) {
 				if err := fillMacroTile(l, ty, tx, rowOff, siteOff, tileRows, tileSites); err != nil {
 					return nil, err
@@ -320,8 +339,8 @@ func (s SoCSpec) Build() (*SoCDesign, error) {
 		Layout:    l,
 		Cons:      cons,
 		Assets:    assets,
-		TileRows:  tileRows,
-		TileSites: tileSites,
+		TileRows:  strideRows,
+		TileSites: strideSites,
 		Cells:     len(nl.Insts),
 	}, nil
 }

@@ -69,6 +69,15 @@ type DeltaStats struct {
 	// stages (cold routes count every routed net as rerouted).
 	NetsReplayed int `json:"nets_replayed"`
 	NetsRerouted int `json:"nets_rerouted"`
+	// StaFull / StaDelta count timing stages analyzed over the whole graph
+	// vs delta-analyzed over changed-net cones only.
+	StaFull  int `json:"sta_full"`
+	StaDelta int `json:"sta_delta"`
+	// StaConeInsts / StaConeNets total the forward (re-evaluated
+	// combinational instances) and backward (recomputed required times)
+	// cone sizes across all delta timing stages.
+	StaConeInsts int `json:"sta_cone_insts"`
+	StaConeNets  int `json:"sta_cone_nets"`
 }
 
 // Add accumulates o into d.
@@ -81,6 +90,10 @@ func (d *DeltaStats) Add(o DeltaStats) {
 	d.RoutesCold += o.RoutesCold
 	d.NetsReplayed += o.NetsReplayed
 	d.NetsRerouted += o.NetsRerouted
+	d.StaFull += o.StaFull
+	d.StaDelta += o.StaDelta
+	d.StaConeInsts += o.StaConeInsts
+	d.StaConeNets += o.StaConeNets
 }
 
 // warmDirtyMaxFrac is the largest fraction of dirty nets for which a warm
@@ -129,11 +142,14 @@ type opEntry struct {
 }
 
 // donorEntry is one warm-start donor: a clean route under a specific NDR
-// scale, plus the placement (as a diff vs the baseline) it was routed on.
+// scale, plus the placement (as a diff vs the baseline) it was routed on
+// and the timing analysis of that routed state — the delta-STA donor for
+// warm evaluations.
 type donorEntry struct {
 	opKey  string
 	diff   []layout.InstMove
 	routes *route.Result
+	timing *sta.Result
 }
 
 func newStageMemo(b *Baseline) *StageMemo {
@@ -148,7 +164,7 @@ func newStageMemo(b *Baseline) *StageMemo {
 	// immediately, rerouting only the nets the operator touched.
 	if b != nil && b.Routes != nil && b.Routes.Victims == 0 && len(b.Routes.NDRScale) > 0 {
 		key := fmt.Sprintf("%v", b.Routes.NDRScale)
-		m.donors[key] = &donorEntry{routes: b.Routes}
+		m.donors[key] = &donorEntry{routes: b.Routes, timing: b.Timing}
 		m.donorOrder = append(m.donorOrder, key)
 	}
 	return m
@@ -266,9 +282,10 @@ func (m *StageMemo) donor(scaleKey string) *donorEntry {
 	return d
 }
 
-// putDonor caches a clean route result as the donor for its scale key,
-// evicting the least recently used donor past donorCacheCap.
-func (m *StageMemo) putDonor(scaleKey, opKey string, diff []layout.InstMove, routes *route.Result) {
+// putDonor caches a clean route result (and the timing analyzed on it) as
+// the donor for its scale key, evicting the least recently used donor past
+// donorCacheCap.
+func (m *StageMemo) putDonor(scaleKey, opKey string, diff []layout.InstMove, routes *route.Result, timing *sta.Result) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.donors[scaleKey]; !ok {
@@ -279,7 +296,7 @@ func (m *StageMemo) putDonor(scaleKey, opKey string, diff []layout.InstMove, rou
 		}
 		m.donorOrder = append(m.donorOrder, scaleKey)
 	}
-	m.donors[scaleKey] = &donorEntry{opKey: opKey, diff: diff, routes: routes}
+	m.donors[scaleKey] = &donorEntry{opKey: opKey, diff: diff, routes: routes, timing: timing}
 }
 
 // runDelta is the delta-evaluation counterpart of runOn: same stages, same
@@ -518,16 +535,35 @@ func (s *Scratch) evaluateDelta(ctx context.Context, p Params, res *Result) (err
 		checks drc.Result
 	)
 	scaleKey := p.ScaleKey()
+	// staChanged and staDonor carry the warm route's per-net change mask
+	// and the donor's timing into the timing stage: delta-STA re-propagates
+	// only the cones of nets the warm route actually changed.
+	var (
+		staChanged []bool
+		staDonor   *sta.Result
+	)
 	routeStage := func() (err error) {
 		geo := memo.geometry(s.curOpKey, l)
 		if d := memo.donor(scaleKey); d != nil {
-			if dirty, frac := s.dirtyVsDonor(d); frac <= warmDirtyMaxFrac {
+			dirty, frac := s.dirtyVsDonor(d)
+			if frac <= warmDirtyMaxFrac {
 				wres, wst, werr := route.Warm(l, cfg.RouteOpts, geo, d.routes, dirty)
 				if werr != nil {
 					return werr
 				}
 				if wres != nil {
 					routes = wres
+					// The STA change mask is the warm route's ChangedNets
+					// plus the dirty nets themselves (a moved cell can shift
+					// a net's HPWL-estimated RC even when its route record
+					// is nil in both runs).
+					staChanged = wst.ChangedNets
+					for id, dt := range dirty {
+						if dt {
+							staChanged[id] = true
+						}
+					}
+					staDonor = d.timing
 					s.stats.RoutesWarm++
 					s.stats.NetsReplayed += wst.Replayed
 					s.stats.NetsRerouted += wst.Rerouted
@@ -536,7 +572,11 @@ func (s *Scratch) evaluateDelta(ctx context.Context, p Params, res *Result) (err
 					deltaNets.With("rerouted").Add(float64(wst.Rerouted))
 					return nil
 				}
+			} else {
+				route.CountWarmDecline("dirty_frac")
 			}
+		} else {
+			route.CountWarmDecline("no_donor")
 		}
 		routes, err = route.RouteWithGeometry(l, cfg.RouteOpts, geo)
 		if err != nil {
@@ -560,7 +600,28 @@ func (s *Scratch) evaluateDelta(ctx context.Context, p Params, res *Result) (err
 	}{
 		{StageRoute, routeStage},
 		{StageTiming, func() (err error) {
-			timing, err = sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
+			opts := sta.Options{Constraints: cfg.Constraints, Routes: routes}
+			if staDonor != nil && staChanged != nil {
+				tres, tds, terr := sta.AnalyzeDelta(l, opts, staDonor, staChanged)
+				if terr != nil {
+					return terr
+				}
+				if tres != nil {
+					timing = tres
+					s.stats.StaDelta++
+					s.stats.StaConeInsts += tds.ConeInsts
+					s.stats.StaConeNets += tds.ConeNets
+					deltaSTA.With("delta").Inc()
+					staConeInsts.Add(float64(tds.ConeInsts))
+					staConeNets.Add(float64(tds.ConeNets))
+					return nil
+				}
+			}
+			timing, err = sta.AnalyzeWithGraph(l, opts, base.TimingGraph())
+			if err == nil {
+				s.stats.StaFull++
+				deltaSTA.With("full").Inc()
+			}
 			return err
 		}},
 		{StagePower, func() (err error) {
@@ -588,7 +649,7 @@ func (s *Scratch) evaluateDelta(ctx context.Context, p Params, res *Result) (err
 	// very first route of a fresh scale, so later chromosomes sharing it
 	// warm-start even across islands and workers.
 	if routes.Victims == 0 {
-		memo.putDonor(scaleKey, s.curOpKey, s.curDiff, routes)
+		memo.putDonor(scaleKey, s.curOpKey, s.curDiff, routes, timing)
 	}
 
 	res.Layout = l

@@ -96,6 +96,31 @@ type Baseline struct {
 	// cluster worker baselines — shares memoized stages automatically.
 	memoOnce sync.Once
 	memo     *StageMemo
+
+	// graph is the lazily captured levelized timing graph (see
+	// TimingGraph). Like the memo it hangs off the baseline: the graph
+	// depends only on netlist connectivity, which every arena clone
+	// preserves, so one levelization serves all evaluations.
+	graphOnce sync.Once
+	graph     *sta.Graph
+}
+
+// TimingGraph returns the baseline's levelized timing graph, built at most
+// once. The baseline timing result usually carries it already (Analyze
+// retains the graph it levelized); otherwise it is built from the netlist.
+// A nil return (cyclic netlist) makes callers fall back to per-call
+// levelization, which will report the cycle.
+func (b *Baseline) TimingGraph() *sta.Graph {
+	b.graphOnce.Do(func() {
+		if b.Timing != nil && b.Timing.Graph() != nil {
+			b.graph = b.Timing.Graph()
+			return
+		}
+		if g, err := sta.BuildGraph(b.Layout.Netlist); err == nil {
+			b.graph = g
+		}
+	})
+	return b.graph
 }
 
 // EvalBaseline routes and analyzes the baseline layout and computes its
@@ -292,7 +317,7 @@ func EvaluateCtx(ctx context.Context, l *layout.Layout, base *Baseline, res *Res
 			return err
 		}},
 		{StageTiming, func() (err error) {
-			timing, err = sta.Analyze(l, sta.Options{Constraints: cfg.Constraints, Routes: routes})
+			timing, err = sta.AnalyzeWithGraph(l, sta.Options{Constraints: cfg.Constraints, Routes: routes}, base.TimingGraph())
 			return err
 		}},
 		{StagePower, func() (err error) {

@@ -79,28 +79,126 @@ func BuildGeometry(l *layout.Layout) *Geometry {
 			}
 		}
 		g.BBox[i] = bb
-		// Prim-style: start from the driver (pts[0]), connect the nearest
-		// unconnected terminal to its nearest connected terminal.
-		connected := []geom.Point{pts[0]}
-		remaining := append([]geom.Point(nil), pts[1:]...)
-		conns := make([]Conn, 0, len(remaining))
-		for len(remaining) > 0 {
-			bi, bj, best := 0, 0, int64(1)<<62
-			for ri, p := range remaining {
-				for ci, q := range connected {
-					if d := p.ManhattanDist(q); d < best {
-						bi, bj, best = ri, ci, d
-					}
-				}
-			}
-			conns = append(conns, Conn{A: connected[bj], B: remaining[bi]})
-			connected = append(connected, remaining[bi])
-			remaining = append(remaining[:bi], remaining[bi+1:]...)
-		}
-		g.Conns[i] = conns
+		g.Conns[i] = decompose(pts)
 	}
 	sort.SliceStable(g.Order, func(a, b int) bool {
 		return hpwl[g.Order[a]] > hpwl[g.Order[b]]
 	})
 	return g
+}
+
+// largeNetTerms bounds the exact Prim decomposition. The nearest-pair scan
+// is cubic in terminal count, which is invisible for data nets (fanout ≤ a
+// few dozen) but makes a SoC-scale clock net — thousands of register clock
+// pins on one net — the single slowest step of the whole evaluation. Above
+// this bound the decomposition switches to the Morton-window tree.
+const largeNetTerms = 96
+
+// mortonWindow is how many Morton-order predecessors a terminal considers
+// when choosing its tree parent.
+const mortonWindow = 8
+
+// decompose turns a net's terminal points (driver first) into its two-pin
+// connection sequence: exact Prim for ordinary nets, and for huge-fanout
+// nets (clock and other die-spanning trees) a Morton-ordered window tree —
+// terminals sort along the Z-order curve and each connects to its nearest
+// predecessor within a fixed window. Z-order preserves spatial locality,
+// so the tree stays near the MST's wirelength at O(n log n) instead of the
+// exact scan's O(n³). Both paths are pure functions of the point list, so
+// determinism and Geometry immutability are unaffected.
+func decompose(pts []geom.Point) []Conn {
+	if len(pts) > largeNetTerms {
+		return decomposeMorton(pts)
+	}
+	// Prim-style: start from the driver (pts[0]), connect the nearest
+	// unconnected terminal to its nearest connected terminal.
+	connected := []geom.Point{pts[0]}
+	remaining := append([]geom.Point(nil), pts[1:]...)
+	conns := make([]Conn, 0, len(remaining))
+	for len(remaining) > 0 {
+		bi, bj, best := 0, 0, int64(1)<<62
+		for ri, p := range remaining {
+			for ci, q := range connected {
+				if d := p.ManhattanDist(q); d < best {
+					bi, bj, best = ri, ci, d
+				}
+			}
+		}
+		conns = append(conns, Conn{A: connected[bj], B: remaining[bi]})
+		connected = append(connected, remaining[bi])
+		remaining = append(remaining[:bi], remaining[bi+1:]...)
+	}
+	return conns
+}
+
+// decomposeMorton builds the large-net window tree. Sinks sort by Morton
+// code (ties by X, Y, then original terminal order, so equal points cannot
+// reorder nondeterministically); the driver leads the sequence and each
+// sink connects to the nearest of its mortonWindow predecessors.
+func decomposeMorton(pts []geom.Point) []Conn {
+	type term struct {
+		p    geom.Point
+		code uint64
+		idx  int
+	}
+	sinks := make([]term, len(pts)-1)
+	for i, p := range pts[1:] {
+		sinks[i] = term{p: p, code: mortonCode(p), idx: i}
+	}
+	sort.Slice(sinks, func(a, b int) bool {
+		sa, sb := sinks[a], sinks[b]
+		if sa.code != sb.code {
+			return sa.code < sb.code
+		}
+		if sa.p.X != sb.p.X {
+			return sa.p.X < sb.p.X
+		}
+		if sa.p.Y != sb.p.Y {
+			return sa.p.Y < sb.p.Y
+		}
+		return sa.idx < sb.idx
+	})
+	// chain[0] is the driver; chain[1+i] is the i-th sorted sink.
+	conns := make([]Conn, len(sinks))
+	for i, s := range sinks {
+		lo := i + 1 - mortonWindow
+		if lo < 0 {
+			lo = 0
+		}
+		bp, best := pts[0], s.p.ManhattanDist(pts[0])
+		for j := lo; j < i; j++ {
+			if d := s.p.ManhattanDist(sinks[j].p); d < best {
+				bp, best = sinks[j].p, d
+			}
+		}
+		conns[i] = Conn{A: bp, B: s.p}
+	}
+	return conns
+}
+
+// mortonCode interleaves the low 32 bits of X and Y (clamped at zero) into
+// the Z-order curve index of the point.
+func mortonCode(p geom.Point) uint64 {
+	return spreadBits(clamp32(p.X))<<1 | spreadBits(clamp32(p.Y))
+}
+
+func clamp32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(v)
+}
+
+// spreadBits spaces the 32 bits of v one apart (the classic Morton spread).
+func spreadBits(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
 }

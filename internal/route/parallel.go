@@ -1,0 +1,232 @@
+package route
+
+// Wave-parallel pattern routing. Workers route batches of pending nets
+// speculatively against an immutable snapshot of committed track usage
+// (private overlays absorb each net's own writes); a sequential commit pass
+// then walks the pending nets in canonical order and accepts each net only
+// if its two-pin connection rectangles miss the wave's conflict mask. The
+// mask accumulates (a) the segments of nets committed earlier in this wave
+// and (b) the full connection rectangles of nets requeued earlier in this
+// wave, so an accepted net provably read exactly the usage the sequential
+// router would have shown it, and a requeued net shadows its whole
+// read/write region until it actually routes.
+//
+// Bit-identity to the sequential loop follows from three facts:
+//
+//   - The router's reads and writes for a net are confined to the GCells
+//     inside its per-connection endpoint rectangles (the same containment
+//     touchesDelta relies on for warm starts). A committed net's rects miss
+//     every earlier same-wave commit and every earlier requeued net's
+//     rects, so the snapshot it speculated against equals the usage state
+//     of the sequential run at its turn — its own writes are replayed
+//     through the overlay with effective values, preserving the exact
+//     floating-point accumulation order within the net.
+//   - Two nets that write a shared GCell can never commit in the same wave
+//     (the earlier one's segments mark the cell before the later one is
+//     tested), and a requeued earlier net forces every overlapping later
+//     net to requeue with it, so per-cell usage additions happen in
+//     canonical net order across waves — float sums associate exactly as
+//     in the sequential run.
+//   - The first pending net of every wave always commits (the mask is
+//     empty at its turn), so the fixpoint terminates in at most N waves.
+//
+// Tie-breaking needs no coordination: candidate selection is strict-less
+// cost comparison (first-best wins deterministically) and rip-up victim
+// ordering is a per-net hash of the seed, so no shared rand stream exists
+// to race on.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// routeWorkersSetting is the configured worker count; 0 means auto
+// (GOMAXPROCS).
+var routeWorkersSetting atomic.Int32
+
+// SetWorkers sets the number of workers wave-parallel routing uses. 0 (the
+// default) selects GOMAXPROCS; 1 forces the sequential path. The setting is
+// process-wide and safe to change between route invocations.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	routeWorkersSetting.Store(int32(n))
+}
+
+// Workers returns the configured worker count (0 = auto).
+func Workers() int { return int(routeWorkersSetting.Load()) }
+
+const (
+	// parallelMinNets is the batch size below which the sequential loop
+	// always wins (goroutine + overlay overhead beats the speculation).
+	parallelMinNets = 192
+	// minNetsPerWorker bounds how small a speculation batch may get.
+	minNetsPerWorker = 24
+)
+
+// ResolvedWorkers reports how many workers the router will actually use for
+// a batch of numNets nets under the current setting — 1 means the
+// sequential path (single CPU, small batch, or an explicit SetWorkers(1)).
+func ResolvedWorkers(numNets int) int {
+	if numNets < parallelMinNets {
+		return 1
+	}
+	n := int(routeWorkersSetting.Load())
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if max := numNets / minNetsPerWorker; n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// netOrderHash is a splitmix64-style mix of (seed, net ID): the
+// self-contained per-net tie-break key used to order rip-up victims.
+func netOrderHash(seed int64, id int32) uint64 {
+	x := uint64(seed) ^ (uint64(uint32(id))+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// usageOverlay is a worker's private view of track usage during
+// speculation: a sparse map from (layer, GCell) to the *effective* usage
+// value there. Storing effective values — seeded from the committed
+// snapshot on first write — rather than deltas keeps the floating-point
+// addition order within a net identical to committing against the live
+// grid: base + s1 + s2 associates left-to-right in both.
+type usageOverlay struct {
+	m map[uint64]float64
+}
+
+func newUsageOverlay() *usageOverlay {
+	return &usageOverlay{m: make(map[uint64]float64, 512)}
+}
+
+func (o *usageOverlay) reset() {
+	for k := range o.m {
+		delete(o.m, k)
+	}
+}
+
+func overlayKey(li, idx int) uint64 { return uint64(li)<<48 | uint64(uint32(idx)) }
+
+func (o *usageOverlay) get(li, idx int) (float64, bool) {
+	v, ok := o.m[overlayKey(li, idx)]
+	return v, ok
+}
+
+// add books scale at (li, idx), seeding the effective value from base (the
+// committed snapshot) on first touch.
+func (o *usageOverlay) add(li, idx int, base, scale float64) {
+	k := overlayKey(li, idx)
+	if v, ok := o.m[k]; ok {
+		o.m[k] = v + scale
+	} else {
+		o.m[k] = base + scale
+	}
+}
+
+// reset clears the mask for reuse across waves.
+func (d *deltaMask) reset() {
+	for i := range d.m {
+		d.m[i] = false
+	}
+}
+
+// addRect marks every GCell of the inclusive rectangle.
+func (d *deltaMask) addRect(q gcellRect) {
+	for r := q.r0; r <= q.r1; r++ {
+		row := d.m[r*d.g.Cols : (r+1)*d.g.Cols]
+		for c := q.c0; c <= q.c1; c++ {
+			row[c] = true
+		}
+	}
+}
+
+// blockConns paints the net's per-connection read rectangles into the
+// mask — the superset of every GCell the net can read or write.
+func (r *router) blockConns(d *deltaMask, oi int32) {
+	for _, c := range r.geo.Conns[oi] {
+		d.addRect(connReadRect(r.res.Grid, c))
+	}
+}
+
+// applySpec commits a speculatively routed net: usage is booked along every
+// segment exactly as the sequential commit would, and the route is
+// recorded.
+func (r *router) applySpec(nr *NetRoute) {
+	for _, s := range nr.Segments {
+		scale := r.l.NDR.LayerScale(s.Metal)
+		r.walk(s.A, s.B, func(idx int) {
+			r.res.Usage[s.Metal-1][idx] += scale
+		})
+	}
+	r.res.NetRoutes[nr.Net.ID] = nr
+}
+
+// routeWaves routes the given nets (canonical order) with w speculative
+// workers and a deterministic commit pass per wave.
+func (r *router) routeWaves(order []int32, w int) {
+	pending := append([]int32(nil), order...)
+	next := make([]int32, 0, len(pending))
+	specs := make([]*NetRoute, len(pending))
+	workers := make([]*router, w)
+	for i := range workers {
+		workers[i] = &router{l: r.l, res: r.res, geo: r.geo, seed: r.seed, spec: newUsageOverlay()}
+	}
+	conflict := newDeltaMask(r.res.Grid)
+
+	for len(pending) > 0 {
+		// Speculate: each worker routes a contiguous batch against the
+		// committed snapshot (res.Usage is not written during this phase).
+		sp := specs[:len(pending)]
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			lo, hi := wi*len(pending)/w, (wi+1)*len(pending)/w
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(rw *router, lo, hi int) {
+				defer wg.Done()
+				rw.spec.reset()
+				for i := lo; i < hi; i++ {
+					sp[i] = rw.buildGeoNet(int(pending[i]))
+				}
+			}(workers[wi], lo, hi)
+		}
+		wg.Wait()
+
+		// Commit in canonical order; conflicted nets requeue for the next
+		// wave, preserving their relative order.
+		conflict.reset()
+		next = next[:0]
+		painted := false
+		for i, oi := range pending {
+			nr := sp[i]
+			sp[i] = nil
+			if nr == nil {
+				continue // no connections: routes nothing, conflicts with nothing
+			}
+			if painted && r.touchesDelta(conflict, oi) {
+				next = append(next, oi)
+				r.blockConns(conflict, oi)
+				continue
+			}
+			r.applySpec(nr)
+			conflict.addSegments(nr.Segments)
+			painted = true
+		}
+		pending, next = next, pending[:0]
+	}
+}

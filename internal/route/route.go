@@ -12,7 +12,7 @@ package route
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"sort"
 
 	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/geom"
@@ -201,10 +201,8 @@ func routeWithGeometry(l *layout.Layout, opt Options, geo *Geometry) (*Result, e
 	}
 	fillCapacity(l, res)
 
-	r := &router{l: l, res: res, geo: geo, rng: rand.New(rand.NewSource(opt.Seed))}
-	for _, oi := range geo.Order {
-		r.routeGeoNet(int(oi))
-	}
+	r := &router{l: l, res: res, geo: geo, seed: opt.Seed}
+	r.routeAll(geo.Order)
 	for p := 0; p < opt.RipupPasses; p++ {
 		r.ripupAndReroute()
 	}
@@ -265,23 +263,58 @@ type router struct {
 	l   *layout.Layout
 	res *Result
 	geo *Geometry
-	rng *rand.Rand
+	// seed drives per-net tie-breaking. The rip-up victim order is a hash
+	// of (seed, net ID) per net, so it is self-contained: it does not
+	// depend on how many nets any other router instance processed before,
+	// on worker count, or on batch order.
+	seed int64
+	// spec, when non-nil, makes this a speculative worker router: usage
+	// reads see committed usage through the overlay and usage writes land
+	// in the overlay only (wave-parallel routing; see parallel.go).
+	spec *usageOverlay
+	// track, when non-nil, accumulates the GCells whose usage rip-up
+	// changes — route.Warm's Δ mask, extended through the rip-up passes so
+	// the caller can tell which nets' surroundings moved.
+	track *deltaMask
+}
+
+// routeAll routes the given geometry nets — a subsequence of geo.Order, in
+// canonical (descending-HPWL) order — dispatching to the wave-parallel path
+// when enough nets and workers are available. Both paths are bit-identical
+// (see parallel.go for the commit-protocol argument).
+func (r *router) routeAll(order []int32) {
+	if w := ResolvedWorkers(len(order)); w > 1 && r.spec == nil {
+		r.routeWaves(order, w)
+		return
+	}
+	for _, oi := range order {
+		r.routeGeoNet(int(oi))
+	}
 }
 
 // routeGeoNet pattern-routes the oi-th geometry net's precomputed two-pin
 // connections. Nets whose geometry has no connections (fewer than two
 // located terminals) stay unrouted, exactly as before.
 func (r *router) routeGeoNet(oi int) {
+	if nr := r.buildGeoNet(oi); nr != nil {
+		r.res.NetRoutes[nr.Net.ID] = nr
+	}
+}
+
+// buildGeoNet routes the net and returns its NetRoute without recording it
+// in the result — the speculative path keeps the route private until the
+// commit pass accepts it.
+func (r *router) buildGeoNet(oi int) *NetRoute {
 	conns := r.geo.Conns[oi]
 	if len(conns) == 0 {
-		return
+		return nil
 	}
 	net := r.l.Netlist.Nets[r.geo.NetIDs[oi]]
 	nr := &NetRoute{Net: net, LenByMetal: make([]int64, r.l.Lib().NumLayers()+1)}
 	for _, c := range conns {
 		r.routeTwoPin(nr, c.A, c.B, net.IsClock)
 	}
-	r.res.NetRoutes[net.ID] = nr
+	return nr
 }
 
 // layerPairs returns the candidate (hLayer, vLayer) metal pairs for a
@@ -332,6 +365,12 @@ func (r *router) layerPairs(lenDBU int64, clock bool) [][2]int {
 
 // routeTwoPin routes an L- or Z-shaped connection between two DBU points,
 // choosing the pattern and layer pair with the lowest congestion cost.
+// Degenerate connections (terminals sharing an exact row or column — the
+// common case between replicated tile stamps) additionally consider
+// one-GCell U-detours to either side: their L and Z candidates all collapse
+// onto the same straight line, so without a detour every such connection
+// between the same track pair piles onto one GCell column no matter how
+// congested it gets.
 func (r *router) routeTwoPin(nr *NetRoute, a, b geom.Point, clock bool) {
 	pairs := r.layerPairs(a.ManhattanDist(b), clock)
 	mid := geom.Pt((a.X+b.X)/2, (a.Y+b.Y)/2)
@@ -341,6 +380,16 @@ func (r *router) routeTwoPin(nr *NetRoute, a, b geom.Point, clock bool) {
 		{a, geom.Pt(a.X, b.Y), b},                        // L via (ax, by)
 		{a, geom.Pt(mid.X, a.Y), geom.Pt(mid.X, b.Y), b}, // HVH Z
 		{a, geom.Pt(a.X, mid.Y), geom.Pt(b.X, mid.Y), b}, // VHV Z
+	}
+	g := r.res.Grid
+	if a.X == b.X && absInt64(a.Y-b.Y) > g.CellH {
+		for _, x := range [2]int64{a.X - g.CellW, a.X + g.CellW} {
+			candidates = append(candidates, []geom.Point{a, geom.Pt(x, a.Y), geom.Pt(x, b.Y), b})
+		}
+	} else if a.Y == b.Y && absInt64(a.X-b.X) > g.CellW {
+		for _, y := range [2]int64{a.Y - g.CellH, a.Y + g.CellH} {
+			candidates = append(candidates, []geom.Point{a, geom.Pt(a.X, y), geom.Pt(b.X, y), b})
+		}
 	}
 	bestCost := math.Inf(1)
 	var bestPath []geom.Point
@@ -373,6 +422,13 @@ func (r *router) routeTwoPin(nr *NetRoute, a, b geom.Point, clock bool) {
 	}
 }
 
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // segLayer picks the metal of an axis-aligned segment from the layer pair:
 // horizontal runs take the pair's horizontal layer, vertical runs the
 // vertical one (zero-length runs default to horizontal).
@@ -384,11 +440,17 @@ func (r *router) segLayer(a, b geom.Point, pair [2]int) int {
 }
 
 // pathCost estimates congestion cost of an axis-aligned run on a metal
-// layer: 1 per GCell plus a quadratic penalty above 80% usage.
+// layer: 1 per GCell plus a quadratic penalty above 80% usage. Congestion
+// is priced at the usage the GCell would have AFTER this wire commits
+// (current usage plus this net's track demand) — pricing the pre-existing
+// usage instead lets the wire that pushes a GCell from just-under to
+// just-over capacity through almost free, which is exactly the wire the
+// penalty exists to deter.
 func (r *router) pathCost(a, b geom.Point, metal int) float64 {
 	cost := 0.0
+	demand := r.l.NDR.LayerScale(metal)
 	r.walk(a, b, func(idx int) {
-		u, c := r.res.Usage[metal-1][idx], r.res.Cap[metal-1][idx]
+		u, c := r.usageAt(metal-1, idx)+demand, r.res.Cap[metal-1][idx]
 		cost++
 		if c > 0 {
 			util := u / c
@@ -396,7 +458,7 @@ func (r *router) pathCost(a, b geom.Point, metal int) float64 {
 				d := util - 0.8
 				cost += 25 * d * d * c
 			}
-			if u >= c {
+			if u > c {
 				// outright overflow: strongly repel additional wires
 				cost += 50 * (u - c + 1)
 			}
@@ -427,17 +489,37 @@ func (r *router) walk(a, b geom.Point, f func(idx int)) {
 	}
 }
 
+// usageAt reads track usage as the router sees it: committed usage, or the
+// speculative overlay's effective value when this router is a wave worker.
+func (r *router) usageAt(li, idx int) float64 {
+	if r.spec != nil {
+		if v, ok := r.spec.get(li, idx); ok {
+			return v
+		}
+	}
+	return r.res.Usage[li][idx]
+}
+
 // commit books track usage for the run and records the segment. Usage per
 // crossed GCell equals the NDR width scale of the layer: a 1.5× wide wire
-// consumes 1.5 tracks.
+// consumes 1.5 tracks. Speculative routers book into their private overlay;
+// the overlay stores effective values seeded from the committed snapshot, so
+// within a net the floating-point additions associate exactly as they would
+// against the live grid.
 func (r *router) commit(nr *NetRoute, a, b geom.Point, metal int) {
 	if a == b {
 		return
 	}
 	scale := r.l.NDR.LayerScale(metal)
-	r.walk(a, b, func(idx int) {
-		r.res.Usage[metal-1][idx] += scale
-	})
+	if r.spec != nil {
+		r.walk(a, b, func(idx int) {
+			r.spec.add(metal-1, idx, r.res.Usage[metal-1][idx], scale)
+		})
+	} else {
+		r.walk(a, b, func(idx int) {
+			r.res.Usage[metal-1][idx] += scale
+		})
+	}
 	nr.Segments = append(nr.Segments, Segment{Metal: metal, A: a, B: b})
 	nr.LenByMetal[metal] += a.ManhattanDist(b)
 }
@@ -491,13 +573,31 @@ func (r *router) ripupAndReroute() {
 		}
 		if hit {
 			victims = append(victims, oi)
+			if r.track != nil {
+				r.track.addSegments(nr.Segments)
+			}
 			r.uncommit(nr)
 		}
 	}
 	r.res.Victims += len(victims)
-	r.rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
-	for _, oi := range victims {
-		r.routeGeoNet(int(oi))
+	// Victim order is a per-net hash of (seed, net ID): deterministic,
+	// independent of worker count and of how many nets this router has
+	// already processed, unlike the shared math/rand shuffle it replaced.
+	sort.Slice(victims, func(i, j int) bool {
+		a, b := r.geo.NetIDs[victims[i]], r.geo.NetIDs[victims[j]]
+		ha, hb := netOrderHash(r.seed, a), netOrderHash(r.seed, b)
+		if ha != hb {
+			return ha < hb
+		}
+		return a < b
+	})
+	r.routeAll(victims)
+	if r.track != nil {
+		for _, oi := range victims {
+			if nr := r.res.NetRoutes[r.geo.NetIDs[oi]]; nr != nil {
+				r.track.addSegments(nr.Segments)
+			}
+		}
 	}
 }
 

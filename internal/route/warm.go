@@ -1,8 +1,6 @@
 package route
 
 import (
-	"math/rand"
-
 	"gdsiiguard/internal/fault"
 	"gdsiiguard/internal/geom"
 	"gdsiiguard/internal/layout"
@@ -17,6 +15,20 @@ type WarmStats struct {
 	// Promoted counts clean nets that still had to reroute because their
 	// terminal bounding box intersected the accumulated change region.
 	Promoted int
+	// ChangedNets (filled only on success) marks every net whose timing
+	// characterization inputs may differ from the donor evaluation's:
+	// its route segments differ, or its route crosses the accumulated
+	// change region Δ so the congestion it reads may have moved. Nets
+	// outside this mask provably see identical LenByMetal and identical
+	// usage along their route — delta-STA re-propagates only their cones.
+	ChangedNets []bool
+	// ChangedCount is the number of true entries in ChangedNets.
+	ChangedCount int
+	// Decline names the failed precondition when Warm returns a nil
+	// Result ("" on success): "layers", "no_donor", "victims", "netlist",
+	// "ndr", or "grid". The same reasons feed the
+	// gdsiiguard_route_warm_decline_total metric.
+	Decline string
 }
 
 // Warm routes l by replaying a donor result's routes for every net whose
@@ -47,7 +59,8 @@ type WarmStats struct {
 //     verbatim. Anything else reroutes, which only grows Δ and keeps the
 //     invariant.
 //   - Rip-up passes then run on a usage/route state identical to the cold
-//     run's, with a fresh rng(seed) — the shuffle draws the same stream.
+//     run's; the victim order is a per-net hash of (seed, net ID), so it is
+//     a pure function of the victim set and matches the cold run's.
 //
 // Preconditions (checked; failing any returns a nil Result and the caller
 // falls back to a cold route): the donor routed the same netlist under an
@@ -61,21 +74,31 @@ func Warm(l *layout.Layout, opt Options, geo *Geometry, donor *Result, dirty []b
 	}
 	opt = opt.withDefaults()
 	lib := l.Lib()
-	if lib.NumLayers() < 2 || donor == nil || donor.Victims != 0 ||
-		len(donor.NetRoutes) != len(l.Netlist.Nets) || len(dirty) != len(l.Netlist.Nets) {
+	decline := func(reason string) (*Result, WarmStats, error) {
+		st.Decline = reason
+		CountWarmDecline(reason)
 		return nil, st, nil
 	}
-	if len(donor.NDRScale) != len(l.NDR.Scale) {
-		return nil, st, nil
+	switch {
+	case lib.NumLayers() < 2:
+		return decline("layers")
+	case donor == nil:
+		return decline("no_donor")
+	case donor.Victims != 0:
+		return decline("victims")
+	case len(donor.NetRoutes) != len(l.Netlist.Nets) || len(dirty) != len(l.Netlist.Nets):
+		return decline("netlist")
+	case len(donor.NDRScale) != len(l.NDR.Scale):
+		return decline("ndr")
 	}
 	for i, s := range donor.NDRScale {
 		if s != l.NDR.Scale[i] {
-			return nil, st, nil
+			return decline("ndr")
 		}
 	}
 	grid := buildGrid(l, opt)
 	if grid != donor.Grid {
-		return nil, st, nil
+		return decline("grid")
 	}
 
 	defer routeSeconds.Start().Stop()
@@ -91,7 +114,7 @@ func Warm(l *layout.Layout, opt Options, geo *Geometry, donor *Result, dirty []b
 		res.Cap = append(res.Cap, make([]float64, n))
 	}
 	fillCapacity(l, res)
-	r := &router{l: l, res: res, geo: geo, rng: rand.New(rand.NewSource(opt.Seed))}
+	r := &router{l: l, res: res, geo: geo, seed: opt.Seed}
 
 	// Δ starts as the donor paths of every dirty net: wherever those
 	// committed usage in the donor run, usage here is already different —
@@ -141,16 +164,46 @@ func Warm(l *layout.Layout, opt Options, geo *Geometry, donor *Result, dirty []b
 			delta.addSegments(nr.Segments)
 		}
 	}
+	// Rip-up changes usage too: the ripped nets' old paths and their new
+	// paths join Δ, keeping the invariant that Δ covers every GCell whose
+	// final usage can differ from the donor run's.
+	r.track = delta
 	for p := 0; p < opt.RipupPasses; p++ {
 		r.ripupAndReroute()
 	}
 	res.finalize()
+
+	// Per-net change mask for delta-STA: a net's timing inputs are its
+	// LenByMetal (a function of its segments) and the usage along its
+	// route (NetCongestion). Identical segments + a route that misses Δ
+	// means both are provably identical to the donor evaluation's.
+	st.ChangedNets = make([]bool, len(l.Netlist.Nets))
+	for id := range st.ChangedNets {
+		dnr, nnr := donor.NetRoutes[id], res.NetRoutes[id]
+		changed := false
+		switch {
+		case dnr == nil && nnr == nil:
+		case dnr == nil || nnr == nil:
+			changed = true
+		case !sameSegments(nnr.Segments, dnr.Segments):
+			changed = true
+		case delta.touchesSegments(nnr.Segments):
+			changed = true
+		}
+		if changed {
+			st.ChangedNets[id] = true
+			st.ChangedCount++
+		}
+	}
 	return res, st, nil
 }
 
 func sameSegments(a, b []Segment) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true // replayed nets share the donor's segment slice
 	}
 	for i := range a {
 		if a[i] != b[i] {
@@ -162,25 +215,50 @@ func sameSegments(a, b []Segment) bool {
 
 // touchesDelta reports whether routing the net could read a cell of Δ.
 // The router evaluates L- and Z-shaped candidates per two-pin connection,
-// all of whose waypoints lie inside the connection's endpoint rectangle,
-// so the net's true read set is the union of its per-connection
-// rectangles — much tighter than the whole-net terminal bounding box for
-// multi-terminal nets like the clock tree (the net bbox serves as a cheap
-// pre-filter only).
+// whose waypoints lie inside the connection's read rectangle (the endpoint
+// rectangle, padded one GCell sideways for degenerate connections whose
+// candidates include U-detours), so the net's true read set is the union
+// of its per-connection read rectangles — much tighter than the whole-net
+// terminal bounding box for multi-terminal nets like the clock tree (the
+// net bbox, padded the same way, serves as a cheap pre-filter only).
 func (r *router) touchesDelta(delta *deltaMask, oi int32) bool {
-	if !delta.overlaps(gcellRectOf(r.res.Grid, r.geo.BBox[oi])) {
+	bb := gcellRectOf(r.res.Grid, r.geo.BBox[oi])
+	bb = padRect(r.res.Grid, bb, 1, 1)
+	if !delta.overlaps(bb) {
 		return false
 	}
 	for _, c := range r.geo.Conns[oi] {
-		q := gcellRectOf(r.res.Grid, geom.Rect{
-			Lo: geom.Pt(minI64(c.A.X, c.B.X), minI64(c.A.Y, c.B.Y)),
-			Hi: geom.Pt(maxI64(c.A.X, c.B.X), maxI64(c.A.Y, c.B.Y)),
-		})
-		if delta.overlaps(q) {
+		if delta.overlaps(connReadRect(r.res.Grid, c)) {
 			return true
 		}
 	}
 	return false
+}
+
+// connReadRect is the inclusive GCell rectangle routing the connection can
+// read or write: the endpoint rectangle, padded one GCell perpendicular to
+// a degenerate (straight-line) connection to cover its U-detour candidates
+// (see routeTwoPin).
+func connReadRect(g Grid, c Conn) gcellRect {
+	q := gcellRectOf(g, geom.Rect{
+		Lo: geom.Pt(minI64(c.A.X, c.B.X), minI64(c.A.Y, c.B.Y)),
+		Hi: geom.Pt(maxI64(c.A.X, c.B.X), maxI64(c.A.Y, c.B.Y)),
+	})
+	switch {
+	case c.A.X == c.B.X && absInt64(c.A.Y-c.B.Y) > g.CellH:
+		q = padRect(g, q, 1, 0)
+	case c.A.Y == c.B.Y && absInt64(c.A.X-c.B.X) > g.CellW:
+		q = padRect(g, q, 0, 1)
+	}
+	return q
+}
+
+// padRect grows the rectangle by dc columns and dr rows on each side,
+// clamped to the grid.
+func padRect(g Grid, q gcellRect, dc, dr int) gcellRect {
+	q.c0, q.r0 = g.Clamp(q.c0-dc, q.r0-dr)
+	q.c1, q.r1 = g.Clamp(q.c1+dc, q.r1+dr)
+	return q
 }
 
 func minI64(a, b int64) int64 {
@@ -262,6 +340,30 @@ func (d *deltaMask) addSegments(segs []Segment) {
 			}
 		}
 	}
+}
+
+// touchesSegments reports whether any GCell on the straight runs of the
+// segments is marked — exactly the cells NetCongestion reads.
+func (d *deltaMask) touchesSegments(segs []Segment) bool {
+	for _, s := range segs {
+		c0, r0 := d.g.AtDBU(s.A)
+		c1, r1 := d.g.AtDBU(s.B)
+		if c1 < c0 {
+			c0, c1 = c1, c0
+		}
+		if r1 < r0 {
+			r0, r1 = r1, r0
+		}
+		for r := r0; r <= r1; r++ {
+			row := d.m[r*d.g.Cols : (r+1)*d.g.Cols]
+			for c := c0; c <= c1; c++ {
+				if row[c] {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // overlaps reports whether any GCell of the inclusive rectangle is marked.

@@ -70,6 +70,10 @@ func (m *Manager) executeClusterExplore(ctx context.Context, job *Job) (*gdsiigu
 			RoutesCold:   res.Delta.RoutesCold,
 			NetsReplayed: res.Delta.NetsReplayed,
 			NetsRerouted: res.Delta.NetsRerouted,
+			StaFull:      res.Delta.StaFull,
+			StaDelta:     res.Delta.StaDelta,
+			StaConeInsts: res.Delta.StaConeInsts,
+			StaConeNets:  res.Delta.StaConeNets,
 		},
 	}
 	for _, in := range res.Front {

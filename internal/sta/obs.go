@@ -2,7 +2,13 @@ package sta
 
 import "gdsiiguard/internal/obs"
 
-// staSeconds times each Analyze call end to end.
+// staSeconds times each full Analyze call end to end.
 var staSeconds = obs.Default().Histogram(
 	"gdsiiguard_sta_seconds",
 	"Static timing analysis wall time per Analyze call.", nil).With()
+
+// staDeltaSeconds times each AnalyzeDelta call that passed its
+// compatibility checks (cone re-propagation + endpoint rescan).
+var staDeltaSeconds = obs.Default().Histogram(
+	"gdsiiguard_sta_delta_seconds",
+	"Delta STA wall time per AnalyzeDelta call.", nil).With()

@@ -1,7 +1,11 @@
 // Package sta is the graph-based static timing analysis engine: arrival and
-// required times propagate over the netlist in topological order using the
-// library's linear delay model (intrinsic + drive-resistance × load) plus a
-// distributed-Elmore wire delay from routed (or estimated) net lengths.
+// required times propagate over the netlist's levelized combinational DAG
+// using the library's linear delay model (intrinsic + drive-resistance ×
+// load) plus a distributed-Elmore wire delay from routed (or estimated) net
+// lengths. Levels propagate with a parallel-for inside each level; the
+// result is bit-identical to a sequential topological sweep because arrival
+// is a pure per-instance max and required time a pure per-net min (see
+// graph.go for the argument).
 //
 // Slack is reported per endpoint (TNS/WNS) and per instance — the
 // per-instance worst slack feeds the exploitable-distance computation of the
@@ -48,6 +52,13 @@ type Result struct {
 
 	instSlack []float64 // worst slack through each instance, by ID
 	netArr    []float64 // arrival at each net's driver pin, by net ID
+	// The remaining per-net arrays and the levelized graph are retained so
+	// the result can donate to AnalyzeDelta, which re-propagates only the
+	// cones of changed nets against them.
+	netWire []float64
+	netReq  []float64
+	netCap  []float64
+	graph   *Graph
 }
 
 // InstSlack returns the worst slack of any path through the instance, in
@@ -67,147 +78,118 @@ func (r *Result) NetArrival(n *netlist.Net) float64 {
 	return r.netArr[n.ID]
 }
 
-// Analyze runs STA on the placed (and optionally routed) layout.
+// Graph returns the levelized graph the analysis ran on.
+func (r *Result) Graph() *Graph { return r.graph }
+
+// Analyze runs STA on the placed (and optionally routed) layout, levelizing
+// the netlist first. Callers that analyze one netlist many times should
+// BuildGraph once and use AnalyzeWithGraph.
 func Analyze(l *layout.Layout, opt Options) (*Result, error) {
+	return AnalyzeWithGraph(l, opt, nil)
+}
+
+// AnalyzeWithGraph is Analyze with a prebuilt levelized graph of l's
+// netlist (nil builds one). The graph depends only on netlist connectivity,
+// so one graph serves every placement/NDR/routing variant of a design.
+func AnalyzeWithGraph(l *layout.Layout, opt Options, g *Graph) (*Result, error) {
 	if err := fault.Hit(fault.STA); err != nil {
 		return nil, err
 	}
 	defer staSeconds.Start().Stop()
-	if opt.Constraints == nil || opt.Constraints.PrimaryClock() == nil {
-		return nil, fmt.Errorf("sta: no clock constraint")
-	}
-	if opt.EstimateLayer <= 0 {
-		opt.EstimateLayer = 3
-	}
-	clk := opt.Constraints.PrimaryClock()
-	period := clk.PeriodPS - clk.UncertaintyPS
-	if period <= 0 {
-		return nil, fmt.Errorf("sta: non-positive effective period %g ps", period)
+	period, err := effectivePeriod(opt)
+	if err != nil {
+		return nil, err
 	}
 	nl := l.Netlist
-	order, err := nl.TopoOrder()
-	if err != nil {
-		return nil, fmt.Errorf("sta: %w", err)
+	if g == nil || g.numInsts != len(nl.Insts) || g.numNets != len(nl.Nets) {
+		if g, err = BuildGraph(nl); err != nil {
+			return nil, err
+		}
 	}
 
 	e := &engine{
-		l: l, opt: opt,
+		l: l, opt: opt, period: period,
 		netArr:  make([]float64, len(nl.Nets)),
 		netWire: make([]float64, len(nl.Nets)),
 		netReq:  make([]float64, len(nl.Nets)),
-	}
-	for i := range e.netReq {
-		e.netReq[i] = math.Inf(1)
+		netCap:  make([]float64, len(nl.Nets)),
 	}
 
-	// Net electrical characterization.
-	for _, n := range nl.Nets {
-		e.characterize(n)
-	}
+	// Net electrical characterization: pure per net.
+	parallelFor(len(nl.Nets), ResolvedWorkers(len(nl.Nets)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.characterize(nl.Nets[i])
+		}
+	})
 
-	// Forward propagation.
+	// Forward propagation. Startpoints first: primary inputs and
+	// sequential clk->Q launches (disjoint single-driver writes).
 	for _, n := range nl.Nets {
 		if n.HasDriver() && n.Driver.IsPort() {
 			e.netArr[n.ID] = opt.Constraints.InputDelayPS
 		}
 	}
-	// Sequential outputs launch at clk->Q.
-	for _, in := range nl.Insts {
-		if in.Master.Class != tech.Seq {
-			continue
-		}
-		for _, c := range in.Conns {
-			p := in.Master.Pin(c.Pin)
-			if p == nil || p.Dir != tech.Output || c.Net == nil {
-				continue
+	parallelFor(len(nl.Insts), ResolvedWorkers(len(nl.Insts)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if in := nl.Insts[i]; in.Master.Class == tech.Seq {
+				e.launchSeq(in)
 			}
-			arc := in.Master.Arc(clockPinName(in.Master), c.Pin)
-			res := 0.0
-			clk2q := in.Master.ClkToQ
-			if arc != nil {
-				res = arc.DriveRes
-				clk2q = arc.Intrinsic
+		}
+	})
+	// Then the combinational levels, ascending; instances within a level
+	// are independent.
+	for _, level := range g.levels {
+		lv := level
+		parallelFor(len(lv), ResolvedWorkers(len(lv)), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.evalComb(nl.Insts[lv[i]])
 			}
-			e.netArr[c.Net.ID] = clk2q + res*e.netLoad(c.Net)
-		}
-	}
-	for _, in := range order {
-		if in.Master.Class == tech.Seq {
-			continue // already launched
-		}
-		e.evalComb(in)
+		})
 	}
 
-	// Endpoint required times & backward propagation.
-	res := &Result{PeriodPS: period, WNS: math.Inf(1)}
-	record := func(slack float64) {
-		res.Endpoints++
-		if slack < res.WNS {
-			res.WNS = slack
-		}
-		if slack < 0 {
-			res.TNS += slack
-			res.Violating++
-		}
-	}
-	for _, n := range nl.Nets {
-		arrAtSink := e.netArr[n.ID] + e.netWire[n.ID]
-		for _, s := range n.Sinks {
-			switch {
-			case s.IsPort():
-				req := period - opt.Constraints.OutputDelayPS
-				record(req - arrAtSink)
-				e.lowerReq(n, req)
-			case s.Inst.Master.Class == tech.Seq:
-				if p := s.Inst.Master.Pin(s.Pin); p != nil && !p.IsClock && p.Dir == tech.Input {
-					req := period - s.Inst.Master.Setup
-					record(req - arrAtSink)
-					e.lowerReq(n, req)
-				}
+	// Backward propagation: per-net required times, depth buckets
+	// descending (each net reads only strictly deeper nets).
+	for d := len(g.netsAtDepth) - 1; d >= 0; d-- {
+		bucket := g.netsAtDepth[d]
+		parallelFor(len(bucket), ResolvedWorkers(len(bucket)), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				id := bucket[i]
+				e.netReq[id] = e.reqForNet(nl.Nets[id])
 			}
-		}
-	}
-	if math.IsInf(res.WNS, 1) {
-		res.WNS = 0 // no endpoints
-	}
-	// Backward pass in reverse topological order.
-	for i := len(order) - 1; i >= 0; i-- {
-		in := order[i]
-		if in.Master.Class == tech.Seq {
-			continue
-		}
-		e.backComb(in)
+		})
 	}
 
-	// Per-instance worst slack.
+	res := &Result{PeriodPS: period}
+	e.record(nl, res)
+
+	// Per-instance worst slack: pure per instance.
 	res.instSlack = make([]float64, len(nl.Insts))
-	for i := range res.instSlack {
-		res.instSlack[i] = math.Inf(1)
-	}
-	for _, in := range nl.Insts {
-		worst := math.Inf(1)
-		for _, c := range in.Conns {
-			if c.Net == nil {
-				continue
-			}
-			p := in.Master.Pin(c.Pin)
-			if p == nil || p.IsClock || c.Net.IsClock {
-				continue
-			}
-			s := e.netReq[c.Net.ID] - e.netArr[c.Net.ID]
-			if !math.IsInf(s, 1) && s < worst {
-				worst = s
-			}
+	parallelFor(len(nl.Insts), ResolvedWorkers(len(nl.Insts)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res.instSlack[i] = e.instWorstSlack(nl.Insts[i])
 		}
-		res.instSlack[in.ID] = worst
-	}
-	res.netArr = e.netArr
+	})
+	res.netArr, res.netWire, res.netReq, res.netCap = e.netArr, e.netWire, e.netReq, e.netCap
+	res.graph = g
 	return res, nil
 }
 
+func effectivePeriod(opt Options) (float64, error) {
+	if opt.Constraints == nil || opt.Constraints.PrimaryClock() == nil {
+		return 0, fmt.Errorf("sta: no clock constraint")
+	}
+	clk := opt.Constraints.PrimaryClock()
+	period := clk.PeriodPS - clk.UncertaintyPS
+	if period <= 0 {
+		return 0, fmt.Errorf("sta: non-positive effective period %g ps", period)
+	}
+	return period, nil
+}
+
 type engine struct {
-	l   *layout.Layout
-	opt Options
+	l      *layout.Layout
+	opt    Options
+	period float64
 
 	netArr  []float64 // arrival at driver output pin
 	netWire []float64 // distributed wire delay driver->sink
@@ -216,7 +198,7 @@ type engine struct {
 }
 
 // characterize computes the wire RC delay and caches the total load of a
-// net under the current NDR.
+// net under the current NDR. Pure per net: safe for a parallel-for.
 func (e *engine) characterize(n *netlist.Net) {
 	lib := e.l.Lib()
 	var rw, cw float64 // total wire R (kΩ) and C (fF)
@@ -256,9 +238,6 @@ func (e *engine) characterize(n *netlist.Net) {
 		cw = lenUM * layer.CPerUM * (0.7 + 0.3*scale)
 	}
 	e.netWire[n.ID] = 0.5 * rw * cw
-	if e.netCap == nil {
-		e.netCap = make([]float64, len(e.l.Netlist.Nets))
-	}
 	pinCap := 0.0
 	for _, s := range n.Sinks {
 		if s.IsPort() {
@@ -274,7 +253,27 @@ func (e *engine) characterize(n *netlist.Net) {
 
 func (e *engine) netLoad(n *netlist.Net) float64 { return e.netCap[n.ID] }
 
+// launchSeq sets the clk->Q arrival of a sequential cell's output nets.
+func (e *engine) launchSeq(in *netlist.Instance) {
+	for _, c := range in.Conns {
+		p := in.Master.Pin(c.Pin)
+		if p == nil || p.Dir != tech.Output || c.Net == nil {
+			continue
+		}
+		arc := in.Master.Arc(clockPinName(in.Master), c.Pin)
+		res := 0.0
+		clk2q := in.Master.ClkToQ
+		if arc != nil {
+			res = arc.DriveRes
+			clk2q = arc.Intrinsic
+		}
+		e.netArr[c.Net.ID] = clk2q + res*e.netLoad(c.Net)
+	}
+}
+
 // evalComb computes the arrival at each output net of a combinational cell.
+// Pure per instance: reads only strictly lower-level nets, writes only its
+// own (single-driver) output nets.
 func (e *engine) evalComb(in *netlist.Instance) {
 	for _, oc := range in.Conns {
 		p := in.Master.Pin(oc.Pin)
@@ -301,42 +300,105 @@ func (e *engine) evalComb(in *netlist.Instance) {
 	}
 }
 
-// backComb propagates required times from a combinational cell's outputs to
-// its input nets.
-func (e *engine) backComb(in *netlist.Instance) {
-	for _, oc := range in.Conns {
-		p := in.Master.Pin(oc.Pin)
-		if p == nil || p.Dir != tech.Output || oc.Net == nil {
+// reqForNet computes the required time at the net's driver pin: the min
+// over its endpoint contributions (port outputs, sequential D inputs) and
+// the arcs through its combinational sinks. Reads required times only of
+// nets at strictly greater depth; min over floats is order-free, so the
+// value equals the sequential reverse-topological accumulation exactly.
+func (e *engine) reqForNet(n *netlist.Net) float64 {
+	req := math.Inf(1)
+	for _, s := range n.Sinks {
+		if s.IsPort() {
+			if r := e.period - e.opt.Constraints.OutputDelayPS - e.netWire[n.ID]; r < req {
+				req = r
+			}
 			continue
 		}
-		reqOut := e.netReq[oc.Net.ID]
-		if math.IsInf(reqOut, 1) {
+		in := s.Inst
+		ip := in.Master.Pin(s.Pin)
+		if in.Master.Class == tech.Seq {
+			if ip != nil && !ip.IsClock && ip.Dir == tech.Input {
+				if r := e.period - in.Master.Setup - e.netWire[n.ID]; r < req {
+					req = r
+				}
+			}
 			continue
 		}
-		for _, ic := range in.Conns {
-			ip := in.Master.Pin(ic.Pin)
-			if ip == nil || ip.Dir != tech.Input || ip.IsClock || ic.Net == nil {
+		if !in.Master.IsFunctional() {
+			continue
+		}
+		if ip == nil || ip.Dir != tech.Input || ip.IsClock {
+			continue
+		}
+		for _, oc := range in.Conns {
+			p := in.Master.Pin(oc.Pin)
+			if p == nil || p.Dir != tech.Output || oc.Net == nil {
 				continue
 			}
-			arc := in.Master.Arc(ic.Pin, oc.Pin)
+			arc := in.Master.Arc(s.Pin, oc.Pin)
 			if arc == nil {
 				continue
 			}
-			req := reqOut - arc.Intrinsic - arc.DriveRes*e.netLoad(oc.Net) - e.netWire[ic.Net.ID]
-			if req < e.netReq[ic.Net.ID] {
-				e.netReq[ic.Net.ID] = req
+			r := e.netReq[oc.Net.ID] - arc.Intrinsic - arc.DriveRes*e.netLoad(oc.Net) - e.netWire[n.ID]
+			if r < req {
+				req = r
 			}
 		}
 	}
+	return req
 }
 
-// lowerReq lowers the required time at a net's driver pin given a
-// requirement at its sink side.
-func (e *engine) lowerReq(n *netlist.Net, reqAtSink float64) {
-	req := reqAtSink - e.netWire[n.ID]
-	if req < e.netReq[n.ID] {
-		e.netReq[n.ID] = req
+// record scans every endpoint in net-ID order and accumulates TNS/WNS.
+// The float TNS sum is order-dependent, so this pass is sequential and
+// identical across the full and delta analyses.
+func (e *engine) record(nl *netlist.Netlist, res *Result) {
+	res.TNS, res.WNS, res.Endpoints, res.Violating = 0, math.Inf(1), 0, 0
+	record := func(slack float64) {
+		res.Endpoints++
+		if slack < res.WNS {
+			res.WNS = slack
+		}
+		if slack < 0 {
+			res.TNS += slack
+			res.Violating++
+		}
 	}
+	for _, n := range nl.Nets {
+		arrAtSink := e.netArr[n.ID] + e.netWire[n.ID]
+		for _, s := range n.Sinks {
+			switch {
+			case s.IsPort():
+				record(e.period - e.opt.Constraints.OutputDelayPS - arrAtSink)
+			case s.Inst.Master.Class == tech.Seq:
+				if p := s.Inst.Master.Pin(s.Pin); p != nil && !p.IsClock && p.Dir == tech.Input {
+					record(e.period - s.Inst.Master.Setup - arrAtSink)
+				}
+			}
+		}
+	}
+	if math.IsInf(res.WNS, 1) {
+		res.WNS = 0 // no endpoints
+	}
+}
+
+// instWorstSlack computes the worst slack of any path through the instance:
+// pure per instance (reads only net arrays).
+func (e *engine) instWorstSlack(in *netlist.Instance) float64 {
+	worst := math.Inf(1)
+	for _, c := range in.Conns {
+		if c.Net == nil {
+			continue
+		}
+		p := in.Master.Pin(c.Pin)
+		if p == nil || p.IsClock || c.Net.IsClock {
+			continue
+		}
+		s := e.netReq[c.Net.ID] - e.netArr[c.Net.ID]
+		if !math.IsInf(s, 1) && s < worst {
+			worst = s
+		}
+	}
+	return worst
 }
 
 func clockPinName(c *tech.Cell) string {
